@@ -1,0 +1,150 @@
+// google-benchmark microbenchmarks of the simulator's primitives: these
+// bound how fast the chip can be simulated, independent of any workload.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "ccastream/ccastream.hpp"
+
+using namespace ccastream;
+
+namespace {
+
+void BM_RngBelow(benchmark::State& state) {
+  rt::Xoshiro256 rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.below(1024));
+  }
+}
+BENCHMARK(BM_RngBelow);
+
+void BM_RouteYx(benchmark::State& state) {
+  const sim::DownstreamOccupancy occ{};
+  rt::Xoshiro256 rng(2);
+  for (auto _ : state) {
+    const rt::Coord cur{static_cast<std::uint32_t>(rng.below(32)),
+                        static_cast<std::uint32_t>(rng.below(32))};
+    const rt::Coord dst{static_cast<std::uint32_t>(rng.below(32)),
+                        static_cast<std::uint32_t>(rng.below(32))};
+    benchmark::DoNotOptimize(
+        sim::route(sim::RoutingPolicyKind::kYX, cur, dst, occ));
+  }
+}
+BENCHMARK(BM_RouteYx);
+
+void BM_ArenaInsert(benchmark::State& state) {
+  class Obj final : public rt::ArenaObject {
+   public:
+    [[nodiscard]] std::size_t logical_bytes() const noexcept override { return 64; }
+  };
+  for (auto _ : state) {
+    state.PauseTiming();
+    rt::ObjectArena arena(1u << 24);
+    state.ResumeTiming();
+    for (int i = 0; i < 1000; ++i) {
+      benchmark::DoNotOptimize(arena.insert(std::make_unique<Obj>()));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_ArenaInsert);
+
+void BM_FutureEnqueueDrain(benchmark::State& state) {
+  const auto waiters = static_cast<int>(state.range(0));
+  // A throwaway chip gives us a real Context for the drain.
+  sim::ChipConfig cfg;
+  cfg.width = cfg.height = 2;
+  for (auto _ : state) {
+    sim::Chip chip(cfg);
+    const rt::HandlerId h = chip.handlers().register_handler(
+        "drain", [&](rt::Context& ctx, const rt::Action&) {
+          rt::FutureAddr fut;
+          fut.set_pending();
+          for (int i = 0; i < waiters; ++i) {
+            fut.enqueue(rt::make_action(rt::HandlerId{1}, rt::kNullAddress));
+          }
+          benchmark::DoNotOptimize(fut.fulfil(rt::GlobalAddress{0, 0}, ctx));
+        });
+    chip.inject_local(rt::make_action(h, rt::GlobalAddress{0, 0}));
+    chip.step();
+  }
+  state.SetItemsProcessed(state.iterations() * waiters);
+}
+BENCHMARK(BM_FutureEnqueueDrain)->Arg(4)->Arg(64)->Arg(1024);
+
+void BM_ChipCyclesIdleScan(benchmark::State& state) {
+  // Cost of one cycle on an idle chip: the floor of simulation overhead.
+  const auto dim = static_cast<std::uint32_t>(state.range(0));
+  sim::ChipConfig cfg;
+  cfg.width = cfg.height = dim;
+  sim::Chip chip(cfg);
+  for (auto _ : state) {
+    chip.step();
+  }
+  state.SetItemsProcessed(state.iterations() * dim * dim);
+}
+BENCHMARK(BM_ChipCyclesIdleScan)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_ChipMessageThroughput(benchmark::State& state) {
+  // Self-regenerating ping-pong between opposite corners: measures
+  // end-to-end message cost (stage + route + deliver + dispatch).
+  sim::ChipConfig cfg;
+  cfg.width = cfg.height = 16;
+  sim::Chip chip(cfg);
+
+  class Obj final : public rt::ArenaObject {
+   public:
+    [[nodiscard]] std::size_t logical_bytes() const noexcept override { return 16; }
+  };
+  const auto a = *chip.host_allocate(0, std::make_unique<Obj>());
+  const auto b = *chip.host_allocate(255, std::make_unique<Obj>());
+  rt::HandlerId ping = 0;
+  ping = chip.handlers().register_handler(
+      "ping", [&](rt::Context& ctx, const rt::Action& act) {
+        const auto next = act.target == a ? b : a;
+        ctx.propagate(rt::make_action(ping, next));
+      });
+  chip.inject_local(rt::make_action(ping, a));
+  std::uint64_t delivered_before = chip.stats().deliveries;
+  for (auto _ : state) {
+    chip.step();
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(chip.stats().deliveries - delivered_before));
+}
+BENCHMARK(BM_ChipMessageThroughput);
+
+void BM_SbmGeneration(benchmark::State& state) {
+  wl::SbmParams p;
+  p.num_vertices = 10'000;
+  p.num_edges = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wl::generate_sbm(p));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SbmGeneration)->Arg(10'000)->Arg(100'000);
+
+void BM_StreamingIngestEndToEnd(benchmark::State& state) {
+  // Wall-clock cost of simulating one full (small) ingestion per iteration.
+  const std::uint64_t verts = 2'000, edges = 20'000;
+  const auto sched = wl::make_graphchallenge_like(
+      verts, edges, wl::SamplingKind::kEdge, 1, 9);
+  for (auto _ : state) {
+    sim::ChipConfig cfg;
+    cfg.width = cfg.height = 16;
+    sim::Chip chip(cfg);
+    graph::GraphProtocol proto(chip);
+    graph::GraphConfig gc;
+    gc.num_vertices = verts;
+    graph::StreamingGraph g(proto, gc);
+    for (const auto& inc : sched.increments) g.stream_increment(inc);
+    benchmark::DoNotOptimize(chip.stats().cycles);
+  }
+  state.SetItemsProcessed(state.iterations() * edges);
+}
+BENCHMARK(BM_StreamingIngestEndToEnd)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

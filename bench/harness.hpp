@@ -1,0 +1,126 @@
+// Shared experiment harness for the paper-reproduction benchmarks.
+//
+// Scale control (environment):
+//   CCASTREAM_SCALE=tiny   — smoke-test sizes (seconds; CI-friendly)
+//   CCASTREAM_SCALE=paper  — the paper's 50K-vertex rows at full size and
+//                            the 500K rows scaled 1/5 (default)
+//   CCASTREAM_SCALE=large  — the full 500K/10.2M rows as well
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ccastream/ccastream.hpp"
+
+namespace ccastream::bench {
+
+struct DatasetSpec {
+  std::string label;         ///< e.g. "50K"
+  std::uint64_t vertices;
+  std::uint64_t edges;
+  bool scaled = false;       ///< true if reduced from the paper's size
+};
+
+enum class Scale { kTiny, kPaper, kLarge };
+
+inline Scale scale_from_env() {
+  const char* s = std::getenv("CCASTREAM_SCALE");
+  if (s == nullptr) return Scale::kPaper;
+  if (std::strcmp(s, "tiny") == 0) return Scale::kTiny;
+  if (std::strcmp(s, "large") == 0) return Scale::kLarge;
+  return Scale::kPaper;
+}
+
+/// The two dataset rows of paper Table 1, at the configured scale.
+inline std::vector<DatasetSpec> datasets(Scale scale) {
+  switch (scale) {
+    case Scale::kTiny:
+      return {{"2K(tiny)", 2'000, 40'000, true},
+              {"8K(tiny)", 8'000, 160'000, true}};
+    case Scale::kPaper:
+      return {{"50K", 50'000, 1'000'000, false},
+              {"500K(1/5)", 100'000, 2'040'000, true}};
+    case Scale::kLarge:
+      return {{"50K", 50'000, 1'000'000, false},
+              {"500K", 500'000, 10'200'000, false}};
+  }
+  return {};
+}
+
+/// The paper's chip: 32x32 mesh, YX routing, vicinity allocation.
+inline sim::ChipConfig paper_chip_config() {
+  sim::ChipConfig cfg;
+  cfg.width = 32;
+  cfg.height = 32;
+  cfg.routing = sim::RoutingPolicyKind::kYX;
+  cfg.alloc_policy = rt::AllocPolicyKind::kVicinity;
+  cfg.vicinity_radius = 2;
+  cfg.cc_memory_bytes = 4u << 20;
+  return cfg;
+}
+
+/// One assembled experiment: chip + protocol + BFS app + graph.
+struct Experiment {
+  std::unique_ptr<sim::Chip> chip;
+  std::unique_ptr<graph::GraphProtocol> proto;
+  std::unique_ptr<apps::StreamingBfs> bfs;
+  std::unique_ptr<graph::StreamingGraph> graph;
+};
+
+/// Builds the streaming-BFS experiment of the paper. `with_bfs` false gives
+/// the ingestion-only variant (hooks disabled — the paper's "disabling the
+/// subsequent propagation of bfs-action").
+inline Experiment make_experiment(const sim::ChipConfig& cfg,
+                                  std::uint64_t num_vertices, bool with_bfs,
+                                  std::uint64_t bfs_source) {
+  Experiment e;
+  e.chip = std::make_unique<sim::Chip>(cfg);
+  e.proto = std::make_unique<graph::GraphProtocol>(*e.chip);
+  e.bfs = std::make_unique<apps::StreamingBfs>(*e.proto);
+  if (with_bfs) {
+    e.bfs->install();
+  } else {
+    graph::AppHooks hooks;  // ingestion only; keep levels inert
+    hooks.ghost_init = apps::StreamingBfs::initial_state();
+    e.proto->set_hooks(hooks);
+  }
+  graph::GraphConfig gc;
+  gc.num_vertices = num_vertices;
+  gc.root_init = apps::StreamingBfs::initial_state();
+  e.graph = std::make_unique<graph::StreamingGraph>(*e.proto, gc);
+  if (with_bfs) e.bfs->set_source(*e.graph, bfs_source);
+  return e;
+}
+
+/// Streams every increment of a schedule; returns per-increment reports.
+inline std::vector<graph::IncrementReport> run_schedule(
+    Experiment& e, const wl::StreamSchedule& sched) {
+  std::vector<graph::IncrementReport> reports;
+  reports.reserve(sched.increments.size());
+  for (const auto& inc : sched.increments) {
+    reports.push_back(e.graph->stream_increment(inc));
+  }
+  return reports;
+}
+
+inline std::uint64_t total_cycles(const std::vector<graph::IncrementReport>& r) {
+  std::uint64_t c = 0;
+  for (const auto& x : r) c += x.cycles;
+  return c;
+}
+
+inline double total_energy_uj(const std::vector<graph::IncrementReport>& r) {
+  double e = 0;
+  for (const auto& x : r) e += x.energy_uj;
+  return e;
+}
+
+inline void print_header(const char* title) {
+  std::printf("\n=== %s ===\n", title);
+}
+
+}  // namespace ccastream::bench

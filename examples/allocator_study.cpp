@@ -1,0 +1,60 @@
+// The Figure 5 design study as a runnable example: how the ghost-vertex
+// allocation policy shapes message locality. Streams a hub-heavy R-MAT
+// graph (long RPVO chains) under each policy and reports latency/energy.
+//
+//   $ ./allocator_study
+#include <cstdio>
+
+#include "ccastream/ccastream.hpp"
+
+using namespace ccastream;
+
+int main() {
+  // R-MAT graphs have heavy hubs -> deep RPVO chains -> the allocator's
+  // placement decision dominates intra-vertex traffic.
+  wl::RmatParams rp;
+  rp.scale = 11;  // 2048 vertices
+  rp.num_edges = 30'000;
+  const auto edges = wl::generate_rmat(rp);
+
+  std::printf("R-MAT scale %u, %zu edges, streaming BFS from vertex 0\n",
+              rp.scale, edges.size());
+  std::printf("%-12s %10s %12s %10s %10s %12s\n", "Policy", "Cycles",
+              "Energy uJ", "MeanHops", "MeanLat", "GhostLinks");
+
+  for (const auto policy :
+       {rt::AllocPolicyKind::kVicinity, rt::AllocPolicyKind::kRandom,
+        rt::AllocPolicyKind::kRoundRobin, rt::AllocPolicyKind::kLocal}) {
+    sim::ChipConfig cfg;
+    cfg.width = 16;
+    cfg.height = 16;
+    cfg.alloc_policy = policy;
+    sim::Chip chip(cfg);
+    graph::RpvoConfig rc;
+    rc.edge_capacity = 8;
+    graph::GraphProtocol protocol(chip, rc);
+    apps::StreamingBfs bfs(protocol);
+    bfs.install();
+    graph::GraphConfig gc;
+    gc.num_vertices = 1ull << rp.scale;
+    gc.root_init = apps::StreamingBfs::initial_state();
+    graph::StreamingGraph g(protocol, gc);
+    bfs.set_source(g, 0);
+
+    const auto r = g.stream_increment(edges);
+    std::printf("%-12s %10lu %12.1f %10.2f %10.2f %12lu\n",
+                std::string(rt::to_string(policy)).c_str(), r.cycles,
+                r.energy_uj, chip.stats().mean_hops(),
+                chip.stats().mean_delivery_latency(),
+                protocol.stats().ghost_links_made);
+  }
+  std::printf(
+      "\nThe hub-heavy trade-off: vicinity minimises hops and energy (chain\n"
+      "links <=2 hops apart) but clusters a hub's chain in one neighbourhood,\n"
+      "which serialises under load; random pays chip-diameter traffic yet\n"
+      "spreads the chain's work across the mesh. 'local' is the degenerate\n"
+      "case: minimal hops, fully serialised hub. On community-structured\n"
+      "graphs without extreme hubs (bench_fig5_allocator), vicinity wins\n"
+      "cycles as well - matching the paper's choice.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+#include "apps/bfs.hpp"
+
+namespace ccastream::apps {
+
+using graph::VertexFragment;
+
+StreamingBfs::StreamingBfs(graph::GraphProtocol& protocol) : proto_(protocol) {
+  h_bfs_ = proto_.chip().handlers().register_handler(
+      "app.bfs", [this](rt::Context& ctx, const rt::Action& a) { handle_bfs(ctx, a); });
+}
+
+graph::AppHooks StreamingBfs::make_hooks() const {
+  graph::AppHooks hooks;
+  hooks.ghost_init = initial_state();
+  // Listing 4: after inserting an edge, inform the destination vertex about
+  // it — but only if this fragment has a valid BFS level.
+  hooks.on_edge_inserted = [this](rt::Context& ctx, VertexFragment& frag,
+                                  const graph::EdgeRecord& e) {
+    if (frag.app[kLevelWord] != kUnreached) {
+      ctx.propagate(rt::make_action(h_bfs_, e.dst, frag.app[kLevelWord] + 1));
+      ctx.charge(1);
+    }
+  };
+  // A new ghost joined the chain: push the current level down the link so
+  // edges already parked at the ghost diffuse correctly.
+  hooks.on_ghost_linked = [this](rt::Context& ctx, VertexFragment& frag,
+                                 rt::GlobalAddress ghost) {
+    if (frag.app[kLevelWord] != kUnreached) {
+      ctx.propagate(rt::make_action(h_bfs_, ghost, frag.app[kLevelWord]));
+      ctx.charge(1);
+    }
+  };
+  return hooks;
+}
+
+void StreamingBfs::install() { proto_.set_hooks(make_hooks()); }
+
+void StreamingBfs::set_source(graph::StreamingGraph& g, std::uint64_t vid) const {
+  g.set_root_app_word(vid, kLevelWord, 0);
+}
+
+void StreamingBfs::kick_source(graph::StreamingGraph& g, std::uint64_t vid) const {
+  g.chip().inject_local(rt::make_action(h_bfs_, g.root_of(vid), rt::Word{0}));
+}
+
+rt::Word StreamingBfs::level_of(const graph::StreamingGraph& g,
+                                std::uint64_t vid) const {
+  return g.app_word(vid, kLevelWord);
+}
+
+// Listing 5: (if (> (vertex-level v) lvl) { set level; diffuse lvl+1 }).
+void StreamingBfs::handle_bfs(rt::Context& ctx, const rt::Action& a) {
+  auto* frag = ctx.as<VertexFragment>(a.target);
+  if (frag == nullptr) return;  // dropped waiter of a failed allocation
+  const rt::Word lvl = a.args[0];
+  ctx.charge(1);
+  if (lvl >= frag->app[kLevelWord]) return;  // no improvement: diffusion dies
+
+  frag->app[kLevelWord] = lvl;
+  // Diffusion: send the next level along every locally stored edge.
+  ctx.charge(static_cast<std::uint32_t>(frag->edges.size()));
+  for (const graph::EdgeRecord& e : frag->edges) {
+    ctx.propagate(rt::make_action(h_bfs_, e.dst, lvl + 1));
+  }
+  // Intra-vertex: forward the (unincremented) level down each ghost link so
+  // the rest of this logical vertex's edge list diffuses too.
+  for (rt::FutureAddr& ghost : frag->ghosts) {
+    if (ghost.is_ready() && !ghost.value().is_null()) {
+      ctx.propagate(rt::make_action(h_bfs_, ghost.value(), lvl));
+    } else if (ghost.is_pending()) {
+      ghost.enqueue(rt::make_action(h_bfs_, rt::kNullAddress, lvl));
+    }
+  }
+  // And around the rhizome ring (improvement stops the cycle when the next
+  // root already holds this level).
+  if (!frag->rhizome_next.is_null()) {
+    ctx.propagate(rt::make_action(h_bfs_, frag->rhizome_next, lvl));
+  }
+}
+
+}  // namespace ccastream::apps

@@ -1,0 +1,63 @@
+// Asynchronous streaming dynamic BFS — the paper's demonstration
+// application (Listings 4 & 5).
+//
+// Levels propagate monotonically: bfs-action(v, lvl) lowers v's level if
+// lvl is better and re-diffuses lvl+1 along v's edges. Streamed edge
+// insertions chain into bfs-action through the on_edge_inserted hook, so
+// results of previous computation are *updated*, never recomputed from
+// scratch. Ghost fragments keep a level copy; the ghost link forwards the
+// level unchanged (a ghost is the same logical vertex).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/builder.hpp"
+#include "graph/protocol.hpp"
+
+namespace ccastream::apps {
+
+class StreamingBfs {
+ public:
+  /// Sentinel "no valid BFS level" (the paper's max-level).
+  static constexpr rt::Word kUnreached = ~0ull;
+  /// App word that stores the level.
+  static constexpr std::size_t kLevelWord = 0;
+
+  /// Registers the bfs-action handler on the protocol's chip.
+  explicit StreamingBfs(graph::GraphProtocol& protocol);
+
+  /// Installs the BFS hooks on the protocol (insert-edge will chain into
+  /// bfs-action from then on). Call before streaming.
+  void install();
+
+  /// Hooks without installing (for callers composing their own AppHooks).
+  [[nodiscard]] graph::AppHooks make_hooks() const;
+
+  /// Initial app state for fragments (level = unreached).
+  [[nodiscard]] static graph::AppState initial_state() {
+    graph::AppState s{};
+    s[kLevelWord] = kUnreached;
+    return s;
+  }
+
+  /// Marks `vid` as the BFS source (level 0) before streaming starts.
+  void set_source(graph::StreamingGraph& g, std::uint64_t vid) const;
+
+  /// Injects bfs-action(root(vid), 0) — seeds or re-seeds a BFS on a graph
+  /// that already has edges. Run the chip afterwards.
+  void kick_source(graph::StreamingGraph& g, std::uint64_t vid) const;
+
+  /// The computed level of a vertex (kUnreached if not reachable).
+  [[nodiscard]] rt::Word level_of(const graph::StreamingGraph& g,
+                                  std::uint64_t vid) const;
+
+  [[nodiscard]] rt::HandlerId handler() const noexcept { return h_bfs_; }
+
+ private:
+  void handle_bfs(rt::Context& ctx, const rt::Action& a);
+
+  graph::GraphProtocol& proto_;
+  rt::HandlerId h_bfs_ = 0;
+};
+
+}  // namespace ccastream::apps

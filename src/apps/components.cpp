@@ -1,0 +1,71 @@
+#include "apps/components.hpp"
+
+namespace ccastream::apps {
+
+using graph::VertexFragment;
+
+StreamingComponents::StreamingComponents(graph::GraphProtocol& protocol)
+    : proto_(protocol) {
+  h_cc_ = proto_.chip().handlers().register_handler(
+      "app.components",
+      [this](rt::Context& ctx, const rt::Action& a) { handle_label(ctx, a); });
+}
+
+graph::AppHooks StreamingComponents::make_hooks() const {
+  graph::AppHooks hooks;
+  hooks.ghost_init = initial_state();
+  hooks.on_edge_inserted = [this](rt::Context& ctx, VertexFragment& frag,
+                                  const graph::EdgeRecord& e) {
+    if (frag.app[kLabelWord] != kNoLabel) {
+      ctx.propagate(rt::make_action(h_cc_, e.dst, frag.app[kLabelWord]));
+      ctx.charge(1);
+    }
+  };
+  hooks.on_ghost_linked = [this](rt::Context& ctx, VertexFragment& frag,
+                                 rt::GlobalAddress ghost) {
+    if (frag.app[kLabelWord] != kNoLabel) {
+      ctx.propagate(rt::make_action(h_cc_, ghost, frag.app[kLabelWord]));
+      ctx.charge(1);
+    }
+  };
+  return hooks;
+}
+
+void StreamingComponents::install() { proto_.set_hooks(make_hooks()); }
+
+void StreamingComponents::seed_labels(graph::StreamingGraph& g) const {
+  for (std::uint64_t vid = 0; vid < g.num_vertices(); ++vid) {
+    g.set_root_app_word(vid, kLabelWord, vid);
+  }
+}
+
+rt::Word StreamingComponents::label_of(const graph::StreamingGraph& g,
+                                       std::uint64_t vid) const {
+  return g.app_word(vid, kLabelWord);
+}
+
+void StreamingComponents::handle_label(rt::Context& ctx, const rt::Action& a) {
+  auto* frag = ctx.as<VertexFragment>(a.target);
+  if (frag == nullptr) return;
+  const rt::Word label = a.args[0];
+  ctx.charge(1);
+  if (label >= frag->app[kLabelWord]) return;
+
+  frag->app[kLabelWord] = label;
+  ctx.charge(static_cast<std::uint32_t>(frag->edges.size()));
+  for (const graph::EdgeRecord& e : frag->edges) {
+    ctx.propagate(rt::make_action(h_cc_, e.dst, label));
+  }
+  for (rt::FutureAddr& ghost : frag->ghosts) {
+    if (ghost.is_ready() && !ghost.value().is_null()) {
+      ctx.propagate(rt::make_action(h_cc_, ghost.value(), label));
+    } else if (ghost.is_pending()) {
+      ghost.enqueue(rt::make_action(h_cc_, rt::kNullAddress, label));
+    }
+  }
+  if (!frag->rhizome_next.is_null()) {
+    ctx.propagate(rt::make_action(h_cc_, frag->rhizome_next, label));
+  }
+}
+
+}  // namespace ccastream::apps

@@ -1,0 +1,50 @@
+// Streaming connected components by asynchronous min-label propagation.
+//
+// Every root starts with label = vid; labels spread over edges and the
+// minimum wins. For undirected semantics the stream must carry both edge
+// directions (use workload::symmetrize) — the algorithm then converges to
+// the minimum vertex id of each connected component, updating incrementally
+// as new edges merge components.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/builder.hpp"
+#include "graph/protocol.hpp"
+
+namespace ccastream::apps {
+
+class StreamingComponents {
+ public:
+  static constexpr rt::Word kNoLabel = ~0ull;
+  static constexpr std::size_t kLabelWord = 0;
+
+  explicit StreamingComponents(graph::GraphProtocol& protocol);
+
+  void install();
+  [[nodiscard]] graph::AppHooks make_hooks() const;
+
+  /// Ghosts start unlabeled; the ghost-link hook forwards the root's label.
+  [[nodiscard]] static graph::AppState initial_state() {
+    graph::AppState s{};
+    s[kLabelWord] = kNoLabel;
+    return s;
+  }
+
+  /// Seeds every root's label with its own vertex id. Call once after
+  /// constructing the StreamingGraph, before streaming.
+  void seed_labels(graph::StreamingGraph& g) const;
+
+  [[nodiscard]] rt::Word label_of(const graph::StreamingGraph& g,
+                                  std::uint64_t vid) const;
+
+  [[nodiscard]] rt::HandlerId handler() const noexcept { return h_cc_; }
+
+ private:
+  void handle_label(rt::Context& ctx, const rt::Action& a);
+
+  graph::GraphProtocol& proto_;
+  rt::HandlerId h_cc_ = 0;
+};
+
+}  // namespace ccastream::apps

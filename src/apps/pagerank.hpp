@@ -1,0 +1,56 @@
+// Asynchronous delta-push PageRank over the RPVO graph.
+//
+// A demonstration of a non-monotone diffusive application: residual mass is
+// pushed along edges until every residual falls below epsilon. Deltas
+// always target vertex roots; the root absorbs (rank += residual), divides
+// the damped residual by its logical degree (which the root knows — every
+// insert is routed through it), and a push wave walks the RPVO chain
+// emitting one delta per stored edge.
+//
+// PageRank runs as a post-construction query: build (or grow) the graph,
+// reach quiescence, then seed() and run. Uses app words 0 (rank) and 1
+// (residual) as IEEE-754 bit patterns.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "graph/builder.hpp"
+#include "graph/protocol.hpp"
+
+namespace ccastream::apps {
+
+class PageRank {
+ public:
+  static constexpr std::size_t kRankWord = 0;
+  static constexpr std::size_t kResidualWord = 1;
+
+  struct Params {
+    double damping = 0.85;
+    double epsilon = 1e-9;  ///< Residual threshold to keep pushing.
+  };
+
+  PageRank(graph::GraphProtocol& protocol, Params params);
+  explicit PageRank(graph::GraphProtocol& protocol) : PageRank(protocol, Params{}) {}
+
+  /// Zeroes rank/residual on every fragment and injects the initial
+  /// (1 - damping) residual at every root. Run the chip afterwards.
+  void seed(graph::StreamingGraph& g) const;
+
+  /// rank + leftover residual of a vertex (valid after quiescence).
+  [[nodiscard]] double rank_of(const graph::StreamingGraph& g,
+                               std::uint64_t vid) const;
+
+  [[nodiscard]] const Params& params() const noexcept { return params_; }
+
+ private:
+  void handle_delta(rt::Context& ctx, const rt::Action& a);
+  void handle_push(rt::Context& ctx, const rt::Action& a);
+
+  graph::GraphProtocol& proto_;
+  Params params_;
+  rt::HandlerId h_delta_ = 0;
+  rt::HandlerId h_push_ = 0;
+};
+
+}  // namespace ccastream::apps

@@ -1,0 +1,73 @@
+#include "apps/sssp.hpp"
+
+namespace ccastream::apps {
+
+using graph::VertexFragment;
+
+StreamingSssp::StreamingSssp(graph::GraphProtocol& protocol) : proto_(protocol) {
+  h_sssp_ = proto_.chip().handlers().register_handler(
+      "app.sssp",
+      [this](rt::Context& ctx, const rt::Action& a) { handle_sssp(ctx, a); });
+}
+
+graph::AppHooks StreamingSssp::make_hooks() const {
+  graph::AppHooks hooks;
+  hooks.ghost_init = initial_state();
+  hooks.on_edge_inserted = [this](rt::Context& ctx, VertexFragment& frag,
+                                  const graph::EdgeRecord& e) {
+    if (frag.app[kDistWord] != kUnreached) {
+      ctx.propagate(
+          rt::make_action(h_sssp_, e.dst, frag.app[kDistWord] + e.weight));
+      ctx.charge(1);
+    }
+  };
+  hooks.on_ghost_linked = [this](rt::Context& ctx, VertexFragment& frag,
+                                 rt::GlobalAddress ghost) {
+    if (frag.app[kDistWord] != kUnreached) {
+      ctx.propagate(rt::make_action(h_sssp_, ghost, frag.app[kDistWord]));
+      ctx.charge(1);
+    }
+  };
+  return hooks;
+}
+
+void StreamingSssp::install() { proto_.set_hooks(make_hooks()); }
+
+void StreamingSssp::set_source(graph::StreamingGraph& g, std::uint64_t vid) const {
+  g.set_root_app_word(vid, kDistWord, 0);
+}
+
+void StreamingSssp::kick_source(graph::StreamingGraph& g, std::uint64_t vid) const {
+  g.chip().inject_local(rt::make_action(h_sssp_, g.root_of(vid), rt::Word{0}));
+}
+
+rt::Word StreamingSssp::distance_of(const graph::StreamingGraph& g,
+                                    std::uint64_t vid) const {
+  return g.app_word(vid, kDistWord);
+}
+
+void StreamingSssp::handle_sssp(rt::Context& ctx, const rt::Action& a) {
+  auto* frag = ctx.as<VertexFragment>(a.target);
+  if (frag == nullptr) return;
+  const rt::Word dist = a.args[0];
+  ctx.charge(1);
+  if (dist >= frag->app[kDistWord]) return;
+
+  frag->app[kDistWord] = dist;
+  ctx.charge(static_cast<std::uint32_t>(frag->edges.size()));
+  for (const graph::EdgeRecord& e : frag->edges) {
+    ctx.propagate(rt::make_action(h_sssp_, e.dst, dist + e.weight));
+  }
+  for (rt::FutureAddr& ghost : frag->ghosts) {
+    if (ghost.is_ready() && !ghost.value().is_null()) {
+      ctx.propagate(rt::make_action(h_sssp_, ghost.value(), dist));
+    } else if (ghost.is_pending()) {
+      ghost.enqueue(rt::make_action(h_sssp_, rt::kNullAddress, dist));
+    }
+  }
+  if (!frag->rhizome_next.is_null()) {
+    ctx.propagate(rt::make_action(h_sssp_, frag->rhizome_next, dist));
+  }
+}
+
+}  // namespace ccastream::apps

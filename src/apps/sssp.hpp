@@ -1,0 +1,52 @@
+// Streaming single-source shortest paths — the weighted generalisation of
+// the paper's streaming BFS (first of the "more complex message-driven
+// streaming dynamic algorithms" the conclusion calls for).
+//
+// Identical diffusion structure to BFS, but the relaxation carries the edge
+// weight: sssp-action(v, d) lowers v's tentative distance and re-diffuses
+// d + w(e) along each edge. Monotonic min-updates make the asynchronous,
+// unordered message delivery safe (chaotic relaxation).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/builder.hpp"
+#include "graph/protocol.hpp"
+
+namespace ccastream::apps {
+
+class StreamingSssp {
+ public:
+  static constexpr rt::Word kUnreached = ~0ull;
+  static constexpr std::size_t kDistWord = 0;
+
+  explicit StreamingSssp(graph::GraphProtocol& protocol);
+
+  void install();
+  [[nodiscard]] graph::AppHooks make_hooks() const;
+
+  [[nodiscard]] static graph::AppState initial_state() {
+    graph::AppState s{};
+    s[kDistWord] = kUnreached;
+    return s;
+  }
+
+  /// Marks `vid` as the source (distance 0) before streaming.
+  void set_source(graph::StreamingGraph& g, std::uint64_t vid) const;
+
+  /// Injects sssp-action(root(vid), 0) to (re)start on a built graph.
+  void kick_source(graph::StreamingGraph& g, std::uint64_t vid) const;
+
+  [[nodiscard]] rt::Word distance_of(const graph::StreamingGraph& g,
+                                     std::uint64_t vid) const;
+
+  [[nodiscard]] rt::HandlerId handler() const noexcept { return h_sssp_; }
+
+ private:
+  void handle_sssp(rt::Context& ctx, const rt::Action& a);
+
+  graph::GraphProtocol& proto_;
+  rt::HandlerId h_sssp_ = 0;
+};
+
+}  // namespace ccastream::apps

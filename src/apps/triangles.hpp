@@ -1,0 +1,90 @@
+// Message-driven triangle counting and Jaccard-coefficient queries — two of
+// the algorithms the paper's conclusion names as the natural next step
+// ("Triangle Counting, Jaccard Coefficient").
+//
+// Both are built from the same fine-grain primitive: a *probe* action that
+// asks a vertex "do you store an edge to w?", walking the RPVO chain via
+// ghost links when the local fragment misses.
+//
+// Triangle counting (post-construction query): a kick wave walks every
+// vertex's chain; each fragment probes the pairs of its local edge list and
+// cross-pairs against later fragments in the chain. A found probe bumps a
+// per-fragment counter; the host sums counters chain-wide. On a simple
+// undirected graph (both edge directions streamed) the total equals 3x the
+// triangle count.
+//
+// Jaccard(u, v): a kick at u probes every neighbour of u against v's edge
+// list; hits are accumulated at u's root, giving |N(u) ∩ N(v)|, and the
+// host computes |∩| / (deg u + deg v - |∩|).
+//
+// Requires ghost_fanout == 1 (chain RPVO): pair coverage across sibling
+// ghost subtrees is not implemented.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/builder.hpp"
+#include "graph/protocol.hpp"
+
+namespace ccastream::apps {
+
+class TriangleCounter {
+ public:
+  /// Per-fragment closed-wedge counter (app word 3 — BFS/SSSP/CC keep
+  /// word 0, so triangle queries can run on their graphs).
+  static constexpr std::size_t kCountWord = 3;
+
+  explicit TriangleCounter(graph::GraphProtocol& protocol);
+
+  /// Clears counters and kicks the counting wave at every vertex; run the
+  /// chip to quiescence afterwards.
+  void start(graph::StreamingGraph& g) const;
+
+  /// Total found probes = sum over all vertices of connected neighbour
+  /// pairs ("closed wedges"); valid after quiescence.
+  [[nodiscard]] std::uint64_t closed_wedges(const graph::StreamingGraph& g) const;
+
+  /// closed_wedges / 3 — the triangle count on a simple undirected graph.
+  [[nodiscard]] std::uint64_t triangles(const graph::StreamingGraph& g) const {
+    return closed_wedges(g) / 3;
+  }
+
+ private:
+  void handle_kick(rt::Context& ctx, const rt::Action& a);
+  void handle_cross(rt::Context& ctx, const rt::Action& a);
+  void handle_probe(rt::Context& ctx, const rt::Action& a);
+
+  graph::GraphProtocol& proto_;
+  rt::HandlerId h_kick_ = 0;
+  rt::HandlerId h_cross_ = 0;
+  rt::HandlerId h_probe_ = 0;
+};
+
+class JaccardQuery {
+ public:
+  /// Intersection counter at the query vertex's root (app word 2).
+  static constexpr std::size_t kCommonWord = 2;
+
+  explicit JaccardQuery(graph::GraphProtocol& protocol);
+
+  /// Runs the chip to quiescence and returns J(u, v) = |N∩| / |N∪|.
+  /// Assumes simple undirected adjacency (both directions streamed).
+  [[nodiscard]] double query(graph::StreamingGraph& g, std::uint64_t u,
+                             std::uint64_t v) const;
+
+  /// |N(u) ∩ N(v)| as counted by the last query for `u`.
+  [[nodiscard]] std::uint64_t common_neighbors(const graph::StreamingGraph& g,
+                                               std::uint64_t u) const;
+
+ private:
+  void handle_kick(rt::Context& ctx, const rt::Action& a);
+  void handle_probe(rt::Context& ctx, const rt::Action& a);
+  void handle_hit(rt::Context& ctx, const rt::Action& a);
+
+  graph::GraphProtocol& proto_;
+  rt::HandlerId h_kick_ = 0;
+  rt::HandlerId h_probe_ = 0;
+  rt::HandlerId h_hit_ = 0;
+};
+
+}  // namespace ccastream::apps

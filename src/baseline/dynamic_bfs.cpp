@@ -1,0 +1,49 @@
+#include "baseline/dynamic_bfs.hpp"
+
+#include <deque>
+
+#include "baseline/graph.hpp"
+
+namespace ccastream::base {
+
+DynamicBfs::DynamicBfs(std::uint64_t num_vertices, std::uint64_t source)
+    : adj_(num_vertices), level_(num_vertices, kUnreached), source_(source) {
+  if (source_ < num_vertices) level_[source_] = 0;
+}
+
+void DynamicBfs::insert_edge(std::uint64_t src, std::uint64_t dst) {
+  adj_[src].push_back(dst);
+  if (level_[src] != kUnreached && level_[src] + 1 < level_[dst]) {
+    level_[dst] = level_[src] + 1;
+    flood_from(dst);
+  }
+}
+
+void DynamicBfs::insert_increment(std::span<const StreamEdge> edges) {
+  for (const auto& e : edges) insert_edge(e.src, e.dst);
+}
+
+void DynamicBfs::flood_from(std::uint64_t v) {
+  std::deque<std::uint64_t> q{v};
+  while (!q.empty()) {
+    const std::uint64_t u = q.front();
+    q.pop_front();
+    ++resettled_;
+    for (const std::uint64_t w : adj_[u]) {
+      if (level_[u] + 1 < level_[w]) {
+        level_[w] = level_[u] + 1;
+        q.push_back(w);
+      }
+    }
+  }
+}
+
+std::vector<std::uint64_t> DynamicBfs::recompute() const {
+  RefGraph g(adj_.size());
+  for (std::uint64_t u = 0; u < adj_.size(); ++u) {
+    for (const std::uint64_t v : adj_[u]) g.add_edge(u, v);
+  }
+  return bfs_levels(g, source_);
+}
+
+}  // namespace ccastream::base

@@ -1,0 +1,51 @@
+// Incremental (streaming) BFS on the CPU: the oracle for the chip's
+// streaming dynamic BFS and the "recompute vs incremental" baseline pair
+// used by the benchmark harness.
+//
+// Insertion rule: when edge (u, v) arrives and level(u) + 1 < level(v),
+// v improves and the improvement is flooded breadth-first — exactly the
+// fixed point the chip's asynchronous bfs-action diffusion converges to.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "baseline/algorithms.hpp"
+#include "graph/stream_edge.hpp"
+
+namespace ccastream::base {
+
+class DynamicBfs {
+ public:
+  DynamicBfs(std::uint64_t num_vertices, std::uint64_t source);
+
+  /// Inserts one edge and repairs levels incrementally.
+  void insert_edge(std::uint64_t src, std::uint64_t dst);
+
+  /// Inserts a batch (one streaming increment).
+  void insert_increment(std::span<const StreamEdge> edges);
+
+  [[nodiscard]] const std::vector<std::uint64_t>& levels() const noexcept {
+    return level_;
+  }
+  [[nodiscard]] std::uint64_t level_of(std::uint64_t v) const { return level_[v]; }
+
+  /// Work metric: vertices re-settled by incremental repair so far.
+  [[nodiscard]] std::uint64_t vertices_resettled() const noexcept {
+    return resettled_;
+  }
+
+  /// The same final levels computed from scratch (the recompute baseline).
+  [[nodiscard]] std::vector<std::uint64_t> recompute() const;
+
+ private:
+  void flood_from(std::uint64_t v);
+
+  std::vector<std::vector<std::uint64_t>> adj_;
+  std::vector<std::uint64_t> level_;
+  std::uint64_t source_;
+  std::uint64_t resettled_ = 0;
+};
+
+}  // namespace ccastream::base

@@ -1,0 +1,4 @@
+#include "baseline/graph.hpp"
+
+// RefGraph is header-only; this translation unit anchors the library target.
+namespace ccastream::base {}

@@ -1,0 +1,42 @@
+// Sequential in-memory reference graph — plays the role NetworkX plays in
+// the paper ("we verify the results for correctness against known results
+// found using NetworkX"), and provides the CPU baselines for benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/stream_edge.hpp"
+
+namespace ccastream::base {
+
+/// Directed multigraph over vertices [0, n) with adjacency lists.
+class RefGraph {
+ public:
+  explicit RefGraph(std::uint64_t num_vertices) : adj_(num_vertices) {}
+
+  void add_edge(std::uint64_t src, std::uint64_t dst, std::uint32_t weight = 1) {
+    adj_[src].push_back({dst, weight});
+    ++num_edges_;
+  }
+
+  void add_edges(std::span<const StreamEdge> edges) {
+    for (const auto& e : edges) add_edge(e.src, e.dst, e.weight);
+  }
+
+  [[nodiscard]] std::uint64_t num_vertices() const noexcept { return adj_.size(); }
+  [[nodiscard]] std::uint64_t num_edges() const noexcept { return num_edges_; }
+
+  struct Arc {
+    std::uint64_t dst;
+    std::uint32_t weight;
+  };
+  [[nodiscard]] const std::vector<Arc>& out(std::uint64_t v) const { return adj_[v]; }
+
+ private:
+  std::vector<std::vector<Arc>> adj_;
+  std::uint64_t num_edges_ = 0;
+};
+
+}  // namespace ccastream::base

@@ -1,0 +1,167 @@
+#include "graph/builder.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "runtime/rng.hpp"
+#include "sim/energy.hpp"
+
+namespace ccastream::graph {
+
+StreamingGraph::StreamingGraph(GraphProtocol& protocol, GraphConfig cfg)
+    : proto_(protocol),
+      chip_(protocol.chip()),
+      cfg_(cfg),
+      rhizomes_(cfg.rhizomes == 0 ? 1 : cfg.rhizomes) {
+  const std::uint32_t cells = chip_.geometry().cell_count();
+  const std::uint64_t total_roots = cfg_.num_vertices * rhizomes_;
+  roots_.reserve(total_roots);
+  root_to_vid_.reserve(total_roots);
+
+  rt::Xoshiro256 rng(cfg_.placement_seed);
+  const std::uint64_t per_cell =
+      cells == 0 ? 0 : (total_roots + cells - 1) / cells;
+
+  for (std::uint64_t r = 0; r < total_roots; ++r) {
+    const std::uint64_t vid = r / rhizomes_;
+    std::uint32_t cc = 0;
+    switch (cfg_.placement) {
+      case PlacementPolicy::kRoundRobin:
+        // Consecutive rhizomes of a vertex land on different cells.
+        cc = static_cast<std::uint32_t>(r % cells);
+        break;
+      case PlacementPolicy::kBlocked:
+        cc = static_cast<std::uint32_t>(r / per_cell);
+        break;
+      case PlacementPolicy::kRandom:
+        cc = static_cast<std::uint32_t>(rng.below(cells));
+        break;
+    }
+    auto frag = std::make_unique<VertexFragment>(vid, /*as_root=*/true,
+                                                 proto_.rpvo_config(),
+                                                 cfg_.root_init);
+    const auto addr = chip_.host_allocate(cc, std::move(frag));
+    if (!addr) {
+      throw std::runtime_error(
+          "StreamingGraph: scratchpad of cell " + std::to_string(cc) +
+          " cannot hold its share of root fragments; raise "
+          "ChipConfig::cc_memory_bytes or shrink the graph");
+    }
+    chip_.as<VertexFragment>(*addr)->root = *addr;
+    roots_.push_back(*addr);
+    root_to_vid_.emplace(*addr, vid);
+  }
+
+  // Link each vertex's rhizome roots into a ring so monotone applications
+  // can synchronise state across them.
+  if (rhizomes_ > 1) {
+    for (std::uint64_t vid = 0; vid < cfg_.num_vertices; ++vid) {
+      for (std::uint32_t i = 0; i < rhizomes_; ++i) {
+        auto* frag = chip_.as<VertexFragment>(roots_[vid * rhizomes_ + i]);
+        frag->rhizome_next = roots_[vid * rhizomes_ + (i + 1) % rhizomes_];
+      }
+    }
+  }
+}
+
+void StreamingGraph::set_root_app_word(std::uint64_t vid, std::size_t word,
+                                       rt::Word value) {
+  for (const auto addr : rhizome_roots(vid)) {
+    chip_.as<VertexFragment>(addr)->app[word] = value;
+  }
+}
+
+void StreamingGraph::enqueue_edge(const StreamEdge& e) {
+  // Round-robin over the source's rhizomes (which root ingests the edge)
+  // and over the destination's rhizomes (which root the stored edge points
+  // to) — the hub-load-spreading of the Rhizomes design.
+  const rt::GlobalAddress src =
+      roots_[e.src * rhizomes_ + (rhizomes_ > 1 ? src_rr_++ % rhizomes_ : 0)];
+  const rt::GlobalAddress dst =
+      roots_[e.dst * rhizomes_ + (rhizomes_ > 1 ? dst_rr_++ % rhizomes_ : 0)];
+  chip_.io_enqueue(proto_.make_insert(src, dst, e.weight));
+}
+
+IncrementReport StreamingGraph::stream_increment(std::span<const StreamEdge> edges,
+                                                 std::uint64_t max_cycles) {
+  const sim::ChipStats before = chip_.stats();
+  const double energy_before = chip_.energy_pj();
+  for (const StreamEdge& e : edges) enqueue_edge(e);
+  chip_.run_until_quiescent(max_cycles);
+
+  IncrementReport r;
+  r.edges = edges.size();
+  r.stats_delta = chip_.stats().delta_since(before);
+  r.cycles = r.stats_delta.cycles;
+  r.energy_uj = sim::pj_to_uj(chip_.energy_pj() - energy_before);
+  return r;
+}
+
+std::uint64_t StreamingGraph::run(std::uint64_t max_cycles) {
+  return chip_.run_until_quiescent(max_cycles);
+}
+
+std::vector<rt::GlobalAddress> StreamingGraph::fragments_of(std::uint64_t vid) const {
+  std::vector<rt::GlobalAddress> chain;
+  std::vector<rt::GlobalAddress> frontier;
+  for (const auto addr : rhizome_roots(vid)) frontier.push_back(addr);
+  // Ghost fan-out > 1 makes the RPVO a small tree; walk it breadth-first.
+  while (!frontier.empty()) {
+    std::vector<rt::GlobalAddress> next;
+    for (const auto addr : frontier) {
+      const auto* frag =
+          const_cast<sim::Chip&>(chip_).as<VertexFragment>(addr);
+      if (frag == nullptr) continue;
+      chain.push_back(addr);
+      for (const auto& g : frag->ghosts) {
+        if (g.is_ready() && !g.value().is_null()) next.push_back(g.value());
+      }
+    }
+    frontier = std::move(next);
+  }
+  return chain;
+}
+
+std::uint64_t StreamingGraph::stored_degree(std::uint64_t vid) const {
+  std::uint64_t n = 0;
+  for (const auto addr : fragments_of(vid)) {
+    n += const_cast<sim::Chip&>(chip_).as<VertexFragment>(addr)->edges.size();
+  }
+  return n;
+}
+
+std::vector<std::pair<std::uint64_t, std::uint32_t>> StreamingGraph::neighbors(
+    std::uint64_t vid) const {
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> out;
+  for (const auto addr : fragments_of(vid)) {
+    const auto* frag = const_cast<sim::Chip&>(chip_).as<VertexFragment>(addr);
+    for (const EdgeRecord& e : frag->edges) {
+      const auto it = root_to_vid_.find(e.dst);
+      if (it != root_to_vid_.end()) out.emplace_back(it->second, e.weight);
+    }
+  }
+  return out;
+}
+
+rt::Word StreamingGraph::app_word(std::uint64_t vid, std::size_t word) const {
+  return const_cast<sim::Chip&>(chip_)
+      .as<VertexFragment>(roots_[vid * rhizomes_])
+      ->app[word];
+}
+
+rt::Word StreamingGraph::app_word_chain_sum(std::uint64_t vid,
+                                            std::size_t word) const {
+  rt::Word sum = 0;
+  for (const auto addr : fragments_of(vid)) {
+    sum += const_cast<sim::Chip&>(chip_).as<VertexFragment>(addr)->app[word];
+  }
+  return sum;
+}
+
+std::optional<std::uint64_t> StreamingGraph::vid_of_root(rt::GlobalAddress a) const {
+  const auto it = root_to_vid_.find(a);
+  if (it == root_to_vid_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace ccastream::graph

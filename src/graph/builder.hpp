@@ -1,0 +1,155 @@
+// Host-side façade over the chip + graph protocol: places root fragments,
+// translates streamed (src, dst) vertex-id edges into insert-edge actions on
+// the IO channels, runs increments to quiescence, and walks RPVO chains to
+// extract results for verification (paper Listing 1's main()).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/fragment.hpp"
+#include "graph/protocol.hpp"
+#include "graph/stream_edge.hpp"
+#include "sim/chip.hpp"
+
+namespace ccastream::graph {
+
+/// How vertex roots are spread over the compute cells.
+enum class PlacementPolicy : std::uint8_t {
+  kRoundRobin,  ///< vid % cells — fine-grain interleave (default).
+  kBlocked,     ///< contiguous vid ranges per cell.
+  kRandom,      ///< uniform random cell per vertex.
+};
+
+struct GraphConfig {
+  std::uint64_t num_vertices = 0;
+  PlacementPolicy placement = PlacementPolicy::kRoundRobin;
+  std::uint64_t placement_seed = 0x5EED;
+  /// Initial app state for root fragments; roots whose id appears in
+  /// StreamingGraph::set_root_app_word get per-vertex overrides (e.g. the
+  /// BFS source's level 0).
+  AppState root_init{};
+  /// Root fragments per vertex (the "Rhizomes" of the authors' companion
+  /// design, arXiv:2402.06086): with k > 1, every vertex gets k roots on
+  /// different cells linked in a ring; streamed edges round-robin across
+  /// the source's roots and destination addresses round-robin across the
+  /// destination's roots, spreading hub hotspots. Monotone apps (BFS,
+  /// SSSP, components, reachability) forward improved state around the
+  /// ring; PageRank/triangles/Jaccard require rhizomes == 1.
+  std::uint32_t rhizomes = 1;
+};
+
+/// Summary of one streamed increment (one paper data point of Fig 8/9).
+struct IncrementReport {
+  std::uint64_t edges = 0;
+  std::uint64_t cycles = 0;
+  double energy_uj = 0.0;
+  sim::ChipStats stats_delta;  ///< Full counter delta for deep analysis.
+};
+
+class StreamingGraph {
+ public:
+  /// Places all root fragments host-side (graph construction in the paper
+  /// starts "by first allocating the root RPVO objects on the chip").
+  /// Throws std::runtime_error if a scratchpad cannot hold its roots.
+  StreamingGraph(GraphProtocol& protocol, GraphConfig cfg);
+
+  // --- Setup ----------------------------------------------------------------
+
+  /// Primary root fragment address of a vertex.
+  [[nodiscard]] rt::GlobalAddress root_of(std::uint64_t vid) const {
+    return roots_[vid * rhizomes_];
+  }
+
+  /// All rhizome root addresses of a vertex (size == config's `rhizomes`).
+  [[nodiscard]] std::span<const rt::GlobalAddress> rhizome_roots(
+      std::uint64_t vid) const {
+    return {roots_.data() + vid * rhizomes_, rhizomes_};
+  }
+
+  /// Overrides one app word on *every* rhizome root of a vertex before
+  /// streaming (host-side seeding: e.g. BFS source level = 0, component
+  /// labels = vid).
+  void set_root_app_word(std::uint64_t vid, std::size_t word, rt::Word value);
+
+  // --- Streaming --------------------------------------------------------------
+
+  /// Queues one edge on the IO channels without running.
+  void enqueue_edge(const StreamEdge& e);
+
+  /// Queues a batch and runs the chip to quiescence — one streaming
+  /// increment. Returns the per-increment report.
+  IncrementReport stream_increment(std::span<const StreamEdge> edges,
+                                   std::uint64_t max_cycles = sim::Chip::kNoLimit);
+
+  /// Runs whatever work is pending to quiescence (used after host-injected
+  /// seed actions). Returns cycles executed.
+  std::uint64_t run(std::uint64_t max_cycles = sim::Chip::kNoLimit);
+
+  // --- Inspection (host side, not simulated) -----------------------------------
+
+  /// All fragment addresses of a vertex, root first, following every ghost
+  /// link that is ready.
+  [[nodiscard]] std::vector<rt::GlobalAddress> fragments_of(std::uint64_t vid) const;
+
+  /// Number of edge records physically stored across the vertex's chain.
+  [[nodiscard]] std::uint64_t stored_degree(std::uint64_t vid) const;
+
+  /// Out-neighbours (as vertex ids) across the whole chain, with weights.
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, std::uint32_t>> neighbors(
+      std::uint64_t vid) const;
+
+  /// Root fragment's app word (where monotone apps keep their result).
+  [[nodiscard]] rt::Word app_word(std::uint64_t vid, std::size_t word) const;
+
+  /// Sum of an app word over *all* fragments of the vertex (used by apps
+  /// that accumulate per-fragment, e.g. triangle counting).
+  [[nodiscard]] rt::Word app_word_chain_sum(std::uint64_t vid, std::size_t word) const;
+
+  /// Maps a root fragment address back to its vertex id.
+  [[nodiscard]] std::optional<std::uint64_t> vid_of_root(rt::GlobalAddress a) const;
+
+  // --- Checkpoint / restore ---------------------------------------------------
+
+  /// Serialises the whole graph (every fragment on the chip, including
+  /// ghost-chain structure and application state) to a text snapshot. The
+  /// chip must be quiescent — pending futures cannot be checkpointed.
+  /// Throws std::logic_error if it is not.
+  void save_snapshot(std::ostream& out) const;
+
+  /// Reconstructs a graph from a snapshot onto a *fresh* chip (same
+  /// geometry and RPVO configuration as at save time; validated). The
+  /// restored graph continues streaming exactly where the saved one
+  /// stopped. Throws std::runtime_error on format or config mismatch.
+  [[nodiscard]] static std::unique_ptr<StreamingGraph> load_snapshot(
+      GraphProtocol& protocol, std::istream& in);
+
+  [[nodiscard]] std::uint64_t num_vertices() const noexcept {
+    return cfg_.num_vertices;
+  }
+  /// Root fragments per vertex (>= 1).
+  [[nodiscard]] std::uint32_t rhizome_count() const noexcept { return rhizomes_; }
+  [[nodiscard]] GraphProtocol& protocol() noexcept { return proto_; }
+  [[nodiscard]] sim::Chip& chip() noexcept { return proto_.chip(); }
+  [[nodiscard]] const sim::Chip& chip() const noexcept { return chip_; }
+
+ private:
+  struct RestoreTag {};
+  /// Restore constructor: adopts already-placed roots instead of allocating.
+  StreamingGraph(GraphProtocol& protocol, GraphConfig cfg, RestoreTag);
+
+  GraphProtocol& proto_;
+  sim::Chip& chip_;
+  GraphConfig cfg_;
+  std::uint32_t rhizomes_ = 1;
+  /// vid-major: roots_[vid * rhizomes_ + i] is vertex vid's i-th root.
+  std::vector<rt::GlobalAddress> roots_;
+  std::unordered_map<rt::GlobalAddress, std::uint64_t> root_to_vid_;
+  std::uint64_t src_rr_ = 0;  ///< round-robin cursors for edge streaming
+  std::uint64_t dst_rr_ = 0;
+};
+
+}  // namespace ccastream::graph

@@ -1,0 +1,39 @@
+#include "graph/device.hpp"
+
+#include <stdexcept>
+
+namespace ccastream::graph {
+
+AmccaDevice::AmccaDevice(sim::ChipConfig chip_cfg, RpvoConfig rpvo_cfg)
+    : chip_(std::make_unique<sim::Chip>(chip_cfg)),
+      proto_(std::make_unique<GraphProtocol>(*chip_, rpvo_cfg)) {}
+
+StreamingGraph& AmccaDevice::allocate_vertices(GraphConfig cfg) {
+  if (graph_ != nullptr) {
+    throw std::logic_error("AmccaDevice: vertices already allocated");
+  }
+  graph_ = std::make_unique<StreamingGraph>(*proto_, cfg);
+  return *graph_;
+}
+
+void AmccaDevice::register_data_transfer(std::span<const StreamEdge> edges) {
+  StreamingGraph& g = graph();
+  for (const StreamEdge& e : edges) g.enqueue_edge(e);
+}
+
+std::uint64_t AmccaDevice::run(Terminator& terminator, std::uint64_t max_cycles) {
+  const std::uint64_t ran = chip_->run_until_quiescent(max_cycles);
+  terminator.cycles_ += ran;
+  terminator.satisfied_ = chip_->quiescent();
+  return ran;
+}
+
+StreamingGraph& AmccaDevice::graph() {
+  if (graph_ == nullptr) {
+    throw std::logic_error(
+        "AmccaDevice: call allocate_vertices() before streaming");
+  }
+  return *graph_;
+}
+
+}  // namespace ccastream::graph

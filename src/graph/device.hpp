@@ -1,0 +1,76 @@
+// The accelerator-style host API of paper Listing 1:
+//
+//   AMCCA_Device dev = ...;
+//   vertices = /* allocate vertices on the device */;
+//   AMCCA_REGISTER_ACTION(dev, INSERT_ACTION, "insert-edge-action");
+//   dev.register_data_transfer(vertices, edges, INSERT_ACTION);
+//   AMCCA_Terminator terminator;
+//   dev.run(terminator);
+//
+// AmccaDevice bundles the chip, the graph protocol and the streaming graph
+// behind that exact flow. It is a convenience wrapper: everything it does
+// is available on the underlying components for callers that need control.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string_view>
+
+#include "graph/builder.hpp"
+#include "graph/protocol.hpp"
+#include "graph/stream_edge.hpp"
+#include "sim/chip.hpp"
+
+namespace ccastream::graph {
+
+/// Host-side handle for termination detection (paper Listing 1's
+/// AMCCA_Terminator). The device satisfies it when the diffusion reaches
+/// global quiescence.
+class Terminator {
+ public:
+  [[nodiscard]] bool satisfied() const noexcept { return satisfied_; }
+  [[nodiscard]] std::uint64_t cycles_waited() const noexcept { return cycles_; }
+
+ private:
+  friend class AmccaDevice;
+  bool satisfied_ = false;
+  std::uint64_t cycles_ = 0;
+};
+
+class AmccaDevice {
+ public:
+  explicit AmccaDevice(sim::ChipConfig chip_cfg = {}, RpvoConfig rpvo_cfg = {});
+
+  /// AMCCA_REGISTER_ACTION: registers a user action handler.
+  rt::HandlerId register_action(std::string_view name, rt::Handler handler) {
+    return chip_->handlers().register_handler(name, std::move(handler));
+  }
+
+  /// "Allocate vertices on the device and get their addresses."
+  /// Must be called exactly once, before streaming.
+  StreamingGraph& allocate_vertices(GraphConfig cfg);
+
+  /// "Register the edge transfer with the IO channels": queues the edges on
+  /// the IO cells as insert-edge actions. The transfer happens while
+  /// run() executes, one action per IO cell per cycle.
+  void register_data_transfer(std::span<const StreamEdge> edges);
+
+  /// "Diffuse and wait on the terminator": runs the chip until the
+  /// diffusion terminates (or max_cycles elapse), then satisfies the
+  /// terminator. Returns cycles executed.
+  std::uint64_t run(Terminator& terminator,
+                    std::uint64_t max_cycles = sim::Chip::kNoLimit);
+
+  [[nodiscard]] sim::Chip& chip() noexcept { return *chip_; }
+  [[nodiscard]] GraphProtocol& protocol() noexcept { return *proto_; }
+  [[nodiscard]] StreamingGraph& graph();
+  [[nodiscard]] bool has_graph() const noexcept { return graph_ != nullptr; }
+
+ private:
+  std::unique_ptr<sim::Chip> chip_;
+  std::unique_ptr<GraphProtocol> proto_;
+  std::unique_ptr<StreamingGraph> graph_;
+};
+
+}  // namespace ccastream::graph

@@ -1,0 +1,147 @@
+#include "graph/protocol.hpp"
+
+#include <memory>
+
+namespace ccastream::graph {
+
+GraphProtocol::GraphProtocol(sim::Chip& chip, RpvoConfig cfg)
+    : chip_(chip), cfg_(cfg) {
+  // A fragment must hold at least one edge (capacity 0 would grow an
+  // infinite ghost chain) and have at least one ghost slot.
+  if (cfg_.edge_capacity == 0) cfg_.edge_capacity = 1;
+  if (cfg_.ghost_fanout == 0) cfg_.ghost_fanout = 1;
+  // Ghost fragments are created remotely by the allocate system action; the
+  // factory produces a blank ghost (identity arrives via init-ghost).
+  chip_.register_object_kind(kFragmentKind, [this]() {
+    return std::make_unique<VertexFragment>(/*vertex_id=*/0, /*root=*/false, cfg_,
+                                            hooks_.ghost_init);
+  });
+
+  h_insert_ = chip_.handlers().register_handler(
+      "graph.insert-edge",
+      [this](rt::Context& ctx, const rt::Action& a) { handle_insert(ctx, a); });
+  h_ghost_reply_ = chip_.handlers().register_handler(
+      "graph.ghost-reply",
+      [this](rt::Context& ctx, const rt::Action& a) { handle_ghost_reply(ctx, a); });
+  h_init_ghost_ = chip_.handlers().register_handler(
+      "graph.init-ghost",
+      [this](rt::Context& ctx, const rt::Action& a) { handle_init_ghost(ctx, a); });
+}
+
+// insert-edge-action — paper Listing 6.
+// args: w0 = dst root address, w1 = weight.
+void GraphProtocol::handle_insert(rt::Context& ctx, const rt::Action& a) {
+  auto* frag = ctx.as<VertexFragment>(a.target);
+  if (frag == nullptr) {
+    ++stats_.bad_targets;
+    return;
+  }
+  ++frag->inserts_seen;
+  ctx.charge(1);  // has-room test + degree bookkeeping
+
+  if (frag->has_room()) {
+    // (insert-edge v e)
+    const EdgeRecord edge{rt::GlobalAddress::unpack(a.args[0]),
+                          static_cast<std::uint32_t>(a.args[1])};
+    frag->edges.push_back(edge);
+    ++stats_.edges_inserted;
+    ctx.charge(1);
+    // Chain into the application (Listing 4: propagate bfs-action ...).
+    if (hooks_.on_edge_inserted) hooks_.on_edge_inserted(ctx, *frag, edge);
+    return;
+  }
+
+  // Edge list full: the edge must flow to a ghost fragment.
+  rt::FutureAddr& ghost = frag->ghosts[frag->next_ghost_slot()];
+  const auto slot_tag = static_cast<rt::Word>(&ghost - frag->ghosts.data());
+
+  if (ghost.is_empty()) {
+    // Ghost not allocated yet: mark the future pending and fire the
+    // allocate continuation at a cell chosen by the chip's policy
+    // (Listing 6 lines 14-18). The edge itself waits on the future.
+    ghost.set_pending();
+    ctx.call_cc_allocate(kFragmentKind, a.target, h_ghost_reply_, slot_tag);
+    ++stats_.ghost_allocs_started;
+    rt::Action deferred = a;
+    deferred.target = rt::kNullAddress;  // patched with the value at fulfilment
+    ghost.enqueue(deferred);
+    ++stats_.inserts_deferred;
+    ctx.charge(2);
+  } else if (ghost.is_pending()) {
+    // Allocation already in flight: park this insert on the wait queue
+    // (Listing 6 lines 21-26, Figure 4 state 2).
+    rt::Action deferred = a;
+    deferred.target = rt::kNullAddress;
+    ghost.enqueue(deferred);
+    ++stats_.inserts_deferred;
+    ctx.charge(1);
+  } else {
+    // Ghost exists: recursively propagate the insert down the chain
+    // (Listing 6 lines 27-30).
+    rt::Action fwd = a;
+    fwd.target = ghost.value();
+    if (fwd.target.is_null()) {
+      // A previous allocation failed terminally; surface and drop.
+      ++stats_.bad_targets;
+      return;
+    }
+    ctx.propagate(fwd);
+    ++stats_.inserts_forwarded;
+    ctx.charge(1);
+  }
+}
+
+// Return trigger of the allocate continuation — paper Figure 3 step 3 and
+// Figure 4 states 3-4. args: w0 = new fragment address (null on failure),
+// w1 = ghost slot index.
+void GraphProtocol::handle_ghost_reply(rt::Context& ctx, const rt::Action& a) {
+  auto* frag = ctx.as<VertexFragment>(a.target);
+  if (frag == nullptr) {
+    ++stats_.bad_targets;
+    return;
+  }
+  const rt::GlobalAddress ghost_addr = rt::GlobalAddress::unpack(a.args[0]);
+  const auto slot = static_cast<std::size_t>(a.args[1]);
+  if (slot >= frag->ghosts.size()) {
+    ++stats_.bad_targets;
+    return;
+  }
+  ctx.charge(2);
+
+  if (ghost_addr.is_null()) {
+    // The allocator exhausted its forwarding budget: every scratchpad it
+    // probed was full. Fulfil with null — parked inserts are dropped at
+    // dispatch and counted as faults, and the failure is visible here.
+    ++stats_.ghost_alloc_failures;
+  } else {
+    ++stats_.ghost_links_made;
+    chip_.stats().futures_fulfilled += 1;
+    // Teach the new ghost its identity (vertex id + root address) so
+    // chain-walking applications can orient themselves.
+    ctx.propagate(rt::make_action(h_init_ghost_, ghost_addr,
+                                  static_cast<rt::Word>(frag->vid),
+                                  frag->root.pack()));
+  }
+
+  const int drained = frag->ghosts[slot].fulfil(ghost_addr, ctx);
+  if (drained > 0) {
+    chip_.stats().future_waiters_drained += static_cast<std::uint64_t>(drained);
+  }
+  if (!ghost_addr.is_null() && hooks_.on_ghost_linked) {
+    hooks_.on_ghost_linked(ctx, *frag, ghost_addr);
+  }
+}
+
+// Sets a freshly allocated ghost's identity. args: w0 = vid, w1 = root addr.
+void GraphProtocol::handle_init_ghost(rt::Context& ctx, const rt::Action& a) {
+  auto* frag = ctx.as<VertexFragment>(a.target);
+  if (frag == nullptr) {
+    ++stats_.bad_targets;
+    return;
+  }
+  frag->vid = a.args[0];
+  frag->root = rt::GlobalAddress::unpack(a.args[1]);
+  ctx.charge(1);
+}
+
+}  // namespace ccastream::graph

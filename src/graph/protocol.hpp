@@ -1,0 +1,96 @@
+// The streaming-graph action protocol: insert-edge-action (paper Listings
+// 4 & 6), the ghost allocation return trigger (paper Figure 3), and ghost
+// initialisation. Applications plug in through AppHooks, which is how
+// `insert-edge-action` chains into `bfs-action` ("inform the dst vertex
+// about this new edge only if this src vertex has a valid level").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "graph/fragment.hpp"
+#include "runtime/action.hpp"
+#include "runtime/context.hpp"
+#include "sim/chip.hpp"
+
+namespace ccastream::graph {
+
+/// Object kind of VertexFragment in the chip's allocate factory table.
+inline constexpr rt::ObjectKind kFragmentKind = 1;
+
+/// Application integration points invoked by the graph protocol. All hooks
+/// run *on-cell*, inside the action that triggered them, and may charge
+/// cycles and propagate further actions (the diffusion).
+struct AppHooks {
+  /// After an edge lands in `frag`'s edge list. The BFS hook propagates
+  /// bfs-action(edge.dst, level + 1) when frag's level is valid (Listing 4).
+  std::function<void(rt::Context&, VertexFragment& frag, const EdgeRecord&)>
+      on_edge_inserted;
+
+  /// After `frag`'s ghost future fulfils with a freshly allocated fragment.
+  /// Apps use this to push current state down the new chain link (the BFS
+  /// hook forwards its level so edges already queued at the ghost diffuse).
+  std::function<void(rt::Context&, VertexFragment& frag, rt::GlobalAddress ghost)>
+      on_ghost_linked;
+
+  /// Initial application state for fragments created by the allocator
+  /// (ghosts) and, by default, for roots.
+  AppState ghost_init{};
+};
+
+/// Counters specific to the graph protocol (chip-wide counters live in
+/// sim::ChipStats).
+struct ProtocolStats {
+  std::uint64_t edges_inserted = 0;    ///< Edge records physically appended.
+  std::uint64_t inserts_forwarded = 0; ///< Inserts sent down a ready ghost link.
+  std::uint64_t inserts_deferred = 0;  ///< Inserts parked on a pending future.
+  std::uint64_t ghost_allocs_started = 0;
+  std::uint64_t ghost_links_made = 0;
+  std::uint64_t ghost_alloc_failures = 0;  ///< Future fulfilled with null.
+  std::uint64_t bad_targets = 0;       ///< Actions whose target didn't resolve.
+};
+
+/// Registers and owns the graph handlers on a chip. One protocol instance
+/// per chip; hooks may be swapped between runs (e.g. ingestion-only vs
+/// ingestion+BFS experiments).
+class GraphProtocol {
+ public:
+  explicit GraphProtocol(sim::Chip& chip, RpvoConfig cfg = {});
+
+  GraphProtocol(const GraphProtocol&) = delete;
+  GraphProtocol& operator=(const GraphProtocol&) = delete;
+
+  /// Installs (or replaces) the application hooks. Pass a default-
+  /// constructed AppHooks to run ingestion-only.
+  void set_hooks(AppHooks hooks) { hooks_ = std::move(hooks); }
+  [[nodiscard]] const AppHooks& hooks() const noexcept { return hooks_; }
+
+  [[nodiscard]] const RpvoConfig& rpvo_config() const noexcept { return cfg_; }
+  [[nodiscard]] rt::HandlerId insert_handler() const noexcept { return h_insert_; }
+  [[nodiscard]] const ProtocolStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] sim::Chip& chip() noexcept { return chip_; }
+
+  /// Builds the insert-edge-action for an edge whose endpoints have been
+  /// translated to root fragment addresses.
+  [[nodiscard]] rt::Action make_insert(rt::GlobalAddress src_root,
+                                       rt::GlobalAddress dst_root,
+                                       std::uint32_t weight) const {
+    return rt::make_action(h_insert_, src_root, dst_root.pack(),
+                           static_cast<rt::Word>(weight));
+  }
+
+ private:
+  void handle_insert(rt::Context& ctx, const rt::Action& a);
+  void handle_ghost_reply(rt::Context& ctx, const rt::Action& a);
+  void handle_init_ghost(rt::Context& ctx, const rt::Action& a);
+
+  sim::Chip& chip_;
+  RpvoConfig cfg_;
+  AppHooks hooks_;
+  ProtocolStats stats_;
+  rt::HandlerId h_insert_ = 0;
+  rt::HandlerId h_ghost_reply_ = 0;
+  rt::HandlerId h_init_ghost_ = 0;
+};
+
+}  // namespace ccastream::graph

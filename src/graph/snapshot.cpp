@@ -1,0 +1,248 @@
+// Checkpoint/restore of the streaming graph (StreamingGraph::save_snapshot /
+// load_snapshot). The snapshot captures the *physical* state of every
+// vertex fragment — scratchpad placement, edge records (as global
+// addresses), ghost link values, rhizome links, and application words — so
+// a restored chip is bit-identical as far as the graph protocol and the
+// applications are concerned, and streaming can continue seamlessly.
+//
+// Only quiescent chips can be checkpointed: a pending ghost future has an
+// allocation continuation in flight, which has no meaningful serialised
+// form.
+//
+// Text format (one fragment block per arena slot, cells in index order):
+//   ccastream-snapshot v1
+//   chip <width> <height>
+//   rpvo <edge_capacity> <ghost_fanout>
+//   graph <num_vertices> <rhizomes> <src_rr> <dst_rr>
+//   frag <cc> <slot> <vid> <is_root> <root> <rhizome_next> <inserts_seen>
+//   app <w0> <w1> <w2> <w3>
+//   edges <n> [<dst> <weight>]...
+//   ghosts <k> [R <addr> | E]...
+//   end
+#include <istream>
+#include <memory>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "graph/builder.hpp"
+
+namespace ccastream::graph {
+
+namespace {
+
+constexpr std::string_view kMagic = "ccastream-snapshot";
+constexpr std::string_view kVersion = "v1";
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("graph snapshot: " + what);
+}
+
+void expect_tag(std::istream& in, std::string_view tag) {
+  std::string got;
+  if (!(in >> got) || got != tag) {
+    fail("expected '" + std::string(tag) + "', got '" + got + "'");
+  }
+}
+
+}  // namespace
+
+void StreamingGraph::save_snapshot(std::ostream& out) const {
+  sim::Chip& chip = const_cast<sim::Chip&>(chip_);
+  if (!chip.quiescent()) {
+    throw std::logic_error(
+        "graph snapshot: chip must be quiescent (run to termination first)");
+  }
+  const auto& mesh = chip.geometry();
+  const auto& rpvo = proto_.rpvo_config();
+
+  out << kMagic << ' ' << kVersion << '\n';
+  out << "chip " << mesh.width() << ' ' << mesh.height() << '\n';
+  out << "rpvo " << rpvo.edge_capacity << ' ' << rpvo.ghost_fanout << '\n';
+  out << "graph " << cfg_.num_vertices << ' ' << rhizomes_ << ' ' << src_rr_
+      << ' ' << dst_rr_ << '\n';
+  // The roots table is recorded explicitly so the restored graph addresses
+  // the same primary/secondary rhizome order the saved one used.
+  out << "roots " << roots_.size();
+  for (const auto a : roots_) out << ' ' << a.pack();
+  out << '\n';
+
+  for (std::uint32_t cc = 0; cc < mesh.cell_count(); ++cc) {
+    const auto& arena = chip.cell(cc).arena;
+    for (std::uint32_t slot = 0; slot < arena.object_count(); ++slot) {
+      const auto* frag = dynamic_cast<const VertexFragment*>(
+          chip.cell(cc).arena.get(slot));
+      if (frag == nullptr) {
+        fail("cell " + std::to_string(cc) +
+             " holds a non-fragment object; only graph-only chips can be "
+             "checkpointed");
+      }
+      out << "frag " << cc << ' ' << slot << ' ' << frag->vid << ' '
+          << (frag->is_root ? 1 : 0) << ' ' << frag->root.pack() << ' '
+          << frag->rhizome_next.pack() << ' ' << frag->inserts_seen << '\n';
+      out << "app";
+      for (const auto w : frag->app) out << ' ' << w;
+      out << '\n';
+      out << "edges " << frag->edges.size();
+      for (const auto& e : frag->edges) out << ' ' << e.dst.pack() << ' ' << e.weight;
+      out << '\n';
+      out << "ghosts " << frag->ghosts.size();
+      for (const auto& g : frag->ghosts) {
+        if (g.is_pending()) fail("pending ghost future cannot be checkpointed");
+        if (g.is_ready()) {
+          out << " R " << g.value().pack();
+        } else {
+          out << " E";
+        }
+      }
+      out << '\n';
+      out << "end\n";
+    }
+  }
+}
+
+StreamingGraph::StreamingGraph(GraphProtocol& protocol, GraphConfig cfg,
+                               RestoreTag)
+    : proto_(protocol),
+      chip_(protocol.chip()),
+      cfg_(cfg),
+      rhizomes_(cfg.rhizomes == 0 ? 1 : cfg.rhizomes) {}
+
+std::unique_ptr<StreamingGraph> StreamingGraph::load_snapshot(
+    GraphProtocol& protocol, std::istream& in) {
+  sim::Chip& chip = protocol.chip();
+
+  expect_tag(in, kMagic);
+  expect_tag(in, kVersion);
+  expect_tag(in, "chip");
+  std::uint32_t width = 0, height = 0;
+  in >> width >> height;
+  if (width != chip.geometry().width() || height != chip.geometry().height()) {
+    fail("chip geometry mismatch: snapshot is " + std::to_string(width) + "x" +
+         std::to_string(height));
+  }
+  expect_tag(in, "rpvo");
+  std::uint32_t edge_capacity = 0, ghost_fanout = 0;
+  in >> edge_capacity >> ghost_fanout;
+  if (edge_capacity != protocol.rpvo_config().edge_capacity ||
+      ghost_fanout != protocol.rpvo_config().ghost_fanout) {
+    fail("RPVO configuration mismatch");
+  }
+  expect_tag(in, "graph");
+  GraphConfig gc;
+  std::uint64_t src_rr = 0, dst_rr = 0;
+  in >> gc.num_vertices >> gc.rhizomes >> src_rr >> dst_rr;
+  if (!in) fail("truncated header");
+
+  auto g = std::unique_ptr<StreamingGraph>(
+      new StreamingGraph(protocol, gc, RestoreTag{}));
+  g->src_rr_ = src_rr;
+  g->dst_rr_ = dst_rr;
+
+  expect_tag(in, "roots");
+  std::size_t nroots = 0;
+  in >> nroots;
+  if (nroots != gc.num_vertices * g->rhizomes_) fail("roots table size mismatch");
+  g->roots_.reserve(nroots);
+  for (std::size_t i = 0; i < nroots; ++i) {
+    rt::Word w = 0;
+    in >> w;
+    g->roots_.push_back(rt::GlobalAddress::unpack(w));
+    g->root_to_vid_.emplace(g->roots_.back(), i / g->rhizomes_);
+  }
+  if (!in) fail("truncated roots table");
+
+  const RpvoConfig& rpvo = protocol.rpvo_config();
+  std::string tag;
+  while (in >> tag) {
+    if (tag != "frag") fail("expected 'frag', got '" + tag + "'");
+    std::uint32_t cc = 0, slot = 0;
+    std::uint64_t vid = 0;
+    int is_root = 0;
+    rt::Word root_w = 0, rhz_w = 0;
+    std::uint64_t inserts_seen = 0;
+    in >> cc >> slot >> vid >> is_root >> root_w >> rhz_w >> inserts_seen;
+
+    AppState app{};
+    expect_tag(in, "app");
+    for (auto& w : app) in >> w;
+
+    auto frag = std::make_unique<VertexFragment>(vid, is_root != 0, rpvo, app);
+    frag->root = rt::GlobalAddress::unpack(root_w);
+    frag->rhizome_next = rt::GlobalAddress::unpack(rhz_w);
+    frag->inserts_seen = inserts_seen;
+
+    expect_tag(in, "edges");
+    std::size_t nedges = 0;
+    in >> nedges;
+    if (nedges > rpvo.edge_capacity) fail("fragment overflows edge capacity");
+    for (std::size_t i = 0; i < nedges; ++i) {
+      rt::Word dst_w = 0;
+      std::uint32_t weight = 0;
+      in >> dst_w >> weight;
+      frag->edges.push_back({rt::GlobalAddress::unpack(dst_w), weight});
+    }
+
+    expect_tag(in, "ghosts");
+    std::size_t nghosts = 0;
+    in >> nghosts;
+    if (nghosts != frag->ghosts.size()) fail("ghost fan-out mismatch");
+    for (std::size_t i = 0; i < nghosts; ++i) {
+      std::string state;
+      in >> state;
+      if (state == "R") {
+        rt::Word addr_w = 0;
+        in >> addr_w;
+        frag->ghosts[i].set_pending();
+        // Restore to ready without scheduling anything: drain into a void.
+        struct NullCtx final : rt::Context {
+          explicit NullCtx(const rt::MeshGeometry& m) : mesh(m) {}
+          [[nodiscard]] std::uint32_t cc() const override { return 0; }
+          [[nodiscard]] const rt::MeshGeometry& geometry() const override {
+            return mesh;
+          }
+          void propagate(const rt::Action&) override {}
+          void schedule_local(const rt::Action&) override {}
+          void charge(std::uint32_t) override {}
+          [[nodiscard]] rt::ArenaObject* deref(rt::GlobalAddress) override {
+            return nullptr;
+          }
+          std::optional<rt::GlobalAddress> allocate_local(rt::ObjectKind) override {
+            return std::nullopt;
+          }
+          void call_cc_allocate(rt::ObjectKind, rt::GlobalAddress, rt::HandlerId,
+                                rt::Word) override {}
+          [[nodiscard]] rt::Xoshiro256& rng() override { return rng_; }
+          const rt::MeshGeometry& mesh;
+          rt::Xoshiro256 rng_{0};
+        } null_ctx(chip.geometry());
+        frag->ghosts[i].fulfil(rt::GlobalAddress::unpack(addr_w), null_ctx);
+      } else if (state != "E") {
+        fail("bad ghost state '" + state + "'");
+      }
+    }
+    expect_tag(in, "end");
+    if (!in) fail("truncated fragment record");
+
+    const bool root_flag = is_root != 0;
+    const auto addr = chip.host_allocate(cc, std::move(frag));
+    if (!addr || addr->slot != slot) {
+      fail("fragment placement diverged (cell " + std::to_string(cc) +
+           "): restore requires a fresh chip");
+    }
+    if (root_flag) {
+      const auto it = g->root_to_vid_.find(*addr);
+      if (it == g->root_to_vid_.end() || it->second != vid) {
+        fail("root fragment not present in the roots table");
+      }
+    }
+  }
+
+  for (const auto a : g->roots_) {
+    const auto* frag = chip.as<VertexFragment>(a);
+    if (frag == nullptr || !frag->is_root) fail("roots table points at a non-root");
+  }
+  return g;
+}
+
+}  // namespace ccastream::graph

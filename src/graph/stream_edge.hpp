@@ -1,0 +1,17 @@
+// A streamed edge as produced by workload generators and consumed by the
+// host-side graph builder: plain vertex ids, before address translation.
+#pragma once
+
+#include <cstdint>
+
+namespace ccastream {
+
+struct StreamEdge {
+  std::uint64_t src = 0;
+  std::uint64_t dst = 0;
+  std::uint32_t weight = 1;
+
+  friend constexpr bool operator==(const StreamEdge&, const StreamEdge&) = default;
+};
+
+}  // namespace ccastream

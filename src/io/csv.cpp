@@ -1,0 +1,48 @@
+#include "io/csv.hpp"
+
+#include <sstream>
+
+namespace ccastream::io {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     std::initializer_list<std::string> header)
+    : out_(path), columns_(header.size()) {
+  if (!out_) return;
+  bool first = true;
+  for (const auto& h : header) {
+    if (!first) out_ << ',';
+    out_ << escape(h);
+    first = false;
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) out_ << ',';
+    out_ << escape(fields[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row_numeric(const std::vector<double>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) out_ << ',';
+    out_ << fields[i];
+  }
+  out_ << '\n';
+}
+
+std::string CsvWriter::escape(const std::string& f) {
+  if (f.find_first_of(",\"\n") == std::string::npos) return f;
+  std::ostringstream os;
+  os << '"';
+  for (const char c : f) {
+    if (c == '"') os << "\"\"";
+    else os << c;
+  }
+  os << '"';
+  return os.str();
+}
+
+}  // namespace ccastream::io

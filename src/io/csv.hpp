@@ -1,0 +1,31 @@
+// Minimal CSV writer for experiment outputs (activation traces, increment
+// series) so the paper figures can be re-plotted from the bench binaries.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace ccastream::io {
+
+class CsvWriter {
+ public:
+  /// Opens `path` and writes the header row. ok() reports failure.
+  CsvWriter(const std::string& path, std::initializer_list<std::string> header);
+
+  [[nodiscard]] bool ok() const noexcept { return static_cast<bool>(out_); }
+
+  /// Writes one row; fields are escaped if they contain separators/quotes.
+  void row(const std::vector<std::string>& fields);
+
+  /// Convenience numeric row.
+  void row_numeric(const std::vector<double>& fields);
+
+ private:
+  static std::string escape(const std::string& f);
+  std::ofstream out_;
+  std::size_t columns_;
+};
+
+}  // namespace ccastream::io

@@ -1,0 +1,48 @@
+#include "io/edgelist.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace ccastream::io {
+
+std::vector<StreamEdge> read_edgelist(std::istream& in) {
+  std::vector<StreamEdge> edges;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream ls(line);
+    StreamEdge e;
+    if (!(ls >> e.src >> e.dst)) {
+      throw std::runtime_error("edgelist: malformed line " + std::to_string(lineno) +
+                               ": '" + line + "'");
+    }
+    if (!(ls >> e.weight)) e.weight = 1;
+    edges.push_back(e);
+  }
+  return edges;
+}
+
+std::vector<StreamEdge> read_edgelist_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("edgelist: cannot open '" + path + "'");
+  return read_edgelist(f);
+}
+
+void write_edgelist(std::ostream& out, const std::vector<StreamEdge>& edges) {
+  for (const auto& e : edges) {
+    out << e.src << ' ' << e.dst << ' ' << e.weight << '\n';
+  }
+}
+
+void write_edgelist_file(const std::string& path,
+                         const std::vector<StreamEdge>& edges) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("edgelist: cannot open '" + path + "' for write");
+  write_edgelist(f, edges);
+}
+
+}  // namespace ccastream::io

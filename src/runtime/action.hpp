@@ -1,0 +1,49 @@
+// The active message ("action") of the diffusive programming model.
+//
+// An action couples a handler (code) with a target global address (data) and
+// a small operand payload. Sending an action moves *work to data*: the
+// handler executes on the compute cell that owns the target address and may
+// itself `propagate` further actions, producing the diffusion of paper §2.
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/types.hpp"
+
+namespace ccastream::rt {
+
+/// One asynchronous active message.
+struct Action {
+  HandlerId handler = 0;          ///< Registered handler to run at the target.
+  std::uint16_t nargs = 0;        ///< Number of valid words in `args`.
+  GlobalAddress target;           ///< Data locality the handler runs against.
+  Payload args{};                 ///< Operand words (single 256-bit flit).
+};
+
+/// Convenience factory packing up to kPayloadWords operand words.
+template <typename... Ws>
+[[nodiscard]] inline Action make_action(HandlerId handler, GlobalAddress target,
+                                        Ws... words) {
+  static_assert(sizeof...(Ws) <= kPayloadWords,
+                "action payload exceeds one 256-bit flit");
+  Action a;
+  a.handler = handler;
+  a.target = target;
+  a.nargs = static_cast<std::uint16_t>(sizeof...(Ws));
+  std::size_t i = 0;
+  ((a.args[i++] = static_cast<Word>(words)), ...);
+  return a;
+}
+
+/// Handler ids reserved by the runtime itself. Applications register their
+/// handlers above kFirstUserHandler.
+enum SystemHandler : HandlerId {
+  /// Allocate an object in the target CC's arena and send back a trigger
+  /// action carrying the new address (the `allocate` system action of
+  /// paper Listing 6 / Figure 3).
+  kHandlerAllocate = 0,
+  /// First id available to library/user handlers.
+  kFirstUserHandler = 8,
+};
+
+}  // namespace ccastream::rt

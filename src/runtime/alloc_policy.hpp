@@ -1,0 +1,97 @@
+// Ghost-vertex allocation policies (paper §4 "Graph Construction",
+// Figure 5): when a vertex fragment overflows and a ghost must be allocated
+// on some compute cell, the policy picks the cell.
+//
+//  - Vicinity:   uniformly among cells within `radius` hops of the origin
+//                (paper default: at most 2 hops) — keeps intra-vertex
+//                operation latency minimal.
+//  - Random:     uniformly over the whole chip — the paper's contrast case.
+//  - RoundRobin: deterministic chip-wide rotation (load-balance contrast).
+//  - Local:      always the origin cell (degenerate lower bound on hops;
+//                exercises arena-exhaustion forwarding).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "runtime/geometry.hpp"
+#include "runtime/rng.hpp"
+
+namespace ccastream::rt {
+
+enum class AllocPolicyKind : std::uint8_t {
+  kVicinity,
+  kRandom,
+  kRoundRobin,
+  kLocal,
+};
+
+/// Returns a short stable name ("vicinity", "random", ...) for reports.
+[[nodiscard]] std::string_view to_string(AllocPolicyKind kind) noexcept;
+
+/// Strategy interface: chooses the compute cell that should host a new
+/// ghost fragment for a vertex rooted at `origin_cc`.
+class AllocationPolicy {
+ public:
+  virtual ~AllocationPolicy() = default;
+  [[nodiscard]] virtual std::uint32_t choose(std::uint32_t origin_cc,
+                                             const MeshGeometry& mesh,
+                                             Xoshiro256& rng) = 0;
+  [[nodiscard]] virtual AllocPolicyKind kind() const noexcept = 0;
+};
+
+/// Vicinity allocator: cells with 1..radius hop distance from the origin.
+class VicinityAllocator final : public AllocationPolicy {
+ public:
+  explicit VicinityAllocator(std::uint32_t radius = 2) : radius_(radius) {}
+  [[nodiscard]] std::uint32_t choose(std::uint32_t origin_cc, const MeshGeometry& mesh,
+                                     Xoshiro256& rng) override;
+  [[nodiscard]] AllocPolicyKind kind() const noexcept override {
+    return AllocPolicyKind::kVicinity;
+  }
+  [[nodiscard]] std::uint32_t radius() const noexcept { return radius_; }
+
+ private:
+  std::uint32_t radius_;
+};
+
+/// Random allocator: uniform over all cells (Figure 5b).
+class RandomAllocator final : public AllocationPolicy {
+ public:
+  [[nodiscard]] std::uint32_t choose(std::uint32_t origin_cc, const MeshGeometry& mesh,
+                                     Xoshiro256& rng) override;
+  [[nodiscard]] AllocPolicyKind kind() const noexcept override {
+    return AllocPolicyKind::kRandom;
+  }
+};
+
+/// Chip-wide round-robin rotation.
+class RoundRobinAllocator final : public AllocationPolicy {
+ public:
+  [[nodiscard]] std::uint32_t choose(std::uint32_t origin_cc, const MeshGeometry& mesh,
+                                     Xoshiro256& rng) override;
+  [[nodiscard]] AllocPolicyKind kind() const noexcept override {
+    return AllocPolicyKind::kRoundRobin;
+  }
+
+ private:
+  std::uint32_t next_ = 0;
+};
+
+/// Always the originating cell.
+class LocalAllocator final : public AllocationPolicy {
+ public:
+  [[nodiscard]] std::uint32_t choose(std::uint32_t origin_cc, const MeshGeometry& mesh,
+                                     Xoshiro256& rng) override;
+  [[nodiscard]] AllocPolicyKind kind() const noexcept override {
+    return AllocPolicyKind::kLocal;
+  }
+};
+
+/// Factory. `vicinity_radius` only applies to the vicinity policy.
+[[nodiscard]] std::unique_ptr<AllocationPolicy> make_alloc_policy(
+    AllocPolicyKind kind, std::uint32_t vicinity_radius = 2);
+
+}  // namespace ccastream::rt

@@ -1,0 +1,29 @@
+#include "runtime/arena.hpp"
+
+namespace ccastream::rt {
+
+std::optional<std::uint32_t> ObjectArena::insert(std::unique_ptr<ArenaObject> obj) {
+  if (obj == nullptr) return std::nullopt;
+  const std::size_t bytes = obj->logical_bytes();
+  if (!would_fit(bytes)) return std::nullopt;
+  used_ += bytes;
+  slots_.push_back(std::move(obj));
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+ArenaObject* ObjectArena::get(std::uint32_t slot) noexcept {
+  if (slot >= slots_.size()) return nullptr;
+  return slots_[slot].get();
+}
+
+const ArenaObject* ObjectArena::get(std::uint32_t slot) const noexcept {
+  if (slot >= slots_.size()) return nullptr;
+  return slots_[slot].get();
+}
+
+void ObjectArena::clear() {
+  slots_.clear();
+  used_ = 0;
+}
+
+}  // namespace ccastream::rt

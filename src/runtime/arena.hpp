@@ -1,0 +1,62 @@
+// Per-compute-cell scratchpad object arena.
+//
+// Each AM-CCA compute cell owns a fixed-capacity scratchpad memory. The
+// runtime models it as an object arena: vertex fragments (and any other
+// runtime objects) are placed into slots, and a GlobalAddress is
+// (cc, slot). Capacity is accounted in *logical bytes* — the footprint the
+// object would occupy in the real scratchpad — so allocation failure
+// behaviour (arena exhaustion, allocation forwarding) can be exercised.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <optional>
+
+#include "runtime/types.hpp"
+
+namespace ccastream::rt {
+
+/// Base class of every object that can live in a compute cell's scratchpad.
+class ArenaObject {
+ public:
+  virtual ~ArenaObject() = default;
+
+  /// Scratchpad footprint in bytes, charged against the cell's capacity at
+  /// allocation time (objects reserve their full footprint up front).
+  [[nodiscard]] virtual std::size_t logical_bytes() const noexcept = 0;
+};
+
+/// Object arena of one compute cell.
+///
+/// Slots are stable for the lifetime of the arena (objects are never moved),
+/// so raw pointers returned by get() remain valid until clear().
+class ObjectArena {
+ public:
+  explicit ObjectArena(std::size_t capacity_bytes) : capacity_(capacity_bytes) {}
+
+  /// Places an object; returns its slot, or nullopt if the scratchpad would
+  /// overflow. Ownership is transferred to the arena.
+  std::optional<std::uint32_t> insert(std::unique_ptr<ArenaObject> obj);
+
+  /// Returns the object in `slot`, or nullptr for an out-of-range slot.
+  [[nodiscard]] ArenaObject* get(std::uint32_t slot) noexcept;
+  [[nodiscard]] const ArenaObject* get(std::uint32_t slot) const noexcept;
+
+  [[nodiscard]] std::size_t object_count() const noexcept { return slots_.size(); }
+  [[nodiscard]] std::size_t bytes_used() const noexcept { return used_; }
+  [[nodiscard]] std::size_t bytes_capacity() const noexcept { return capacity_; }
+  [[nodiscard]] bool would_fit(std::size_t bytes) const noexcept {
+    return used_ + bytes <= capacity_;
+  }
+
+  /// Destroys all objects and resets the usage accounting.
+  void clear();
+
+ private:
+  std::deque<std::unique_ptr<ArenaObject>> slots_;
+  std::size_t capacity_;
+  std::size_t used_ = 0;
+};
+
+}  // namespace ccastream::rt

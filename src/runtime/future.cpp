@@ -1,0 +1,32 @@
+#include "runtime/future.hpp"
+
+namespace ccastream::rt {
+
+bool FutureAddr::set_pending() noexcept {
+  if (state_ != State::kEmpty) return false;
+  state_ = State::kPending;
+  return true;
+}
+
+bool FutureAddr::enqueue(const Action& deferred) {
+  if (state_ != State::kPending) return false;
+  waiters_.push_back(deferred);
+  if (waiters_.size() > max_depth_) max_depth_ = waiters_.size();
+  return true;
+}
+
+int FutureAddr::fulfil(GlobalAddress value, Context& ctx) {
+  if (state_ == State::kReady) return -1;
+  state_ = State::kReady;
+  value_ = value;
+  const int drained = static_cast<int>(waiters_.size());
+  for (Action& w : waiters_) {
+    w.target = value_;
+    ctx.schedule_local(w);
+  }
+  waiters_.clear();
+  waiters_.shrink_to_fit();
+  return drained;
+}
+
+}  // namespace ccastream::rt

@@ -1,0 +1,32 @@
+#include "runtime/handler_registry.hpp"
+
+namespace ccastream::rt {
+
+void HandlerRegistry::ensure(std::size_t n) {
+  if (entries_.size() < n) entries_.resize(n);
+}
+
+HandlerId HandlerRegistry::register_handler(std::string_view name, Handler fn) {
+  const HandlerId id = next_user_++;
+  ensure(static_cast<std::size_t>(id) + 1);
+  entries_[id] = Entry{std::string(name), std::move(fn)};
+  return id;
+}
+
+void HandlerRegistry::register_system_handler(HandlerId id, std::string_view name,
+                                              Handler fn) {
+  ensure(static_cast<std::size_t>(id) + 1);
+  entries_[id] = Entry{std::string(name), std::move(fn)};
+}
+
+const Handler* HandlerRegistry::find(HandlerId id) const noexcept {
+  if (id >= entries_.size() || !entries_[id].fn) return nullptr;
+  return &entries_[id].fn;
+}
+
+std::string_view HandlerRegistry::name(HandlerId id) const noexcept {
+  if (id >= entries_.size() || entries_[id].name.empty()) return "<unregistered>";
+  return entries_[id].name;
+}
+
+}  // namespace ccastream::rt

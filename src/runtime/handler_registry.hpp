@@ -1,0 +1,50 @@
+// Registry mapping handler ids to executable handler functions — the
+// AMCCA_REGISTER_ACTION facility of paper Listing 1.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "runtime/action.hpp"
+#include "runtime/context.hpp"
+
+namespace ccastream::rt {
+
+/// Executable body of an action. Runs on the compute cell owning
+/// `action.target`.
+using Handler = std::function<void(Context&, const Action&)>;
+
+/// Table of registered action handlers. Ids below kFirstUserHandler are
+/// reserved for runtime system actions (allocate, allocate-reply).
+class HandlerRegistry {
+ public:
+  /// Registers `fn` under a fresh user handler id and returns that id.
+  HandlerId register_handler(std::string_view name, Handler fn);
+
+  /// Registers `fn` under a specific (reserved) id. Overwrites any previous
+  /// registration; used by the runtime for its system handlers.
+  void register_system_handler(HandlerId id, std::string_view name, Handler fn);
+
+  /// Looks up a handler; nullptr for unknown ids (the simulator treats
+  /// dispatching an unknown handler as a fault, not a crash).
+  [[nodiscard]] const Handler* find(HandlerId id) const noexcept;
+
+  /// Human-readable name for diagnostics; "<unregistered>" if unknown.
+  [[nodiscard]] std::string_view name(HandlerId id) const noexcept;
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::string name;
+    Handler fn;
+  };
+  void ensure(std::size_t n);
+  std::vector<Entry> entries_;
+  HandlerId next_user_ = kFirstUserHandler;
+};
+
+}  // namespace ccastream::rt

@@ -1,0 +1,72 @@
+// Small deterministic PRNGs used throughout the simulator and workload
+// generators. Self-contained so that every experiment is reproducible from a
+// single seed, independent of the standard library's distribution details.
+#pragma once
+
+#include <cstdint>
+
+namespace ccastream::rt {
+
+/// SplitMix64: used to expand a single user seed into stream seeds.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 — fast, high-quality generator for simulation decisions
+/// (allocator target choice, arbitration tie-breaks, workload sampling).
+class Xoshiro256 {
+ public:
+  explicit constexpr Xoshiro256(std::uint64_t seed) noexcept : s_{} {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  constexpr std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) via a multiply-shift reduction for
+  /// bounds below 2^32 (all simulation uses), modulo reduction above.
+  constexpr std::uint64_t below(std::uint64_t bound) noexcept {
+    if (bound == 0) return 0;
+    if (bound <= 0xFFFF'FFFFull) {
+      return ((next() >> 32) * bound) >> 32;
+    }
+    return next() % bound;
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// True with probability p.
+  constexpr bool bernoulli(double p) noexcept { return uniform() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace ccastream::rt

@@ -1,0 +1,78 @@
+#include "runtime/terminator.hpp"
+
+#include <cassert>
+
+namespace ccastream::rt {
+
+SafraTerminator::SafraTerminator(std::uint32_t process_count)
+    : counter_(process_count, 0),
+      colour_(process_count, Colour::kWhite),
+      active_(process_count, true),
+      n_(process_count) {
+  assert(process_count > 0);
+}
+
+void SafraTerminator::on_send(std::uint32_t p) {
+  assert(p < n_);
+  ++counter_[p];
+}
+
+void SafraTerminator::on_receive(std::uint32_t p) {
+  assert(p < n_);
+  --counter_[p];
+  colour_[p] = Colour::kBlack;
+  active_[p] = true;
+}
+
+void SafraTerminator::on_passive(std::uint32_t p) {
+  assert(p < n_);
+  active_[p] = false;
+}
+
+void SafraTerminator::on_active(std::uint32_t p) {
+  assert(p < n_);
+  active_[p] = true;
+}
+
+bool SafraTerminator::pump(std::uint32_t max_hops) {
+  for (std::uint32_t hop = 0; hop < max_hops && !announced_; ++hop) {
+    if (active_[token_at_]) break;  // token waits at an active process
+
+    if (token_at_ == 0) {
+      if (!token_in_flight_) {
+        // Initiate (or re-initiate) a probe round with a fresh white token.
+        token_colour_ = Colour::kWhite;
+        token_count_ = 0;
+        colour_[0] = Colour::kWhite;
+        token_in_flight_ = true;
+        token_at_ = n_ > 1 ? n_ - 1 : 0;  // token travels n-1, n-2, ..., 0
+        ++rounds_;
+        if (n_ == 1) {
+          // Single process: the round completes immediately.
+          token_in_flight_ = false;
+          if (counter_[0] == 0 && colour_[0] == Colour::kWhite) announced_ = true;
+        }
+        continue;
+      }
+      // Round complete: token returned to process 0.
+      token_in_flight_ = false;
+      const bool white_round = token_colour_ == Colour::kWhite &&
+                               colour_[0] == Colour::kWhite;
+      if (white_round && token_count_ + counter_[0] == 0) {
+        announced_ = true;
+      } else {
+        colour_[0] = Colour::kWhite;  // unsuccessful round; will re-probe
+      }
+      continue;
+    }
+
+    // Forward the token from token_at_ to token_at_ - 1.
+    token_count_ += counter_[token_at_];
+    if (colour_[token_at_] == Colour::kBlack) token_colour_ = Colour::kBlack;
+    colour_[token_at_] = Colour::kWhite;
+    --token_at_;
+  }
+  return announced_;
+}
+
+}  // namespace ccastream::rt

@@ -1,0 +1,68 @@
+// Distributed termination detection for the diffusion.
+//
+// Paper Listing 1 creates an `AMCCA_Terminator` and `dev.run(terminator)`
+// blocks until the diffusion has terminated. On the simulator the chip can
+// see global quiescence directly; a *decentralized* system cannot, so the
+// library also provides Safra's ring-token termination-detection algorithm
+// (the classic colour/counter scheme for asynchronous message passing).
+// Tests validate that Safra's detector announces termination exactly when
+// the global view is quiescent and never before.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ccastream::rt {
+
+/// Safra's termination detection over N processes arranged in a ring.
+///
+/// Protocol summary (Dijkstra/Safra):
+///  * every process keeps a message counter (sends - receives) and a colour;
+///  * receiving a basic message turns a process black;
+///  * process 0 starts a white token with count 0 when it goes passive;
+///  * a passive process forwards the token, adding its counter; if the
+///    process is black the token turns black, and the process turns white;
+///  * process 0 announces termination when it is passive and white and
+///    receives a white token whose count plus its own counter is zero.
+///
+/// The harness drives the detector by reporting basic-message sends and
+/// receives and activity transitions; `pump()` advances the token whenever
+/// its current holder is passive.
+class SafraTerminator {
+ public:
+  explicit SafraTerminator(std::uint32_t process_count);
+
+  /// Process `p` sent one basic message.
+  void on_send(std::uint32_t p);
+  /// Process `p` received one basic message (and becomes active).
+  void on_receive(std::uint32_t p);
+  /// Process `p` finished its local work and became passive.
+  void on_passive(std::uint32_t p);
+  /// Process `p` became active for a non-message reason (local spawn).
+  void on_active(std::uint32_t p);
+
+  /// Advances the token by at most `max_hops` ring positions (a hop only
+  /// happens while the holder is passive). Returns true if termination has
+  /// been announced (now or earlier).
+  bool pump(std::uint32_t max_hops = 1);
+
+  [[nodiscard]] bool terminated() const noexcept { return announced_; }
+  [[nodiscard]] std::uint32_t token_position() const noexcept { return token_at_; }
+  [[nodiscard]] std::uint64_t token_rounds() const noexcept { return rounds_; }
+
+ private:
+  enum class Colour : std::uint8_t { kWhite, kBlack };
+
+  std::vector<std::int64_t> counter_;  // sends - receives per process
+  std::vector<Colour> colour_;
+  std::vector<bool> active_;
+  std::uint32_t n_;
+  std::uint32_t token_at_ = 0;
+  std::int64_t token_count_ = 0;
+  Colour token_colour_ = Colour::kWhite;
+  bool token_in_flight_ = false;  // token issued and circulating
+  bool announced_ = false;
+  std::uint64_t rounds_ = 0;
+};
+
+}  // namespace ccastream::rt

@@ -1,0 +1,65 @@
+// Core value types of the diffusive runtime: machine words, global (PGAS)
+// addresses, and the payload carried by a single network flit.
+//
+// AM-CCA links are 256 bits wide (paper §4), so an action's operand payload
+// is modelled as four 64-bit words: small enough to traverse one hop per
+// simulation cycle in a single flit.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace ccastream::rt {
+
+/// Machine word of the AM-CCA abstract machine.
+using Word = std::uint64_t;
+
+/// Number of operand words in one action payload (256-bit flit).
+inline constexpr std::size_t kPayloadWords = 4;
+
+/// Operand payload of an action: fits in a single 256-bit flit.
+using Payload = std::array<Word, kPayloadWords>;
+
+/// Identifies a registered action handler ("instruction stream") on the chip.
+using HandlerId = std::uint16_t;
+
+/// Sentinel compute-cell id used by null addresses.
+inline constexpr std::uint32_t kNullCc = std::numeric_limits<std::uint32_t>::max();
+
+/// A PGAS address: (compute cell, slot within that cell's object arena).
+///
+/// This is the "Pointer" type of the paper's listings. Actions are routed to
+/// `cc` and dereference `slot` in the cell's scratchpad arena on arrival.
+struct GlobalAddress {
+  std::uint32_t cc = kNullCc;
+  std::uint32_t slot = 0;
+
+  [[nodiscard]] constexpr bool is_null() const noexcept { return cc == kNullCc; }
+
+  friend constexpr bool operator==(GlobalAddress, GlobalAddress) = default;
+
+  /// Packs the address into one machine word for payload transport.
+  [[nodiscard]] constexpr Word pack() const noexcept {
+    return (static_cast<Word>(cc) << 32) | slot;
+  }
+  /// Inverse of pack().
+  [[nodiscard]] static constexpr GlobalAddress unpack(Word w) noexcept {
+    return GlobalAddress{static_cast<std::uint32_t>(w >> 32),
+                         static_cast<std::uint32_t>(w & 0xFFFF'FFFFu)};
+  }
+};
+
+/// Distinguished null address ("the future has no value yet").
+inline constexpr GlobalAddress kNullAddress{};
+
+}  // namespace ccastream::rt
+
+template <>
+struct std::hash<ccastream::rt::GlobalAddress> {
+  std::size_t operator()(const ccastream::rt::GlobalAddress& a) const noexcept {
+    return std::hash<ccastream::rt::Word>{}(a.pack());
+  }
+};

@@ -1,0 +1,403 @@
+#include "sim/chip.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ccastream::sim {
+
+namespace {
+
+/// Packs the operands of the allocate system action into a payload.
+/// w0 = kind | budget<<16 | reply_handler<<32 ; w1 = reply_to ; w2 = tag.
+rt::Action make_allocate_action(std::uint32_t target_cc, rt::ObjectKind kind,
+                                std::uint32_t budget, rt::HandlerId reply_handler,
+                                rt::GlobalAddress reply_to, rt::Word tag) {
+  const rt::Word w0 = static_cast<rt::Word>(kind) |
+                      (static_cast<rt::Word>(budget & 0xFFFFu) << 16) |
+                      (static_cast<rt::Word>(reply_handler) << 32);
+  return rt::make_action(rt::kHandlerAllocate,
+                         rt::GlobalAddress{target_cc, 0}, w0, reply_to.pack(), tag);
+}
+
+}  // namespace
+
+/// Concrete handler execution context bound to one cell for one dispatch.
+class CellContext final : public rt::Context {
+ public:
+  CellContext(Chip& chip, ComputeCell& cell) : chip_(chip), cell_(cell) {}
+
+  [[nodiscard]] std::uint32_t cc() const override { return cell_.index(); }
+
+  [[nodiscard]] const rt::MeshGeometry& geometry() const override {
+    return chip_.mesh_;
+  }
+
+  void propagate(const rt::Action& action) override {
+    Message m;
+    m.action = action;
+    m.src_cc = cell_.index();
+    m.birth_cycle = chip_.cycle_;
+    cell_.staged.push_back(m);
+    ++chip_.outstanding_;
+    ++chip_.stats_.actions_created;
+  }
+
+  void schedule_local(const rt::Action& action) override {
+    cell_.task_queue.push_back(action);
+    ++chip_.outstanding_;
+    ++chip_.stats_.tasks_scheduled;
+  }
+
+  void charge(std::uint32_t instructions) override { charged_ += instructions; }
+
+  [[nodiscard]] rt::ArenaObject* deref(rt::GlobalAddress addr) override {
+    if (addr.cc != cell_.index()) return nullptr;
+    return cell_.arena.get(addr.slot);
+  }
+
+  std::optional<rt::GlobalAddress> allocate_local(rt::ObjectKind kind) override {
+    return chip_.allocate_on(cell_.index(), kind);
+  }
+
+  void call_cc_allocate(rt::ObjectKind kind, rt::GlobalAddress reply_to,
+                        rt::HandlerId reply_handler, rt::Word tag) override {
+    const std::uint32_t target_cc =
+        chip_.alloc_policy_->choose(cell_.index(), chip_.mesh_, cell_.rng);
+    propagate(make_allocate_action(target_cc, kind, chip_.cfg_.alloc_forward_budget,
+                                   reply_handler, reply_to, tag));
+  }
+
+  [[nodiscard]] rt::Xoshiro256& rng() override { return cell_.rng; }
+
+  [[nodiscard]] std::uint32_t charged() const noexcept { return charged_; }
+
+ private:
+  Chip& chip_;
+  ComputeCell& cell_;
+  std::uint32_t charged_ = 0;
+};
+
+Chip::Chip(ChipConfig cfg)
+    : cfg_(cfg),
+      mesh_(cfg.width, cfg.height),
+      alloc_policy_(rt::make_alloc_policy(cfg.alloc_policy, cfg.vicinity_radius)),
+      io_(mesh_, cfg.io_sides) {
+  assert(cfg.width > 0 && cfg.height > 0);
+  cells_.reserve(mesh_.cell_count());
+  rt::SplitMix64 seeder(cfg.seed);
+  for (std::uint32_t i = 0; i < mesh_.cell_count(); ++i) {
+    cells_.emplace_back(i, cfg.cc_memory_bytes, cfg.fifo_depth, seeder.next());
+  }
+  trace_.set_enabled(cfg.record_activation);
+  cell_load_.assign(mesh_.cell_count(), 0);
+  registry_.register_system_handler(
+      rt::kHandlerAllocate, "sys.allocate",
+      [this](rt::Context& ctx, const rt::Action& a) { handle_allocate(ctx, a); });
+}
+
+void Chip::register_object_kind(rt::ObjectKind kind, ObjectFactory factory) {
+  factories_[kind] = std::move(factory);
+}
+
+std::optional<rt::GlobalAddress> Chip::host_allocate(
+    std::uint32_t cc, std::unique_ptr<rt::ArenaObject> obj) {
+  if (cc >= cells_.size()) return std::nullopt;
+  const auto slot = cells_[cc].arena.insert(std::move(obj));
+  if (!slot) return std::nullopt;
+  return rt::GlobalAddress{cc, *slot};
+}
+
+rt::ArenaObject* Chip::deref(rt::GlobalAddress addr) {
+  if (addr.is_null() || addr.cc >= cells_.size()) return nullptr;
+  return cells_[addr.cc].arena.get(addr.slot);
+}
+
+void Chip::set_alloc_policy(std::unique_ptr<rt::AllocationPolicy> policy) {
+  if (policy) alloc_policy_ = std::move(policy);
+}
+
+void Chip::io_enqueue(const rt::Action& action) {
+  io_.enqueue(action);
+  ++outstanding_;
+  ++stats_.actions_created;
+}
+
+void Chip::inject_local(const rt::Action& action) {
+  assert(!action.target.is_null() && action.target.cc < cells_.size());
+  cells_[action.target.cc].action_queue.push_back(action);
+  ++outstanding_;
+  ++stats_.actions_created;
+}
+
+void Chip::inject_via(std::uint32_t at_cc, const rt::Action& action) {
+  assert(at_cc < cells_.size());
+  Message m;
+  m.action = action;
+  m.src_cc = at_cc;
+  m.birth_cycle = cycle_;
+  cells_[at_cc].staged.push_back(m);
+  ++outstanding_;
+  ++stats_.actions_created;
+}
+
+bool Chip::quiescent() const {
+  if (outstanding_ != 0) return false;
+  for (const auto& c : cells_) {
+    if (!c.idle()) return false;
+  }
+  return true;
+}
+
+std::uint64_t Chip::run_until_quiescent(std::uint64_t max_cycles) {
+  std::uint64_t ran = 0;
+  while (ran < max_cycles && !quiescent()) {
+    step();
+    ++ran;
+  }
+  return ran;
+}
+
+void Chip::step() {
+  network_phase();
+  io_phase();
+  compute_phase();
+  ++cycle_;
+  ++stats_.cycles;
+}
+
+void Chip::deliver(ComputeCell& cell, const Message& msg) {
+  cell.action_queue.push_back(msg.action);
+  ++stats_.deliveries;
+  stats_.total_delivery_latency += cycle_ - msg.birth_cycle;
+}
+
+void Chip::network_phase() {
+  const bool adaptive = cfg_.routing == RoutingPolicyKind::kWestFirst ||
+                        cfg_.routing == RoutingPolicyKind::kOddEven;
+
+  for (auto& cell : cells_) {
+    if (cell.router_occupancy() == 0) continue;
+    const rt::Coord cur = mesh_.coord_of(cell.index());
+
+    std::uint32_t ejections_left = cfg_.ejections_per_cycle;
+    bool used_out[kMeshDirections] = {false, false, false, false};
+
+    // Downstream buffer occupancy, used only by adaptive routing. Off-mesh
+    // directions read as "full" so they are never preferred.
+    DownstreamOccupancy occ{};
+    if (adaptive) {
+      for (std::size_t d = 0; d < kMeshDirections; ++d) {
+        const auto dir = static_cast<Direction>(d);
+        const rt::Coord n = ccastream::sim::step(cur, dir);
+        occ[d] = mesh_.contains(n) && !(dir == Direction::kNorth && cur.y == 0) &&
+                         !(dir == Direction::kWest && cur.x == 0)
+                     ? static_cast<std::uint32_t>(
+                           cells_[mesh_.index_of(n)]
+                               .router_in[static_cast<std::size_t>(opposite(dir))]
+                               .size())
+                     : ~0u;
+      }
+    }
+
+    // Six input sources arbitrated round-robin: four neighbour ports, the
+    // IO port, and locally staged traffic.
+    constexpr std::size_t kSources = kMeshDirections + 2;
+    for (std::size_t s = 0; s < kSources; ++s) {
+      const std::size_t src_idx = (cell.arb_next + s) % kSources;
+      Fifo<Message>* src = nullptr;
+      if (src_idx < kMeshDirections) {
+        src = &cell.router_in[src_idx];
+      } else if (src_idx == kMeshDirections) {
+        src = &cell.io_in;
+      } else {
+        src = &cell.local_out;
+      }
+      if (src->empty()) continue;
+
+      Message& m = src->front();
+      if (m.last_move_cycle == cycle_ && m.hops > 0) continue;  // already hopped
+
+      const rt::Coord dst = mesh_.coord_of(m.action.target.cc);
+      if (dst == cur) {
+        if (ejections_left == 0) continue;
+        deliver(cell, m);
+        src->pop();
+        --ejections_left;
+        continue;
+      }
+
+      const Direction dir = route(cfg_.routing, cur, dst, occ);
+      assert(dir != Direction::kLocal);
+      const auto d = static_cast<std::size_t>(dir);
+      if (used_out[d]) continue;
+
+      const rt::Coord next = ccastream::sim::step(cur, dir);
+      assert(mesh_.contains(next));
+      ComputeCell& neighbour = cells_[mesh_.index_of(next)];
+      Fifo<Message>& in = neighbour.router_in[static_cast<std::size_t>(opposite(dir))];
+      if (!in.has_room()) continue;
+
+      m.last_move_cycle = cycle_;
+      ++m.hops;
+      in.push(m);
+      src->pop();
+      used_out[d] = true;
+      ++stats_.hops;
+    }
+    cell.arb_next = static_cast<std::uint8_t>((cell.arb_next + 1) % kSources);
+  }
+}
+
+void Chip::io_phase() {
+  for (std::size_t i = 0; i < io_.cell_count(); ++i) {
+    IoCell& ioc = io_.cell(i);
+    if (ioc.pending.empty()) continue;
+    ComputeCell& cc = cells_[ioc.attached_cc];
+    if (!cc.io_in.has_room()) continue;
+    Message m;
+    m.action = ioc.pending.front();
+    m.src_cc = ioc.attached_cc;
+    m.birth_cycle = cycle_;
+    m.last_move_cycle = cycle_;  // injection consumes this cycle's movement
+    cc.io_in.push(m);
+    ioc.pending.pop_front();
+    ++stats_.io_injections;
+  }
+}
+
+void Chip::compute_phase() {
+  std::uint32_t active = 0;
+  std::uint32_t live = 0;
+  const bool tracing = trace_.enabled();
+
+  for (auto& cell : cells_) {
+    bool did_op = false;
+    if (cell.busy > 0) {
+      // Finishing the instruction cycles of the current action.
+      --cell.busy;
+      did_op = true;
+    } else if (!cell.staged.empty()) {
+      // Staging one created message into the network (one op).
+      if (cell.local_out.has_room()) {
+        cell.local_out.push(cell.staged.front());
+        cell.staged.pop_front();
+        ++stats_.messages_staged;
+        did_op = true;
+      } else {
+        ++stats_.stage_stalls;  // backpressure: network outport full
+      }
+    } else if (!cell.task_queue.empty()) {
+      const rt::Action a = cell.task_queue.front();
+      cell.task_queue.pop_front();
+      if (a.target.cc != cell.index() && !a.target.is_null()) {
+        // A drained future closure whose patched target lives elsewhere —
+        // the closure's body is a propagate (paper Listing 6 line 23-26),
+        // so running it converts the task into an outbound message.
+        Message m;
+        m.action = a;
+        m.src_cc = cell.index();
+        m.birth_cycle = cycle_;
+        cell.staged.push_back(m);  // stays outstanding as a message
+      } else {
+        execute_action(cell, a);
+      }
+      did_op = true;
+    } else if (!cell.action_queue.empty()) {
+      const rt::Action a = cell.action_queue.front();
+      cell.action_queue.pop_front();
+      execute_action(cell, a);
+      did_op = true;
+    }
+
+    if (did_op) ++cell_load_[cell.index()];
+    if (tracing) {
+      if (did_op) ++active;
+      if (did_op || !cell.idle()) ++live;
+    }
+  }
+  if (tracing) trace_.record(active, live);
+}
+
+void Chip::execute_action(ComputeCell& cell, const rt::Action& action) {
+  assert(outstanding_ > 0);
+  --outstanding_;
+
+  const rt::Handler* handler = registry_.find(action.handler);
+  if (handler == nullptr) {
+    ++stats_.faults;
+    return;
+  }
+  CellContext ctx(*this, cell);
+  (*handler)(ctx, action);
+  ++stats_.actions_executed;
+  const std::uint32_t cost = cfg_.action_base_cost + ctx.charged();
+  stats_.instructions += cost;
+  if (cfg_.profile_handlers) {
+    if (handler_profile_.size() <= action.handler) {
+      handler_profile_.resize(action.handler + 1);
+    }
+    ++handler_profile_[action.handler].executions;
+    handler_profile_[action.handler].instructions += cost;
+  }
+  cell.busy = cost > 0 ? cost - 1 : 0;  // this cycle was the first
+}
+
+std::optional<rt::GlobalAddress> Chip::allocate_on(std::uint32_t cc,
+                                                   rt::ObjectKind kind) {
+  const auto it = factories_.find(kind);
+  if (it == factories_.end()) {
+    ++stats_.faults;
+    return std::nullopt;
+  }
+  const auto slot = cells_[cc].arena.insert(it->second());
+  if (!slot) return std::nullopt;
+  ++stats_.allocations;
+  return rt::GlobalAddress{cc, *slot};
+}
+
+void Chip::handle_allocate(rt::Context& ctx, const rt::Action& action) {
+  const rt::Word w0 = action.args[0];
+  const auto kind = static_cast<rt::ObjectKind>(w0 & 0xFFFFu);
+  const auto budget = static_cast<std::uint32_t>((w0 >> 16) & 0xFFFFu);
+  const auto reply_handler = static_cast<rt::HandlerId>((w0 >> 32) & 0xFFFFu);
+  const rt::GlobalAddress reply_to = rt::GlobalAddress::unpack(action.args[1]);
+  const rt::Word tag = action.args[2];
+
+  ctx.charge(2);
+  if (const auto addr = ctx.allocate_local(kind)) {
+    // Success: fire the return trigger carrying the new address (paper
+    // Figure 3, steps 1-2).
+    ctx.propagate(rt::make_action(reply_handler, reply_to, addr->pack(), tag));
+    return;
+  }
+  if (budget > 0) {
+    // Scratchpad full here — bounce the request to the next cell on the
+    // chip (linear probe) with a decremented hop budget.
+    ++stats_.alloc_forwards;
+    const std::uint32_t next_cc = (ctx.cc() + 1) % mesh_.cell_count();
+    ctx.propagate(make_allocate_action(next_cc, kind, budget - 1, reply_handler,
+                                       reply_to, tag));
+    return;
+  }
+  // Budget exhausted: report failure with a null address so the requester's
+  // future is fulfilled with null and the application can surface the error.
+  ++stats_.alloc_failures;
+  ctx.propagate(rt::make_action(reply_handler, reply_to, rt::kNullAddress.pack(), tag));
+}
+
+std::vector<std::uint8_t> Chip::activity_levels() const {
+  std::vector<std::uint8_t> levels(cells_.size(), 0);
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    const auto& c = cells_[i];
+    // Heuristic brightness: executing > staging > routing > queued.
+    std::uint32_t level = 0;
+    if (c.busy > 0) level += 96;
+    level += 24 * std::min<std::uint32_t>(4, c.router_occupancy());
+    level += 16 * std::min<std::size_t>(4, c.staged.size());
+    level += 8 * std::min<std::size_t>(4, c.action_queue.size() + c.task_queue.size());
+    levels[i] = static_cast<std::uint8_t>(std::min<std::uint32_t>(255, level));
+  }
+  return levels;
+}
+
+}  // namespace ccastream::sim

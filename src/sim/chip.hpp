@@ -1,0 +1,202 @@
+// The AM-CCA chip: a mesh of compute cells, border IO channels, a handler
+// registry, and the cycle-level execution loop implementing the paper's
+// timing rules (§4):
+//   * one message traverses one link per cycle (single-flit messages);
+//   * each compute cell performs one operation per cycle — an action
+//     instruction or the staging of one propagated message;
+//   * YX dimension-ordered (turn-restricted, minimal, deadlock-free)
+//     routing by default;
+//   * each IO cell injects at most one action per cycle.
+//
+// The chip also implements the runtime side of the continuation protocol
+// (paper §3.1): the `allocate` system action runs at a remote cell, places
+// an object in its arena, and propagates the registered return-trigger
+// action back to the requester.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/action.hpp"
+#include "runtime/alloc_policy.hpp"
+#include "runtime/arena.hpp"
+#include "runtime/context.hpp"
+#include "runtime/geometry.hpp"
+#include "runtime/handler_registry.hpp"
+#include "sim/compute_cell.hpp"
+#include "sim/energy.hpp"
+#include "sim/io_channel.hpp"
+#include "sim/message.hpp"
+#include "sim/routing.hpp"
+#include "sim/stats.hpp"
+#include "sim/trace.hpp"
+
+namespace ccastream::sim {
+
+/// Static configuration of a chip instance.
+struct ChipConfig {
+  std::uint32_t width = 32;            ///< Mesh columns (paper: 32).
+  std::uint32_t height = 32;           ///< Mesh rows (paper: 32).
+  std::uint32_t fifo_depth = 4;        ///< Router port buffer depth (messages).
+  RoutingPolicyKind routing = RoutingPolicyKind::kYX;
+  /// North + south channels co-design with YX routing: an injected
+  /// message's first (vertical) leg runs down its own column, so all
+  /// `width` columns share the injection load. West/east channels with YX
+  /// routing funnel everything through two border columns — measurably
+  /// ~10x slower ingestion (see bench_ablation_structure).
+  std::uint8_t io_sides = kIoNorth | kIoSouth;
+  std::size_t cc_memory_bytes = 1u << 20;  ///< Scratchpad capacity per cell.
+  std::uint32_t action_base_cost = 2;  ///< Instruction cycles per dispatched action.
+  std::uint32_t ejections_per_cycle = 2;  ///< Router->cell deliveries per cycle.
+  std::uint32_t alloc_forward_budget = 32;  ///< Hops an allocate may bounce on full arenas.
+  rt::AllocPolicyKind alloc_policy = rt::AllocPolicyKind::kVicinity;
+  std::uint32_t vicinity_radius = 2;   ///< Paper: ghosts at most 2 hops away.
+  EnergyModel energy{};
+  std::uint64_t seed = 0xC0FFEEull;
+  bool record_activation = false;      ///< Record Figure 6/7 activation trace.
+  bool profile_handlers = false;       ///< Per-handler execution/instruction counts.
+};
+
+/// Per-handler profile entry (enabled via ChipConfig::profile_handlers).
+struct HandlerProfile {
+  std::uint64_t executions = 0;
+  std::uint64_t instructions = 0;
+};
+
+/// Creates arena objects for the allocate system action, per object kind.
+using ObjectFactory = std::function<std::unique_ptr<rt::ArenaObject>()>;
+
+class Chip {
+ public:
+  static constexpr std::uint64_t kNoLimit = ~0ull;
+
+  explicit Chip(ChipConfig cfg = {});
+
+  // --- Setup (host side, not simulated) -----------------------------------
+
+  /// Handler table; register application actions here before running.
+  [[nodiscard]] rt::HandlerRegistry& handlers() noexcept { return registry_; }
+
+  /// Registers the factory the allocate system action uses for `kind`.
+  void register_object_kind(rt::ObjectKind kind, ObjectFactory factory);
+
+  /// Places an object directly into cell `cc`'s arena (initial vertex
+  /// placement happens host-side, before simulated time starts). Returns
+  /// nullopt if the scratchpad is full.
+  std::optional<rt::GlobalAddress> host_allocate(std::uint32_t cc,
+                                                 std::unique_ptr<rt::ArenaObject> obj);
+
+  /// Host-side dereference of any address on the chip (inspection only).
+  [[nodiscard]] rt::ArenaObject* deref(rt::GlobalAddress addr);
+  template <typename T>
+  [[nodiscard]] T* as(rt::GlobalAddress addr) {
+    return static_cast<T*>(deref(addr));
+  }
+
+  /// Replaces the ghost-allocation policy (defaults from ChipConfig).
+  void set_alloc_policy(std::unique_ptr<rt::AllocationPolicy> policy);
+  [[nodiscard]] rt::AllocationPolicy& alloc_policy() noexcept { return *alloc_policy_; }
+
+  // --- Work injection ------------------------------------------------------
+
+  /// Queues an action on the IO channels (round-robin over IO cells); it
+  /// will be injected at one action per IO cell per cycle.
+  void io_enqueue(const rt::Action& action);
+
+  /// Number of actions still queued in IO cells.
+  [[nodiscard]] std::size_t io_pending() const noexcept { return io_.pending(); }
+
+  /// Host backdoor: delivers an action straight into its target cell's
+  /// dispatch queue (no network traversal). Used for seeding (e.g. the BFS
+  /// source) and unit tests.
+  void inject_local(const rt::Action& action);
+
+  /// Host injection that *does* traverse the network, entering the mesh at
+  /// cell `at_cc` (pays staging + hop costs like any propagated message).
+  void inject_via(std::uint32_t at_cc, const rt::Action& action);
+
+  // --- Execution ------------------------------------------------------------
+
+  /// Advances simulated time by one cycle (network, IO, compute phases).
+  void step();
+
+  /// Runs until the diffusion terminates (global quiescence: no queued or
+  /// in-flight actions, no busy cell, IO drained) or `max_cycles` elapse.
+  /// Returns the number of cycles executed by this call. This is the
+  /// `dev.run(terminator)` of paper Listing 1.
+  std::uint64_t run_until_quiescent(std::uint64_t max_cycles = kNoLimit);
+
+  /// True when no work of any kind remains anywhere on the chip.
+  [[nodiscard]] bool quiescent() const;
+
+  // --- Introspection ---------------------------------------------------------
+
+  [[nodiscard]] const ChipConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] const rt::MeshGeometry& geometry() const noexcept { return mesh_; }
+  [[nodiscard]] std::uint64_t now() const noexcept { return cycle_; }
+  [[nodiscard]] ChipStats& stats() noexcept { return stats_; }
+  [[nodiscard]] const ChipStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] ActivationTrace& activation() noexcept { return trace_; }
+  [[nodiscard]] const ActivationTrace& activation() const noexcept { return trace_; }
+  [[nodiscard]] ComputeCell& cell(std::uint32_t cc) { return cells_[cc]; }
+  [[nodiscard]] const ComputeCell& cell(std::uint32_t cc) const { return cells_[cc]; }
+  [[nodiscard]] IoSystem& io() noexcept { return io_; }
+
+  /// Total energy of the run so far, in picojoules, under the configured
+  /// energy model.
+  [[nodiscard]] double energy_pj() const {
+    return total_pj(cfg_.energy, stats_.energy_events());
+  }
+
+  /// Per-cell activity levels (0..255) for animation frames; a heuristic
+  /// blend of router occupancy, execution state, and queued work.
+  [[nodiscard]] std::vector<std::uint8_t> activity_levels() const;
+
+  /// Cumulative operations performed by each cell (compute-phase ops:
+  /// instruction cycles, stagings, dispatches). The spatial load histogram
+  /// behind congestion heatmaps.
+  [[nodiscard]] const std::vector<std::uint64_t>& cell_load() const noexcept {
+    return cell_load_;
+  }
+
+  /// Per-handler execution profile; entries index by HandlerId. Empty
+  /// unless ChipConfig::profile_handlers was set.
+  [[nodiscard]] const std::vector<HandlerProfile>& handler_profile() const noexcept {
+    return handler_profile_;
+  }
+
+ private:
+  friend class CellContext;
+
+  void network_phase();
+  void io_phase();
+  void compute_phase();
+  void execute_action(ComputeCell& cell, const rt::Action& action);
+  void deliver(ComputeCell& cell, const Message& msg);
+  /// Handler body of the allocate system action.
+  void handle_allocate(rt::Context& ctx, const rt::Action& action);
+  std::optional<rt::GlobalAddress> allocate_on(std::uint32_t cc, rt::ObjectKind kind);
+
+  ChipConfig cfg_;
+  rt::MeshGeometry mesh_;
+  std::vector<ComputeCell> cells_;
+  rt::HandlerRegistry registry_;
+  std::unordered_map<rt::ObjectKind, ObjectFactory> factories_;
+  std::unique_ptr<rt::AllocationPolicy> alloc_policy_;
+  IoSystem io_;
+  ChipStats stats_;
+  ActivationTrace trace_;
+  std::uint64_t cycle_ = 0;
+  std::vector<std::uint64_t> cell_load_;
+  std::vector<HandlerProfile> handler_profile_;
+  /// Actions created but whose handler has not yet finished executing.
+  /// Includes actions still queued in IO cells. Zero is necessary (not
+  /// sufficient — cells may still be in busy residue) for quiescence.
+  std::uint64_t outstanding_ = 0;
+};
+
+}  // namespace ccastream::sim

@@ -1,0 +1,22 @@
+#include "sim/compute_cell.hpp"
+
+namespace ccastream::sim {
+
+bool ComputeCell::idle() const noexcept {
+  if (busy > 0 || !staged.empty() || !local_out.empty() || !io_in.empty()) {
+    return false;
+  }
+  if (!task_queue.empty() || !action_queue.empty()) return false;
+  for (const auto& f : router_in) {
+    if (!f.empty()) return false;
+  }
+  return true;
+}
+
+std::uint32_t ComputeCell::router_occupancy() const noexcept {
+  auto n = static_cast<std::uint32_t>(io_in.size() + local_out.size());
+  for (const auto& f : router_in) n += static_cast<std::uint32_t>(f.size());
+  return n;
+}
+
+}  // namespace ccastream::sim

@@ -1,0 +1,82 @@
+// One AM-CCA Compute Cell: scratchpad memory, compute logic, and a 5-port
+// mesh router (4 neighbour input buffers + an IO input on border cells).
+//
+// Per simulation cycle a cell performs at most ONE operation (paper §4):
+// either one abstract instruction of the action it is executing, or the
+// staging of one outbound message created by `propagate`. The Chip owns the
+// per-cycle orchestration; this class is the cell's state.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "runtime/action.hpp"
+#include "runtime/arena.hpp"
+#include "runtime/rng.hpp"
+#include "sim/fifo.hpp"
+#include "sim/message.hpp"
+#include "sim/routing.hpp"
+
+namespace ccastream::sim {
+
+class ComputeCell {
+ public:
+  ComputeCell(std::uint32_t index, std::size_t memory_bytes, std::uint32_t fifo_depth,
+              std::uint64_t rng_seed)
+      : arena(memory_bytes), rng(rng_seed), index_(index) {
+    for (auto& f : router_in) f.set_capacity(fifo_depth);
+    io_in.set_capacity(fifo_depth);
+    local_out.set_capacity(fifo_depth);
+  }
+
+  // Cells are move-only: copying a scratchpad full of owned objects is
+  // never meaningful, and deleting the copy operations also steers
+  // std::vector relocation to the move constructor.
+  ComputeCell(const ComputeCell&) = delete;
+  ComputeCell& operator=(const ComputeCell&) = delete;
+  ComputeCell(ComputeCell&&) = default;
+  ComputeCell& operator=(ComputeCell&&) = default;
+
+  [[nodiscard]] std::uint32_t index() const noexcept { return index_; }
+
+  /// True when the cell holds no work of any kind — the per-cell component
+  /// of global quiescence.
+  [[nodiscard]] bool idle() const noexcept;
+
+  /// Messages currently buffered in this cell's router (all six inputs:
+  /// four neighbour ports, the IO port, and locally staged traffic).
+  [[nodiscard]] std::uint32_t router_occupancy() const noexcept;
+
+  // --- Scratchpad ---------------------------------------------------------
+  rt::ObjectArena arena;
+
+  // --- Compute state ------------------------------------------------------
+  /// Remaining busy cycles of the action currently "executing".
+  std::uint32_t busy = 0;
+  /// Actions delivered to this cell, awaiting dispatch.
+  std::deque<rt::Action> action_queue;
+  /// Deferred local tasks (future LCO drains); dispatched before new actions.
+  std::deque<rt::Action> task_queue;
+  /// Messages created by handlers, not yet staged into the network.
+  std::deque<Message> staged;
+
+  // --- Router state -------------------------------------------------------
+  /// Input buffer per neighbour direction (indexed by the port side: the
+  /// kNorth buffer holds messages that arrived from the north neighbour).
+  Fifo<Message> router_in[kMeshDirections] = {Fifo<Message>{}, Fifo<Message>{},
+                                              Fifo<Message>{}, Fifo<Message>{}};
+  /// Messages injected by an attached IO cell (border cells only).
+  Fifo<Message> io_in;
+  /// Locally staged messages entering the network.
+  Fifo<Message> local_out;
+
+  // --- Misc ---------------------------------------------------------------
+  rt::Xoshiro256 rng;
+  /// Round-robin pointer for router input arbitration fairness.
+  std::uint8_t arb_next = 0;
+
+ private:
+  std::uint32_t index_;
+};
+
+}  // namespace ccastream::sim

@@ -1,0 +1,62 @@
+// Fixed-capacity ring-buffer FIFO used for router port buffers.
+// Capacity is set at construction (from ChipConfig::fifo_depth); overflow is
+// impossible by construction because callers must check has_room() — the
+// mesh applies backpressure instead of dropping messages.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace ccastream::sim {
+
+template <typename T>
+class Fifo {
+ public:
+  explicit Fifo(std::size_t capacity = 0) : buf_(capacity) {}
+
+  void set_capacity(std::size_t capacity) {
+    assert(size_ == 0 && "cannot resize a non-empty FIFO");
+    buf_.assign(capacity, T{});
+    head_ = 0;
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return buf_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] bool has_room() const noexcept { return size_ < buf_.size(); }
+
+  /// Pushes a value; caller must have checked has_room().
+  void push(const T& v) {
+    assert(has_room());
+    buf_[(head_ + size_) % buf_.size()] = v;
+    ++size_;
+  }
+
+  [[nodiscard]] T& front() {
+    assert(!empty());
+    return buf_[head_];
+  }
+  [[nodiscard]] const T& front() const {
+    assert(!empty());
+    return buf_[head_];
+  }
+
+  void pop() {
+    assert(!empty());
+    head_ = (head_ + 1) % buf_.size();
+    --size_;
+  }
+
+  void clear() noexcept {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace ccastream::sim

@@ -1,0 +1,51 @@
+#include "sim/io_channel.hpp"
+
+namespace ccastream::sim {
+
+IoSystem::IoSystem(const rt::MeshGeometry& mesh, std::uint8_t sides) {
+  // One IO cell per border compute cell on each configured side, matching
+  // the paper's sketch of channels whose IO cells pair with the border row
+  // or column they touch.
+  if (sides & kIoWest) {
+    for (std::uint32_t y = 0; y < mesh.height(); ++y) {
+      cells_.push_back(IoCell{mesh.index_of({0, y}), {}});
+    }
+  }
+  if (sides & kIoEast) {
+    for (std::uint32_t y = 0; y < mesh.height(); ++y) {
+      cells_.push_back(IoCell{mesh.index_of({mesh.width() - 1, y}), {}});
+    }
+  }
+  if (sides & kIoNorth) {
+    for (std::uint32_t x = 0; x < mesh.width(); ++x) {
+      cells_.push_back(IoCell{mesh.index_of({x, 0}), {}});
+    }
+  }
+  if (sides & kIoSouth) {
+    for (std::uint32_t x = 0; x < mesh.width(); ++x) {
+      cells_.push_back(IoCell{mesh.index_of({x, mesh.height() - 1}), {}});
+    }
+  }
+  if (cells_.empty()) {
+    // A chip with no IO channel cannot stream; default to one west cell so
+    // host injection still has a path (degenerate configs in tests).
+    cells_.push_back(IoCell{0, {}});
+  }
+}
+
+void IoSystem::enqueue(const rt::Action& action) {
+  cells_[next_].pending.push_back(action);
+  next_ = (next_ + 1) % cells_.size();
+}
+
+void IoSystem::enqueue_at(std::size_t io_cell, const rt::Action& action) {
+  cells_[io_cell % cells_.size()].pending.push_back(action);
+}
+
+std::size_t IoSystem::pending() const noexcept {
+  std::size_t n = 0;
+  for (const auto& c : cells_) n += c.pending.size();
+  return n;
+}
+
+}  // namespace ccastream::sim

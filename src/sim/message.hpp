@@ -1,0 +1,20 @@
+// A message in flight on the mesh: one action plus routing/diagnostic state.
+// Actions fit a single 256-bit flit (paper §4), so a message occupies one
+// link for exactly one cycle per hop.
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/action.hpp"
+
+namespace ccastream::sim {
+
+struct Message {
+  rt::Action action;
+  std::uint32_t src_cc = 0;          ///< Cell (or border cell for IO) of origin.
+  std::uint32_t hops = 0;            ///< Link traversals so far.
+  std::uint64_t birth_cycle = 0;     ///< Cycle the message was created.
+  std::uint64_t last_move_cycle = 0; ///< Guards against >1 hop per cycle.
+};
+
+}  // namespace ccastream::sim

@@ -1,0 +1,150 @@
+#include "sim/routing.hpp"
+
+namespace ccastream::sim {
+
+std::string_view to_string(Direction d) noexcept {
+  switch (d) {
+    case Direction::kNorth: return "north";
+    case Direction::kSouth: return "south";
+    case Direction::kEast: return "east";
+    case Direction::kWest: return "west";
+    case Direction::kLocal: return "local";
+  }
+  return "?";
+}
+
+std::string_view to_string(RoutingPolicyKind k) noexcept {
+  switch (k) {
+    case RoutingPolicyKind::kYX: return "YX";
+    case RoutingPolicyKind::kXY: return "XY";
+    case RoutingPolicyKind::kWestFirst: return "west-first";
+    case RoutingPolicyKind::kOddEven: return "odd-even";
+  }
+  return "?";
+}
+
+namespace {
+
+Direction route_yx(rt::Coord cur, rt::Coord dst) {
+  if (cur.y != dst.y) return dst.y > cur.y ? Direction::kSouth : Direction::kNorth;
+  if (cur.x != dst.x) return dst.x > cur.x ? Direction::kEast : Direction::kWest;
+  return Direction::kLocal;
+}
+
+Direction route_xy(rt::Coord cur, rt::Coord dst) {
+  if (cur.x != dst.x) return dst.x > cur.x ? Direction::kEast : Direction::kWest;
+  if (cur.y != dst.y) return dst.y > cur.y ? Direction::kSouth : Direction::kNorth;
+  return Direction::kLocal;
+}
+
+Direction route_west_first(rt::Coord cur, rt::Coord dst,
+                           const DownstreamOccupancy& occ) {
+  // West-first turn model: a message must take all its westward hops first;
+  // afterwards it may route adaptively among the remaining productive
+  // directions (east / north / south), none of which can ever turn back
+  // west — which is exactly the turn restriction that breaks cyclic waits.
+  if (dst.x < cur.x) return Direction::kWest;
+
+  Direction best = Direction::kLocal;
+  std::uint32_t best_occ = 0;
+  auto consider = [&](Direction d) {
+    const auto o = occ[static_cast<std::size_t>(d)];
+    if (best == Direction::kLocal || o < best_occ) {
+      best = d;
+      best_occ = o;
+    }
+  };
+  if (dst.y < cur.y) consider(Direction::kNorth);
+  if (dst.y > cur.y) consider(Direction::kSouth);
+  if (dst.x > cur.x) consider(Direction::kEast);
+  return best;  // kLocal when cur == dst
+}
+
+Direction route_odd_even(rt::Coord cur, rt::Coord dst,
+                         const DownstreamOccupancy& occ) {
+  // Odd-even turn model [Chiu 2000], minimal adaptive variant. Forbidden
+  // turns: east->north and east->south at cells in EVEN columns; north->west
+  // and south->west at cells in ODD columns. The admissible-direction
+  // computation is Chiu's ROUTE function restricted to the options that
+  // need no source knowledge; among admissible productive directions the
+  // least-occupied downstream buffer wins.
+  if (cur == dst) return Direction::kLocal;
+  const std::int64_t dx = static_cast<std::int64_t>(dst.x) -
+                          static_cast<std::int64_t>(cur.x);
+  const std::int64_t dy = static_cast<std::int64_t>(dst.y) -
+                          static_cast<std::int64_t>(cur.y);
+  const Direction vertical = dy > 0 ? Direction::kSouth : Direction::kNorth;
+
+  Direction best = Direction::kLocal;
+  std::uint32_t best_occ = 0;
+  auto consider = [&](Direction d) {
+    const auto o = occ[static_cast<std::size_t>(d)];
+    if (best == Direction::kLocal || o < best_occ) {
+      best = d;
+      best_occ = o;
+    }
+  };
+
+  if (dx == 0) return dy == 0 ? Direction::kLocal : vertical;
+  if (dx > 0) {
+    // Eastbound. A vertical hop here commits to a later vertical->east or
+    // east->vertical turn; it is admissible only in odd columns (where
+    // east->north/south is legal). Continuing east is admissible unless the
+    // destination column is adjacent and even (the packet could then never
+    // legally turn vertical again).
+    if (dy == 0) return Direction::kEast;
+    if (cur.x % 2 == 1) consider(vertical);
+    if (dst.x % 2 == 1 || dx != 1) consider(Direction::kEast);
+    return best;
+  }
+  // Westbound. West is always admissible; a vertical hop is admissible only
+  // in even columns (north/south->west turns are illegal in odd columns,
+  // and vertical moves never change the column).
+  if (dy == 0) return Direction::kWest;
+  if (cur.x % 2 == 0) consider(vertical);
+  consider(Direction::kWest);
+  return best;
+}
+
+}  // namespace
+
+Direction route(RoutingPolicyKind policy, rt::Coord cur, rt::Coord dst,
+                const DownstreamOccupancy& occupancy) {
+  switch (policy) {
+    case RoutingPolicyKind::kYX: return route_yx(cur, dst);
+    case RoutingPolicyKind::kXY: return route_xy(cur, dst);
+    case RoutingPolicyKind::kWestFirst: return route_west_first(cur, dst, occupancy);
+    case RoutingPolicyKind::kOddEven: return route_odd_even(cur, dst, occupancy);
+  }
+  return Direction::kLocal;
+}
+
+bool turn_allowed(RoutingPolicyKind policy, Direction in, Direction out,
+                  rt::Coord at) {
+  if (in == Direction::kLocal || out == Direction::kLocal) return true;
+  const bool in_vertical = in == Direction::kNorth || in == Direction::kSouth;
+  const bool out_vertical = out == Direction::kNorth || out == Direction::kSouth;
+  switch (policy) {
+    case RoutingPolicyKind::kYX:
+      // Once travelling horizontally a message may never turn vertical.
+      // `in` is the direction the message was moving (south means it came
+      // from the north port). Horizontal -> vertical turns are forbidden.
+      return !(!in_vertical && out_vertical);
+    case RoutingPolicyKind::kXY:
+      // Dual restriction: vertical -> horizontal turns are forbidden.
+      return !(in_vertical && !out_vertical);
+    case RoutingPolicyKind::kWestFirst:
+      // Only turns *into* west are forbidden (a west-going message started
+      // west and never returns to it).
+      return out != Direction::kWest || in == Direction::kWest;
+    case RoutingPolicyKind::kOddEven:
+      // East->vertical turns are forbidden in even columns; vertical->west
+      // turns are forbidden in odd columns.
+      if (in == Direction::kEast && out_vertical) return at.x % 2 == 1;
+      if (in_vertical && out == Direction::kWest) return at.x % 2 == 0;
+      return true;
+  }
+  return true;
+}
+
+}  // namespace ccastream::sim

@@ -1,0 +1,81 @@
+// Mesh routing policies (paper §4): turn-restricted, minimal, deadlock-free.
+//
+// The paper uses YX dimension-ordered routing — vertical hops first, then
+// horizontal. XY and the West-First adaptive turn-model policy [Glass & Ni
+// '92] are provided for the routing ablation benchmark.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "runtime/geometry.hpp"
+
+namespace ccastream::sim {
+
+/// Output direction of a router. kLocal means the message has arrived.
+enum class Direction : std::uint8_t {
+  kNorth = 0,  ///< y - 1
+  kSouth = 1,  ///< y + 1
+  kEast = 2,   ///< x + 1
+  kWest = 3,   ///< x - 1
+  kLocal = 4,
+};
+inline constexpr std::size_t kMeshDirections = 4;
+
+[[nodiscard]] constexpr Direction opposite(Direction d) noexcept {
+  switch (d) {
+    case Direction::kNorth: return Direction::kSouth;
+    case Direction::kSouth: return Direction::kNorth;
+    case Direction::kEast: return Direction::kWest;
+    case Direction::kWest: return Direction::kEast;
+    case Direction::kLocal: return Direction::kLocal;
+  }
+  return Direction::kLocal;
+}
+
+[[nodiscard]] std::string_view to_string(Direction d) noexcept;
+
+enum class RoutingPolicyKind : std::uint8_t {
+  kYX,         ///< Vertical first (the paper's policy).
+  kXY,         ///< Horizontal first.
+  kWestFirst,  ///< West-first adaptive turn model.
+  kOddEven,    ///< Odd-even turn model (Chiu 2000): adaptive, column-parity
+               ///< turn restrictions, no single congestion pivot direction.
+};
+
+[[nodiscard]] std::string_view to_string(RoutingPolicyKind k) noexcept;
+
+/// Occupancy of the four candidate downstream buffers, used by adaptive
+/// policies to prefer the least congested productive direction. Entries for
+/// directions that leave the mesh are ignored.
+using DownstreamOccupancy = std::array<std::uint32_t, kMeshDirections>;
+
+/// Computes the output direction for a message at `cur` heading to `dst`.
+/// All provided policies are minimal: they only ever return productive
+/// directions, so `hops(route path) == manhattan(cur, dst)`.
+[[nodiscard]] Direction route(RoutingPolicyKind policy, rt::Coord cur, rt::Coord dst,
+                              const DownstreamOccupancy& occupancy);
+
+/// Returns true if the (in -> out) turn at the router at `at` is permitted
+/// under the policy's turn restrictions (`at` matters only for odd-even,
+/// whose rules depend on column parity). Used by property tests to prove
+/// that routed paths never take a forbidden turn (the deadlock-freedom
+/// argument).
+[[nodiscard]] bool turn_allowed(RoutingPolicyKind policy, Direction in, Direction out,
+                                rt::Coord at = {});
+
+/// Coordinate one hop from `c` in direction `d` (caller ensures it stays on
+/// the mesh).
+[[nodiscard]] constexpr rt::Coord step(rt::Coord c, Direction d) noexcept {
+  switch (d) {
+    case Direction::kNorth: return {c.x, c.y - 1};
+    case Direction::kSouth: return {c.x, c.y + 1};
+    case Direction::kEast: return {c.x + 1, c.y};
+    case Direction::kWest: return {c.x - 1, c.y};
+    case Direction::kLocal: return c;
+  }
+  return c;
+}
+
+}  // namespace ccastream::sim

@@ -1,0 +1,41 @@
+#include "sim/stats.hpp"
+
+#include <ostream>
+
+namespace ccastream::sim {
+
+ChipStats ChipStats::delta_since(const ChipStats& earlier) const noexcept {
+  ChipStats d;
+  d.cycles = cycles - earlier.cycles;
+  d.actions_created = actions_created - earlier.actions_created;
+  d.actions_executed = actions_executed - earlier.actions_executed;
+  d.tasks_scheduled = tasks_scheduled - earlier.tasks_scheduled;
+  d.instructions = instructions - earlier.instructions;
+  d.stage_stalls = stage_stalls - earlier.stage_stalls;
+  d.messages_staged = messages_staged - earlier.messages_staged;
+  d.hops = hops - earlier.hops;
+  d.deliveries = deliveries - earlier.deliveries;
+  d.total_delivery_latency = total_delivery_latency - earlier.total_delivery_latency;
+  d.io_injections = io_injections - earlier.io_injections;
+  d.allocations = allocations - earlier.allocations;
+  d.alloc_forwards = alloc_forwards - earlier.alloc_forwards;
+  d.alloc_failures = alloc_failures - earlier.alloc_failures;
+  d.futures_fulfilled = futures_fulfilled - earlier.futures_fulfilled;
+  d.future_waiters_drained = future_waiters_drained - earlier.future_waiters_drained;
+  d.faults = faults - earlier.faults;
+  return d;
+}
+
+std::ostream& operator<<(std::ostream& os, const ChipStats& s) {
+  os << "cycles=" << s.cycles << " actions(created=" << s.actions_created
+     << ", executed=" << s.actions_executed << ", tasks=" << s.tasks_scheduled
+     << ") instr=" << s.instructions << " msgs(staged=" << s.messages_staged
+     << ", hops=" << s.hops << ", delivered=" << s.deliveries
+     << ", mean_lat=" << s.mean_delivery_latency() << ") io=" << s.io_injections
+     << " alloc(ok=" << s.allocations << ", fwd=" << s.alloc_forwards
+     << ", fail=" << s.alloc_failures << ") futures(fulfilled=" << s.futures_fulfilled
+     << ", drained=" << s.future_waiters_drained << ") faults=" << s.faults;
+  return os;
+}
+
+}  // namespace ccastream::sim

@@ -1,0 +1,57 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+namespace ccastream::sim {
+
+double ActivationTrace::mean_active_fraction(std::uint32_t cell_count) const {
+  if (samples_.empty() || cell_count == 0) return 0.0;
+  std::uint64_t sum = 0;
+  for (const auto& s : samples_) sum += s.active;
+  return static_cast<double>(sum) /
+         (static_cast<double>(samples_.size()) * cell_count);
+}
+
+double ActivationTrace::peak_active_fraction(std::uint32_t cell_count) const {
+  if (samples_.empty() || cell_count == 0) return 0.0;
+  std::uint32_t peak = 0;
+  for (const auto& s : samples_) peak = std::max(peak, s.active);
+  return static_cast<double>(peak) / cell_count;
+}
+
+std::vector<std::pair<std::uint64_t, double>> ActivationTrace::percent_series(
+    std::uint32_t cell_count, std::size_t max_points) const {
+  std::vector<std::pair<std::uint64_t, double>> out;
+  if (samples_.empty() || cell_count == 0 || max_points == 0) return out;
+  const std::size_t stride = std::max<std::size_t>(1, samples_.size() / max_points);
+  out.reserve(samples_.size() / stride + 1);
+  for (std::size_t i = 0; i < samples_.size(); i += stride) {
+    // Average the bucket so short activity bursts are not aliased away.
+    std::uint64_t sum = 0;
+    const std::size_t end = std::min(i + stride, samples_.size());
+    for (std::size_t j = i; j < end; ++j) sum += samples_[j].active;
+    const double pct = 100.0 * static_cast<double>(sum) /
+                       (static_cast<double>(end - i) * cell_count);
+    out.emplace_back(i, pct);
+  }
+  return out;
+}
+
+ActivityGridWriter::ActivityGridWriter(std::string directory, std::uint32_t width,
+                                       std::uint32_t height)
+    : dir_(std::move(directory)), width_(width), height_(height) {}
+
+bool ActivityGridWriter::write_frame(std::uint64_t index,
+                                     const std::vector<std::uint8_t>& levels) const {
+  if (levels.size() != static_cast<std::size_t>(width_) * height_) return false;
+  std::ofstream f(dir_ + "/frame_" + std::to_string(index) + ".pgm",
+                  std::ios::binary);
+  if (!f) return false;
+  f << "P5\n" << width_ << " " << height_ << "\n255\n";
+  f.write(reinterpret_cast<const char*>(levels.data()),
+          static_cast<std::streamsize>(levels.size()));
+  return static_cast<bool>(f);
+}
+
+}  // namespace ccastream::sim

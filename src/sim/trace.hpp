@@ -1,0 +1,62 @@
+// Per-cycle activation trace (paper Figures 6 & 7): how many compute cells
+// performed an operation each cycle, plus an optional spatial snapshot
+// facility used to render chip-activity animations like the authors'.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ccastream::sim {
+
+/// Records one sample per simulated cycle while enabled.
+class ActivationTrace {
+ public:
+  struct Sample {
+    std::uint32_t active = 0;  ///< cells that performed an op this cycle.
+    std::uint32_t live = 0;    ///< cells holding any pending work.
+  };
+
+  void set_enabled(bool on) { enabled_ = on; }
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+  void record(std::uint32_t active, std::uint32_t live) {
+    if (enabled_) samples_.push_back({active, live});
+  }
+
+  [[nodiscard]] const std::vector<Sample>& samples() const noexcept { return samples_; }
+  void clear() { samples_.clear(); }
+
+  /// Mean fraction of cells active over the trace, given the cell count.
+  [[nodiscard]] double mean_active_fraction(std::uint32_t cell_count) const;
+
+  /// Peak fraction of cells active in any one cycle.
+  [[nodiscard]] double peak_active_fraction(std::uint32_t cell_count) const;
+
+  /// Downsamples to at most `max_points` (cycle, percent-active) pairs —
+  /// what the Figure 6/7 plots consume.
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, double>> percent_series(
+      std::uint32_t cell_count, std::size_t max_points = 512) const;
+
+ private:
+  std::vector<Sample> samples_;
+  bool enabled_ = false;
+};
+
+/// Writes spatial activity snapshots (one PGM image per sample) for
+/// animation, mirroring the authors' repository animations.
+class ActivityGridWriter {
+ public:
+  ActivityGridWriter(std::string directory, std::uint32_t width, std::uint32_t height);
+
+  /// Writes frame `index` from per-cell activity levels (0..255).
+  /// Returns false on I/O failure.
+  bool write_frame(std::uint64_t index, const std::vector<std::uint8_t>& levels) const;
+
+ private:
+  std::string dir_;
+  std::uint32_t width_;
+  std::uint32_t height_;
+};
+
+}  // namespace ccastream::sim

@@ -1,0 +1,30 @@
+#include "workload/rmat.hpp"
+
+#include "runtime/rng.hpp"
+
+namespace ccastream::wl {
+
+std::vector<StreamEdge> generate_rmat(const RmatParams& p) {
+  rt::Xoshiro256 rng(p.seed);
+  const std::uint64_t n = 1ull << p.scale;
+  const std::uint64_t m = p.num_edges == 0 ? 16ull * n : p.num_edges;
+
+  std::vector<StreamEdge> edges;
+  edges.reserve(m);
+  while (edges.size() < m) {
+    std::uint64_t u = 0, v = 0;
+    for (std::uint32_t bit = 0; bit < p.scale; ++bit) {
+      const double r = rng.uniform();
+      // Quadrant choice: a (0,0), b (0,1), c (1,0), d (1,1).
+      const bool row = r >= p.a + p.b;
+      const bool col = row ? (r >= p.a + p.b + p.c) : (r >= p.a);
+      u = (u << 1) | static_cast<std::uint64_t>(row);
+      v = (v << 1) | static_cast<std::uint64_t>(col);
+    }
+    if (!p.allow_self_loops && u == v) continue;
+    edges.push_back(StreamEdge{u, v, static_cast<std::uint32_t>(1 + rng.below(8))});
+  }
+  return edges;
+}
+
+}  // namespace ccastream::wl

@@ -1,0 +1,23 @@
+// Recursive-matrix (R-MAT / Graph500-style) generator: a second workload
+// family with heavy degree skew, used by the ablation benchmarks to stress
+// RPVO chains and allocator policies beyond the SBM graphs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/stream_edge.hpp"
+
+namespace ccastream::wl {
+
+struct RmatParams {
+  std::uint32_t scale = 10;      ///< 2^scale vertices.
+  std::uint64_t num_edges = 0;   ///< 0 -> 16 * vertices (Graph500 density).
+  double a = 0.57, b = 0.19, c = 0.19;  ///< Quadrant probabilities (d = 1-a-b-c).
+  bool allow_self_loops = false;
+  std::uint64_t seed = 7;
+};
+
+[[nodiscard]] std::vector<StreamEdge> generate_rmat(const RmatParams& params);
+
+}  // namespace ccastream::wl

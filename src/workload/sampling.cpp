@@ -1,0 +1,190 @@
+#include "workload/sampling.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+#include "runtime/rng.hpp"
+#include "workload/sbm.hpp"
+
+namespace ccastream::wl {
+
+std::string_view to_string(SamplingKind kind) noexcept {
+  switch (kind) {
+    case SamplingKind::kEdge: return "Edge";
+    case SamplingKind::kSnowball: return "Snowball";
+  }
+  return "?";
+}
+
+StreamSchedule edge_sampling(std::vector<StreamEdge> edges, std::uint32_t increments,
+                             std::uint64_t seed) {
+  rt::Xoshiro256 rng(seed);
+  // Fisher-Yates with our deterministic RNG (std::shuffle's output is
+  // implementation-defined, which would break cross-platform repro).
+  for (std::size_t i = edges.size(); i > 1; --i) {
+    std::swap(edges[i - 1], edges[rng.below(i)]);
+  }
+
+  StreamSchedule sched;
+  sched.kind = SamplingKind::kEdge;
+  sched.increments.resize(std::max<std::uint32_t>(1, increments));
+  const std::size_t k = sched.increments.size();
+  const std::size_t base = edges.size() / k;
+  const std::size_t extra = edges.size() % k;
+  std::size_t pos = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t len = base + (i < extra ? 1 : 0);
+    sched.increments[i].assign(edges.begin() + static_cast<std::ptrdiff_t>(pos),
+                               edges.begin() + static_cast<std::ptrdiff_t>(pos + len));
+    pos += len;
+  }
+  return sched;
+}
+
+StreamSchedule snowball_sampling(const std::vector<StreamEdge>& edges,
+                                 std::uint64_t num_vertices, std::uint32_t increments,
+                                 std::uint64_t seed) {
+  rt::Xoshiro256 rng(seed);
+
+  // Undirected incidence: vertex -> indices of edges touching it.
+  std::vector<std::vector<std::uint32_t>> incidence(num_vertices);
+  for (std::uint32_t i = 0; i < edges.size(); ++i) {
+    if (edges[i].src < num_vertices) incidence[edges[i].src].push_back(i);
+    if (edges[i].dst < num_vertices && edges[i].dst != edges[i].src) {
+      incidence[edges[i].dst].push_back(i);
+    }
+  }
+
+  // Breadth-first discovery: an edge is emitted when its first endpoint is
+  // processed; a vertex joins the frontier when first touched. Restart from
+  // a random unvisited vertex when a component is exhausted.
+  std::vector<StreamEdge> ordered;
+  ordered.reserve(edges.size());
+  std::vector<bool> edge_done(edges.size(), false);
+  std::vector<bool> visited(num_vertices, false);
+  std::deque<std::uint64_t> frontier;
+  const std::uint64_t start = num_vertices == 0 ? 0 : rng.below(num_vertices);
+
+  auto visit = [&](std::uint64_t v) {
+    if (v < num_vertices && !visited[v]) {
+      visited[v] = true;
+      frontier.push_back(v);
+    }
+  };
+  visit(start);
+  std::uint64_t scan = 0;  // restart cursor for disconnected remainders
+  while (ordered.size() < edges.size()) {
+    if (frontier.empty()) {
+      while (scan < num_vertices && visited[scan]) ++scan;
+      if (scan >= num_vertices) break;
+      visit(scan);
+      continue;
+    }
+    const std::uint64_t u = frontier.front();
+    frontier.pop_front();
+    for (const std::uint32_t ei : incidence[u]) {
+      if (edge_done[ei]) continue;
+      edge_done[ei] = true;
+      ordered.push_back(edges[ei]);
+      visit(edges[ei].src);
+      visit(edges[ei].dst);
+    }
+  }
+  // Edges whose endpoints exceed num_vertices (defensive): append in order.
+  for (std::uint32_t i = 0; i < edges.size(); ++i) {
+    if (!edge_done[i]) ordered.push_back(edges[i]);
+  }
+
+  // Cut into increments with a linear ramp: the paper's snowball rows grow
+  // from ~3% of the edges in increment 1 to ~19% in increment 10.
+  StreamSchedule sched;
+  sched.kind = SamplingKind::kSnowball;
+  sched.seed_vertex = start;
+  const std::uint32_t k = std::max<std::uint32_t>(1, increments);
+  sched.increments.resize(k);
+  // Weights w_i = first + i * step, scaled so they sum to the edge count.
+  // first:last = ~1:6 matches Table 1 (37K : 191K ≈ 1 : 5.2).
+  const double first = 1.0;
+  const double last = 6.0;
+  double wsum = 0.0;
+  std::vector<double> w(k);
+  for (std::uint32_t i = 0; i < k; ++i) {
+    w[i] = k == 1 ? 1.0 : first + (last - first) * i / (k - 1);
+    wsum += w[i];
+  }
+  std::size_t pos = 0;
+  for (std::uint32_t i = 0; i < k; ++i) {
+    std::size_t len =
+        i + 1 == k ? ordered.size() - pos
+                   : static_cast<std::size_t>(w[i] / wsum *
+                                              static_cast<double>(ordered.size()));
+    len = std::min(len, ordered.size() - pos);
+    sched.increments[i].assign(
+        ordered.begin() + static_cast<std::ptrdiff_t>(pos),
+        ordered.begin() + static_cast<std::ptrdiff_t>(pos + len));
+    pos += len;
+  }
+  return sched;
+}
+
+StreamSchedule make_graphchallenge_like(std::uint64_t vertices, std::uint64_t edges,
+                                        SamplingKind kind, std::uint32_t increments,
+                                        std::uint64_t seed) {
+  SbmParams p;
+  p.num_vertices = vertices;
+  p.num_edges = edges;
+  p.num_blocks = static_cast<std::uint32_t>(std::max<std::uint64_t>(
+      2, vertices / 1500));  // GraphChallenge-like community sizes
+  p.intra_prob = 0.7;
+  p.degree_skew = 1.3;
+  p.seed = seed;
+  auto raw = generate_sbm(p);
+  if (kind == SamplingKind::kEdge) {
+    return edge_sampling(std::move(raw), increments, seed ^ 0x9E3779B9ull);
+  }
+  return snowball_sampling(raw, vertices, increments, seed ^ 0x9E3779B9ull);
+}
+
+std::vector<StreamEdge> symmetrize(const std::vector<StreamEdge>& edges) {
+  std::vector<StreamEdge> out;
+  out.reserve(edges.size() * 2);
+  for (const auto& e : edges) {
+    out.push_back(e);
+    if (e.src != e.dst) out.push_back(StreamEdge{e.dst, e.src, e.weight});
+  }
+  return out;
+}
+
+std::vector<StreamEdge> undirected_simple(const std::vector<StreamEdge>& edges) {
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(edges.size() * 2);
+  std::vector<StreamEdge> out;
+  out.reserve(edges.size() * 2);
+  for (const auto& e : edges) {
+    if (e.src == e.dst) continue;
+    const std::uint64_t a = std::min(e.src, e.dst);
+    const std::uint64_t b = std::max(e.src, e.dst);
+    const std::uint64_t key = (a << 32) | (b & 0xFFFF'FFFFull);
+    if (!seen.insert(key).second) continue;
+    out.push_back(StreamEdge{a, b, e.weight});
+    out.push_back(StreamEdge{b, a, e.weight});
+  }
+  return out;
+}
+
+std::vector<StreamEdge> simplify(const std::vector<StreamEdge>& edges) {
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(edges.size() * 2);
+  std::vector<StreamEdge> out;
+  out.reserve(edges.size());
+  for (const auto& e : edges) {
+    if (e.src == e.dst) continue;
+    // Pair key; workloads keep vertex ids below 2^32.
+    const std::uint64_t key = (e.src << 32) | (e.dst & 0xFFFF'FFFFull);
+    if (seen.insert(key).second) out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace ccastream::wl

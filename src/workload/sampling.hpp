@@ -1,0 +1,76 @@
+// Streaming order generators — the two sampling methods of the
+// GraphChallenge datasets (paper §4, Table 1):
+//
+//  * Edge sampling: edges arrive in a uniformly random order, "as if they
+//    were formed or observed in the real world"; every increment carries a
+//    near-equal share of the edges.
+//  * Snowball sampling: edges arrive "as they are discovered from a
+//    starting point" — a breadth-first expansion, so increments grow as the
+//    frontier widens (Table 1's 37K -> 191K ramp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/stream_edge.hpp"
+
+namespace ccastream::wl {
+
+enum class SamplingKind : std::uint8_t { kEdge, kSnowball };
+
+[[nodiscard]] std::string_view to_string(SamplingKind kind) noexcept;
+
+/// A full streaming schedule: the edge set cut into ordered increments.
+struct StreamSchedule {
+  std::vector<std::vector<StreamEdge>> increments;
+  SamplingKind kind = SamplingKind::kEdge;
+  /// Snowball only: the vertex the expansion started from (a natural BFS
+  /// source for the streaming-BFS experiments).
+  std::uint64_t seed_vertex = 0;
+
+  [[nodiscard]] std::uint64_t total_edges() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto& inc : increments) n += inc.size();
+    return n;
+  }
+};
+
+/// Uniformly shuffles `edges` and cuts them into `increments` equal parts.
+[[nodiscard]] StreamSchedule edge_sampling(std::vector<StreamEdge> edges,
+                                           std::uint32_t increments,
+                                           std::uint64_t seed);
+
+/// Orders `edges` by breadth-first discovery from a random start vertex
+/// (restarting on unreached components), then cuts the sequence into
+/// increments whose sizes ramp linearly — the growth profile of Table 1's
+/// snowball rows.
+[[nodiscard]] StreamSchedule snowball_sampling(const std::vector<StreamEdge>& edges,
+                                               std::uint64_t num_vertices,
+                                               std::uint32_t increments,
+                                               std::uint64_t seed);
+
+/// Convenience: SBM graph + sampling order in one call (a Table 1 row).
+[[nodiscard]] StreamSchedule make_graphchallenge_like(std::uint64_t vertices,
+                                                      std::uint64_t edges,
+                                                      SamplingKind kind,
+                                                      std::uint32_t increments,
+                                                      std::uint64_t seed);
+
+/// Appends the reverse of every edge (for undirected-semantics algorithms:
+/// connected components, triangle counting, Jaccard).
+[[nodiscard]] std::vector<StreamEdge> symmetrize(const std::vector<StreamEdge>& edges);
+
+/// Removes duplicate (src, dst) pairs and self-loops, keeping first weights
+/// (turns an observation stream into a simple directed graph).
+[[nodiscard]] std::vector<StreamEdge> simplify(const std::vector<StreamEdge>& edges);
+
+/// Canonicalises to a simple *undirected* graph: drops self-loops, dedups
+/// unordered pairs (so {u,v} survives only once even if both directions
+/// were observed), and emits both directions of each surviving pair. The
+/// result has symmetric, duplicate-free adjacency — the precondition for
+/// triangle counting and Jaccard queries.
+[[nodiscard]] std::vector<StreamEdge> undirected_simple(
+    const std::vector<StreamEdge>& edges);
+
+}  // namespace ccastream::wl

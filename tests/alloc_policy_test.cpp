@@ -1,0 +1,113 @@
+// Unit + property tests: ghost allocation policies (paper Figure 5).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "runtime/alloc_policy.hpp"
+#include "runtime/rng.hpp"
+
+namespace ccastream::rt {
+namespace {
+
+TEST(AllocPolicy, Names) {
+  EXPECT_EQ(to_string(AllocPolicyKind::kVicinity), "vicinity");
+  EXPECT_EQ(to_string(AllocPolicyKind::kRandom), "random");
+  EXPECT_EQ(to_string(AllocPolicyKind::kRoundRobin), "round-robin");
+  EXPECT_EQ(to_string(AllocPolicyKind::kLocal), "local");
+}
+
+TEST(AllocPolicy, FactoryProducesRequestedKind) {
+  for (const auto kind :
+       {AllocPolicyKind::kVicinity, AllocPolicyKind::kRandom,
+        AllocPolicyKind::kRoundRobin, AllocPolicyKind::kLocal}) {
+    EXPECT_EQ(make_alloc_policy(kind)->kind(), kind);
+  }
+}
+
+// Property sweep: every vicinity choice is within the radius, never the
+// origin, and the whole ring is eventually covered.
+struct VicinityCase {
+  std::uint32_t mesh;
+  std::uint32_t radius;
+  std::uint32_t origin;
+};
+
+class VicinityProperty : public ::testing::TestWithParam<VicinityCase> {};
+
+TEST_P(VicinityProperty, ChoicesWithinRadiusAndCoverRing) {
+  const auto [dim, radius, origin] = GetParam();
+  const MeshGeometry mesh(dim, dim);
+  VicinityAllocator policy(radius);
+  Xoshiro256 rng(origin * 7919 + radius);
+
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 4000; ++i) {
+    const std::uint32_t cc = policy.choose(origin, mesh, rng);
+    ASSERT_LT(cc, mesh.cell_count());
+    ASSERT_NE(cc, origin);
+    ASSERT_LE(mesh.hops(origin, cc), radius)
+        << "ghost placed " << mesh.hops(origin, cc) << " hops away";
+    seen.insert(cc);
+  }
+  // Count the true candidate set and require full coverage.
+  std::uint32_t candidates = 0;
+  for (std::uint32_t cc = 0; cc < mesh.cell_count(); ++cc) {
+    const auto h = mesh.hops(origin, cc);
+    if (h >= 1 && h <= radius) ++candidates;
+  }
+  EXPECT_EQ(seen.size(), candidates);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, VicinityProperty,
+    ::testing::Values(VicinityCase{8, 2, 0},        // corner
+                      VicinityCase{8, 2, 27},       // interior
+                      VicinityCase{8, 1, 7},        // corner, radius 1
+                      VicinityCase{8, 3, 36},
+                      VicinityCase{4, 2, 5},
+                      VicinityCase{16, 2, 120},
+                      VicinityCase{3, 2, 4},        // radius covers most of mesh
+                      VicinityCase{32, 2, 32 * 16 + 16}));
+
+TEST(VicinityAllocator, DegenerateOneByOneMeshFallsBackToOrigin) {
+  const MeshGeometry mesh(1, 1);
+  VicinityAllocator policy(2);
+  Xoshiro256 rng(1);
+  EXPECT_EQ(policy.choose(0, mesh, rng), 0u);
+}
+
+TEST(RandomAllocator, UniformOverChip) {
+  const MeshGeometry mesh(8, 8);
+  RandomAllocator policy;
+  Xoshiro256 rng(3);
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 20000; ++i) {
+    const auto cc = policy.choose(0, mesh, rng);
+    ASSERT_LT(cc, 64u);
+    seen.insert(cc);
+  }
+  EXPECT_EQ(seen.size(), 64u);  // every cell eventually chosen
+}
+
+TEST(RoundRobinAllocator, CyclesThroughAllCells) {
+  const MeshGeometry mesh(4, 4);
+  RoundRobinAllocator policy;
+  Xoshiro256 rng(3);
+  for (std::uint32_t round = 0; round < 3; ++round) {
+    for (std::uint32_t i = 0; i < 16; ++i) {
+      EXPECT_EQ(policy.choose(5, mesh, rng), i);
+    }
+  }
+}
+
+TEST(LocalAllocator, AlwaysOrigin) {
+  const MeshGeometry mesh(4, 4);
+  LocalAllocator policy;
+  Xoshiro256 rng(3);
+  for (std::uint32_t origin = 0; origin < 16; ++origin) {
+    EXPECT_EQ(policy.choose(origin, mesh, rng), origin);
+  }
+}
+
+}  // namespace
+}  // namespace ccastream::rt

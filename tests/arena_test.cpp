@@ -1,0 +1,91 @@
+// Unit tests: per-cell scratchpad object arena.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "runtime/arena.hpp"
+
+namespace ccastream::rt {
+namespace {
+
+class TestObject final : public ArenaObject {
+ public:
+  explicit TestObject(std::size_t bytes, int tag = 0) : bytes_(bytes), tag(tag) {}
+  [[nodiscard]] std::size_t logical_bytes() const noexcept override { return bytes_; }
+  int tag;
+
+ private:
+  std::size_t bytes_;
+};
+
+TEST(ObjectArena, InsertReturnsSequentialSlots) {
+  ObjectArena arena(1024);
+  const auto s0 = arena.insert(std::make_unique<TestObject>(100, 0));
+  const auto s1 = arena.insert(std::make_unique<TestObject>(100, 1));
+  ASSERT_TRUE(s0 && s1);
+  EXPECT_EQ(*s0, 0u);
+  EXPECT_EQ(*s1, 1u);
+  EXPECT_EQ(arena.object_count(), 2u);
+  EXPECT_EQ(arena.bytes_used(), 200u);
+}
+
+TEST(ObjectArena, GetReturnsInsertedObject) {
+  ObjectArena arena(1024);
+  const auto slot = arena.insert(std::make_unique<TestObject>(10, 42));
+  ASSERT_TRUE(slot);
+  auto* obj = dynamic_cast<TestObject*>(arena.get(*slot));
+  ASSERT_NE(obj, nullptr);
+  EXPECT_EQ(obj->tag, 42);
+}
+
+TEST(ObjectArena, GetOutOfRangeIsNull) {
+  ObjectArena arena(1024);
+  EXPECT_EQ(arena.get(0), nullptr);
+  arena.insert(std::make_unique<TestObject>(1));
+  EXPECT_EQ(arena.get(1), nullptr);
+}
+
+TEST(ObjectArena, RejectsOverflow) {
+  ObjectArena arena(100);
+  EXPECT_TRUE(arena.insert(std::make_unique<TestObject>(60)));
+  EXPECT_FALSE(arena.insert(std::make_unique<TestObject>(60)));  // 120 > 100
+  EXPECT_TRUE(arena.insert(std::make_unique<TestObject>(40)));   // exactly fits
+  EXPECT_EQ(arena.bytes_used(), 100u);
+  EXPECT_FALSE(arena.insert(std::make_unique<TestObject>(1)));
+}
+
+TEST(ObjectArena, RejectsNull) {
+  ObjectArena arena(100);
+  EXPECT_FALSE(arena.insert(nullptr));
+}
+
+TEST(ObjectArena, WouldFit) {
+  ObjectArena arena(100);
+  EXPECT_TRUE(arena.would_fit(100));
+  EXPECT_FALSE(arena.would_fit(101));
+  arena.insert(std::make_unique<TestObject>(30));
+  EXPECT_TRUE(arena.would_fit(70));
+  EXPECT_FALSE(arena.would_fit(71));
+}
+
+TEST(ObjectArena, PointersStableAcrossGrowth) {
+  ObjectArena arena(1u << 20);
+  const auto first = arena.insert(std::make_unique<TestObject>(8, 7));
+  auto* before = arena.get(*first);
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(arena.insert(std::make_unique<TestObject>(8, i)));
+  }
+  EXPECT_EQ(arena.get(*first), before);  // slot 0 never moved
+}
+
+TEST(ObjectArena, ClearResetsUsage) {
+  ObjectArena arena(100);
+  arena.insert(std::make_unique<TestObject>(80));
+  arena.clear();
+  EXPECT_EQ(arena.object_count(), 0u);
+  EXPECT_EQ(arena.bytes_used(), 0u);
+  EXPECT_TRUE(arena.insert(std::make_unique<TestObject>(80)));
+}
+
+}  // namespace
+}  // namespace ccastream::rt

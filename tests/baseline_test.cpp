@@ -1,0 +1,119 @@
+// Baseline oracles: known-answer tests plus the incremental-equals-
+// recompute property of DynamicBfs.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "test_util.hpp"
+
+namespace ccastream::base {
+namespace {
+
+RefGraph path4() {
+  RefGraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  return g;
+}
+
+TEST(RefBfs, Path) {
+  const auto l = bfs_levels(path4(), 0);
+  EXPECT_EQ(l, (std::vector<std::uint64_t>{0, 1, 2, 3}));
+}
+
+TEST(RefBfs, UnreachableAndDirectionality) {
+  const auto l = bfs_levels(path4(), 2);
+  EXPECT_EQ(l[0], kUnreached);
+  EXPECT_EQ(l[1], kUnreached);
+  EXPECT_EQ(l[2], 0u);
+  EXPECT_EQ(l[3], 1u);
+}
+
+TEST(RefSssp, PrefersLightPath) {
+  RefGraph g(3);
+  g.add_edge(0, 2, 10);
+  g.add_edge(0, 1, 2);
+  g.add_edge(1, 2, 3);
+  const auto d = sssp_distances(g, 0);
+  EXPECT_EQ(d[2], 5u);
+}
+
+TEST(RefComponents, MinLabels) {
+  RefGraph g(6);
+  g.add_edge(1, 5);
+  g.add_edge(5, 3);
+  g.add_edge(2, 4);
+  const auto l = component_min_labels(g);
+  EXPECT_EQ(l, (std::vector<std::uint64_t>{0, 1, 2, 1, 2, 1}));
+}
+
+TEST(RefTriangles, K4) {
+  RefGraph g(4);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    for (std::uint64_t j = 0; j < 4; ++j) {
+      if (i != j) g.add_edge(i, j);
+    }
+  }
+  EXPECT_EQ(closed_wedges(g), 12u);  // 3 * 4 triangles
+}
+
+TEST(RefJaccard, KnownValue) {
+  RefGraph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(0, 3);
+  g.add_edge(4, 2);
+  g.add_edge(4, 3);
+  g.add_edge(4, 5);
+  EXPECT_DOUBLE_EQ(jaccard(g, 0, 4), 0.5);
+  EXPECT_DOUBLE_EQ(jaccard(g, 1, 5), 0.0);
+}
+
+TEST(RefPageRank, SumsToVertexCountOnCycle) {
+  RefGraph g(4);
+  for (std::uint64_t v = 0; v < 4; ++v) g.add_edge(v, (v + 1) % 4);
+  const auto pr = pagerank(g, 0.85, 1e-12);
+  double sum = 0;
+  for (const double r : pr) sum += r;
+  EXPECT_NEAR(sum, 4.0, 1e-6);
+  for (const double r : pr) EXPECT_NEAR(r, 1.0, 1e-6);
+}
+
+TEST(DynamicBfs, InsertionRepairsLevels) {
+  DynamicBfs d(5, 0);
+  d.insert_edge(0, 1);
+  d.insert_edge(1, 2);
+  EXPECT_EQ(d.level_of(2), 2u);
+  d.insert_edge(0, 2);  // shortcut
+  EXPECT_EQ(d.level_of(2), 1u);
+  EXPECT_EQ(d.level_of(3), kUnreached);
+}
+
+TEST(DynamicBfs, EdgeIntoSourceDoesNothing) {
+  DynamicBfs d(3, 0);
+  d.insert_edge(1, 0);
+  EXPECT_EQ(d.level_of(0), 0u);
+  EXPECT_EQ(d.level_of(1), kUnreached);
+}
+
+class DynamicEqualsRecompute : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DynamicEqualsRecompute, AfterEveryIncrement) {
+  rt::Xoshiro256 rng(GetParam());
+  const std::uint64_t n = 80;
+  DynamicBfs d(n, 0);
+  for (int inc = 0; inc < 8; ++inc) {
+    std::vector<StreamEdge> edges;
+    for (int i = 0; i < 40; ++i) edges.push_back({rng.below(n), rng.below(n), 1});
+    d.insert_increment(edges);
+    ASSERT_EQ(d.levels(), d.recompute()) << "increment " << inc;
+  }
+  EXPECT_GT(d.vertices_resettled(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DynamicEqualsRecompute,
+                         ::testing::Values(71, 72, 73, 74, 75));
+
+}  // namespace
+}  // namespace ccastream::base

@@ -1,0 +1,293 @@
+// Unit tests: the chip's execution model — action dispatch, diffusion,
+// timing rules, IO injection, quiescence, the allocate system action, and
+// fault handling.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "test_util.hpp"
+
+namespace ccastream::sim {
+namespace {
+
+using rt::Action;
+using rt::GlobalAddress;
+using rt::make_action;
+using rt::Word;
+using test::small_chip_config;
+
+/// Simple counter object used as an action target.
+class Counter final : public rt::ArenaObject {
+ public:
+  [[nodiscard]] std::size_t logical_bytes() const noexcept override { return 16; }
+  std::uint64_t value = 0;
+};
+
+TEST(Chip, StartsQuiescent) {
+  Chip chip(small_chip_config());
+  EXPECT_TRUE(chip.quiescent());
+  EXPECT_EQ(chip.run_until_quiescent(100), 0u);
+  EXPECT_EQ(chip.now(), 0u);
+}
+
+TEST(Chip, ExecutesInjectedAction) {
+  Chip chip(small_chip_config());
+  const auto addr = chip.host_allocate(5, std::make_unique<Counter>());
+  ASSERT_TRUE(addr);
+  const rt::HandlerId h = chip.handlers().register_handler(
+      "bump", [](rt::Context& ctx, const Action& a) {
+        auto* c = ctx.as<Counter>(a.target);
+        ASSERT_NE(c, nullptr);
+        c->value += a.args[0];
+      });
+  chip.inject_local(make_action(h, *addr, Word{7}));
+  EXPECT_FALSE(chip.quiescent());
+  chip.run_until_quiescent();
+  EXPECT_TRUE(chip.quiescent());
+  EXPECT_EQ(chip.as<Counter>(*addr)->value, 7u);
+  EXPECT_EQ(chip.stats().actions_executed, 1u);
+}
+
+TEST(Chip, PropagatedActionTraversesNetworkMinimally) {
+  auto cfg = small_chip_config(8);
+  Chip chip(cfg);
+  // Target in the far corner, injected at the near corner.
+  const auto dst = chip.host_allocate(63, std::make_unique<Counter>());
+  ASSERT_TRUE(dst);
+  const rt::HandlerId h = chip.handlers().register_handler(
+      "bump", [](rt::Context& ctx, const Action& a) {
+        if (auto* c = ctx.as<Counter>(a.target)) ++c->value;
+      });
+  chip.inject_via(0, make_action(h, *dst));
+  chip.run_until_quiescent();
+  EXPECT_EQ(chip.as<Counter>(*dst)->value, 1u);
+  // (0,0) -> (7,7) is 14 hops; injection adds no hop.
+  EXPECT_EQ(chip.stats().hops, 14u);
+  EXPECT_EQ(chip.stats().deliveries, 1u);
+  // Staging (1 cycle) + 14 hops + ejection + dispatch: latency is bounded.
+  EXPECT_GE(chip.now(), 15u);
+  EXPECT_LE(chip.now(), 25u);
+}
+
+TEST(Chip, DiffusionFanOut) {
+  Chip chip(small_chip_config());
+  // One seed action at cell 0 propagates to 10 counters spread around.
+  std::vector<GlobalAddress> targets;
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    targets.push_back(*chip.host_allocate(i * 6 % 64, std::make_unique<Counter>()));
+  }
+  const rt::HandlerId bump = chip.handlers().register_handler(
+      "bump", [](rt::Context& ctx, const Action& a) {
+        if (auto* c = ctx.as<Counter>(a.target)) ++c->value;
+      });
+  const auto seed_addr = *chip.host_allocate(0, std::make_unique<Counter>());
+  const rt::HandlerId seed = chip.handlers().register_handler(
+      "seed", [&](rt::Context& ctx, const Action&) {
+        for (const auto& t : targets) ctx.propagate(make_action(bump, t));
+      });
+  chip.inject_local(make_action(seed, seed_addr));
+  chip.run_until_quiescent();
+  for (const auto& t : targets) EXPECT_EQ(chip.as<Counter>(t)->value, 1u);
+  EXPECT_EQ(chip.stats().actions_executed, 11u);
+  EXPECT_EQ(chip.stats().messages_staged, 10u);
+}
+
+TEST(Chip, StagingTakesOneCycleEach) {
+  // A handler that propagates K self-local messages keeps its cell busy for
+  // K staging cycles (one op per cycle, paper §4).
+  Chip chip(small_chip_config());
+  const auto tgt = *chip.host_allocate(0, std::make_unique<Counter>());
+  const rt::HandlerId noop =
+      chip.handlers().register_handler("noop", [](rt::Context&, const Action&) {});
+  const rt::HandlerId burst = chip.handlers().register_handler(
+      "burst", [&](rt::Context& ctx, const Action&) {
+        for (int i = 0; i < 5; ++i) ctx.propagate(make_action(noop, tgt));
+      });
+  chip.inject_local(make_action(burst, tgt));
+  chip.run_until_quiescent();
+  EXPECT_EQ(chip.stats().messages_staged, 5u);
+  // 5 stage ops + 6 dispatches at >= 1 cycle each.
+  EXPECT_GE(chip.stats().cycles, 11u);
+}
+
+TEST(Chip, ActionCostKeepsCellBusy) {
+  auto cfg = small_chip_config();
+  cfg.action_base_cost = 1;
+  Chip chip(cfg);
+  const auto tgt = *chip.host_allocate(0, std::make_unique<Counter>());
+  const rt::HandlerId heavy = chip.handlers().register_handler(
+      "heavy", [](rt::Context& ctx, const Action&) { ctx.charge(9); });
+  chip.inject_local(make_action(heavy, tgt));
+  chip.run_until_quiescent();
+  // 1 base + 9 charged = 10 instruction cycles.
+  EXPECT_EQ(chip.stats().instructions, 10u);
+  EXPECT_EQ(chip.stats().cycles, 10u);
+}
+
+TEST(Chip, UnknownHandlerCountsFault) {
+  Chip chip(small_chip_config());
+  const auto tgt = *chip.host_allocate(0, std::make_unique<Counter>());
+  chip.inject_local(make_action(rt::HandlerId{999}, tgt));
+  chip.run_until_quiescent();
+  EXPECT_EQ(chip.stats().faults, 1u);
+  EXPECT_EQ(chip.stats().actions_executed, 0u);
+  EXPECT_TRUE(chip.quiescent());
+}
+
+TEST(Chip, IoInjectsOnePerCellPerCycle) {
+  auto cfg = small_chip_config(4);
+  cfg.io_sides = kIoWest;  // 4 IO cells
+  Chip chip(cfg);
+  const auto tgt = *chip.host_allocate(15, std::make_unique<Counter>());
+  const rt::HandlerId bump = chip.handlers().register_handler(
+      "bump", [](rt::Context& ctx, const Action& a) {
+        if (auto* c = ctx.as<Counter>(a.target)) ++c->value;
+      });
+  for (int i = 0; i < 40; ++i) chip.io_enqueue(make_action(bump, tgt));
+  EXPECT_EQ(chip.io_pending(), 40u);
+  // 40 actions over 4 IO cells: at least 10 cycles of injection.
+  chip.run_until_quiescent();
+  EXPECT_EQ(chip.io_pending(), 0u);
+  EXPECT_EQ(chip.stats().io_injections, 40u);
+  EXPECT_EQ(chip.as<Counter>(tgt)->value, 40u);
+  EXPECT_GE(chip.stats().cycles, 10u);
+}
+
+TEST(Chip, AllocateSystemActionRoundTrip) {
+  auto cfg = small_chip_config();
+  cfg.alloc_policy = rt::AllocPolicyKind::kVicinity;
+  Chip chip(cfg);
+  chip.register_object_kind(7, [] { return std::make_unique<Counter>(); });
+
+  // The reply handler fulfils nothing fancy — it just records the address.
+  const auto home = *chip.host_allocate(20, std::make_unique<Counter>());
+  GlobalAddress got = rt::kNullAddress;
+  const rt::HandlerId reply = chip.handlers().register_handler(
+      "reply", [&](rt::Context&, const Action& a) {
+        got = GlobalAddress::unpack(a.args[0]);
+        EXPECT_EQ(a.args[1], 42u);  // tag round-trips
+      });
+  const rt::HandlerId kick = chip.handlers().register_handler(
+      "kick", [&](rt::Context& ctx, const Action& a) {
+        ctx.call_cc_allocate(7, a.target, reply, 42);
+      });
+  chip.inject_local(make_action(kick, home));
+  chip.run_until_quiescent();
+
+  ASSERT_FALSE(got.is_null());
+  EXPECT_NE(chip.deref(got), nullptr);
+  EXPECT_EQ(chip.stats().allocations, 1u);
+  // Vicinity policy: the new object is at most 2 hops from the requester.
+  EXPECT_LE(chip.geometry().hops(20, got.cc), 2u);
+}
+
+TEST(Chip, AllocateForwardsWhenArenaFull) {
+  auto cfg = small_chip_config(4);
+  cfg.cc_memory_bytes = 8;  // nothing fits anywhere...
+  cfg.alloc_forward_budget = 5;
+  Chip chip(cfg);
+  chip.register_object_kind(7, [] { return std::make_unique<Counter>(); });
+
+  bool got_null = false;
+  const rt::HandlerId reply = chip.handlers().register_handler(
+      "reply", [&](rt::Context&, const Action& a) {
+        got_null = GlobalAddress::unpack(a.args[0]).is_null();
+      });
+  const rt::HandlerId kick = chip.handlers().register_handler(
+      "kick", [&](rt::Context& ctx, const Action& a) {
+        ctx.call_cc_allocate(7, a.target, reply, 0);
+      });
+  // The reply target object cannot be host_allocated (memory 8 < 16), so
+  // target a dummy address; reply handler doesn't deref.
+  chip.inject_local(make_action(kick, GlobalAddress{0, 0}));
+  chip.run_until_quiescent();
+
+  EXPECT_TRUE(got_null);
+  EXPECT_EQ(chip.stats().alloc_forwards, 5u);  // bounced budget times
+  EXPECT_EQ(chip.stats().alloc_failures, 1u);
+  EXPECT_EQ(chip.stats().allocations, 0u);
+}
+
+TEST(Chip, EnergyAccumulatesPerEvent) {
+  auto cfg = small_chip_config();
+  cfg.energy = EnergyModel{};  // defaults
+  Chip chip(cfg);
+  const auto tgt = *chip.host_allocate(32, std::make_unique<Counter>());
+  const rt::HandlerId bump = chip.handlers().register_handler(
+      "bump", [](rt::Context&, const Action&) {});
+  EXPECT_EQ(chip.energy_pj(), 0.0);
+  chip.io_enqueue(make_action(bump, tgt));
+  chip.run_until_quiescent();
+  const auto ev = chip.stats().energy_events();
+  EXPECT_GT(ev.instructions, 0u);
+  EXPECT_GT(ev.io_injections, 0u);
+  EXPECT_DOUBLE_EQ(chip.energy_pj(), total_pj(cfg.energy, ev));
+  EXPECT_GT(chip.energy_pj(), 0.0);
+}
+
+TEST(Chip, ScheduleLocalRunsBeforeQueuedActions) {
+  Chip chip(small_chip_config());
+  const auto tgt = *chip.host_allocate(3, std::make_unique<Counter>());
+  std::vector<int> order;
+  const rt::HandlerId second = chip.handlers().register_handler(
+      "second", [&](rt::Context&, const Action&) { order.push_back(2); });
+  const rt::HandlerId task = chip.handlers().register_handler(
+      "task", [&](rt::Context&, const Action&) { order.push_back(1); });
+  const rt::HandlerId first = chip.handlers().register_handler(
+      "first", [&](rt::Context& ctx, const Action& a) {
+        order.push_back(0);
+        ctx.schedule_local(make_action(task, a.target));
+      });
+  chip.inject_local(make_action(first, tgt));
+  chip.inject_local(make_action(second, tgt));
+  chip.run_until_quiescent();
+  ASSERT_EQ(order.size(), 3u);
+  // The locally scheduled task preempts the queued "second" action.
+  EXPECT_EQ(order[0], 0);
+  EXPECT_EQ(order[1], 1);
+  EXPECT_EQ(order[2], 2);
+}
+
+TEST(Chip, DeterministicAcrossRuns) {
+  auto make_run = [] {
+    auto cfg = small_chip_config();
+    cfg.seed = 99;
+    Chip chip(cfg);
+    const auto tgt = *chip.host_allocate(17, std::make_unique<Counter>());
+    const rt::HandlerId fan = chip.handlers().register_handler(
+        "fan", [&, tgt](rt::Context& ctx, const Action& a) {
+          if (a.args[0] > 0) {
+            for (int i = 0; i < 3; ++i) {
+              ctx.propagate(make_action(a.handler, tgt, a.args[0] - 1));
+            }
+          }
+        });
+    chip.inject_local(make_action(fan, tgt, Word{4}));
+    chip.run_until_quiescent();
+    return chip.stats().cycles;
+  };
+  EXPECT_EQ(make_run(), make_run());
+}
+
+TEST(Chip, ActivationTraceRecordsWhenEnabled) {
+  auto cfg = small_chip_config();
+  cfg.record_activation = true;
+  Chip chip(cfg);
+  const auto tgt = *chip.host_allocate(9, std::make_unique<Counter>());
+  const rt::HandlerId bump = chip.handlers().register_handler(
+      "bump", [](rt::Context&, const Action&) {});
+  chip.io_enqueue(make_action(bump, tgt));
+  chip.run_until_quiescent();
+  EXPECT_EQ(chip.activation().samples().size(), chip.stats().cycles);
+  EXPECT_GT(chip.activation().peak_active_fraction(64), 0.0);
+}
+
+TEST(Chip, ActivityLevelsShapeMatchesMesh) {
+  Chip chip(small_chip_config(4));
+  const auto levels = chip.activity_levels();
+  EXPECT_EQ(levels.size(), 16u);
+  for (const auto l : levels) EXPECT_EQ(l, 0);  // idle chip is dark
+}
+
+}  // namespace
+}  // namespace ccastream::sim

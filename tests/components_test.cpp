@@ -1,0 +1,74 @@
+// Streaming connected components vs the union-find oracle.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "test_util.hpp"
+
+namespace ccastream::apps {
+namespace {
+
+using test::small_chip_config;
+
+struct CcFixture {
+  explicit CcFixture(std::uint64_t nverts, sim::ChipConfig cfg = small_chip_config()) {
+    chip = std::make_unique<sim::Chip>(cfg);
+    proto = std::make_unique<graph::GraphProtocol>(*chip);
+    cc = std::make_unique<StreamingComponents>(*proto);
+    cc->install();
+    graph::GraphConfig gc;
+    gc.num_vertices = nverts;
+    gc.root_init = StreamingComponents::initial_state();
+    g = std::make_unique<graph::StreamingGraph>(*proto, gc);
+    cc->seed_labels(*g);
+  }
+  std::unique_ptr<sim::Chip> chip;
+  std::unique_ptr<graph::GraphProtocol> proto;
+  std::unique_ptr<StreamingComponents> cc;
+  std::unique_ptr<graph::StreamingGraph> g;
+};
+
+TEST(StreamingComponents, IsolatedVerticesKeepOwnLabel) {
+  CcFixture f(5);
+  f.g->run();
+  for (std::uint64_t v = 0; v < 5; ++v) EXPECT_EQ(f.cc->label_of(*f.g, v), v);
+}
+
+TEST(StreamingComponents, TwoComponentsMerge) {
+  CcFixture f(6);
+  // {0,1,2} and {3,4,5} as undirected chains.
+  f.g->stream_increment(wl::symmetrize(
+      std::vector<StreamEdge>{{0, 1, 1}, {1, 2, 1}, {3, 4, 1}, {4, 5, 1}}));
+  EXPECT_EQ(f.cc->label_of(*f.g, 2), 0u);
+  EXPECT_EQ(f.cc->label_of(*f.g, 5), 3u);
+  // A bridge merges them: all labels collapse to 0 incrementally.
+  f.g->stream_increment(wl::symmetrize(std::vector<StreamEdge>{{2, 3, 1}}));
+  for (std::uint64_t v = 0; v < 6; ++v) EXPECT_EQ(f.cc->label_of(*f.g, v), 0u);
+}
+
+class CcEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CcEquivalence, MatchesUnionFind) {
+  const std::uint64_t seed = GetParam();
+  const std::uint64_t n = 64;
+  CcFixture f(n);
+  rt::Xoshiro256 rng(seed);
+  std::vector<StreamEdge> edges;
+  for (int i = 0; i < 70; ++i) {  // sparse: many components
+    const StreamEdge e{rng.below(n), rng.below(n), 1};
+    if (e.src != e.dst) edges.push_back(e);
+  }
+  const auto sym = wl::symmetrize(edges);
+  f.g->stream_increment(sym);
+  const auto ref = base::component_min_labels(test::ref_graph_of(n, sym));
+  for (std::uint64_t v = 0; v < n; ++v) {
+    ASSERT_EQ(f.cc->label_of(*f.g, v), ref[v]) << "vertex " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CcEquivalence,
+                         ::testing::Values(31, 32, 33, 34, 35, 36, 37, 38));
+
+}  // namespace
+}  // namespace ccastream::apps

@@ -1,0 +1,97 @@
+// The AmccaDevice façade: paper Listing 1's host flow end to end.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "test_util.hpp"
+
+namespace ccastream::graph {
+namespace {
+
+TEST(AmccaDevice, Listing1Flow) {
+  // AMCCA_Device dev = /* Initialize the device. */
+  sim::ChipConfig cfg;
+  cfg.width = 8;
+  cfg.height = 8;
+  AmccaDevice dev(cfg);
+
+  // Application actions chain through hooks; BFS here, like the paper.
+  apps::StreamingBfs bfs(dev.protocol());
+  bfs.install();
+
+  // vertices = /* allocate vertices on the device ... */
+  GraphConfig gc;
+  gc.num_vertices = 6;
+  gc.root_init = apps::StreamingBfs::initial_state();
+  auto& g = dev.allocate_vertices(gc);
+  bfs.set_source(g, 0);
+
+  // dev.register_data_transfer(vertices, edges, INSERT_ACTION);
+  const std::vector<StreamEdge> edges{
+      {0, 1, 1}, {1, 2, 1}, {2, 3, 1}, {3, 4, 1}, {4, 5, 1}};
+  dev.register_data_transfer(edges);
+  EXPECT_GT(dev.chip().io_pending(), 0u);
+
+  // AMCCA_Terminator terminator; dev.run(terminator);
+  Terminator terminator;
+  EXPECT_FALSE(terminator.satisfied());
+  const auto cycles = dev.run(terminator);
+  EXPECT_TRUE(terminator.satisfied());
+  EXPECT_EQ(terminator.cycles_waited(), cycles);
+  EXPECT_GT(cycles, 0u);
+
+  for (std::uint64_t v = 0; v < 6; ++v) EXPECT_EQ(bfs.level_of(g, v), v);
+}
+
+TEST(AmccaDevice, RegisterActionDispatches) {
+  AmccaDevice dev(test::small_chip_config());
+  int calls = 0;
+  const rt::HandlerId h = dev.register_action(
+      "test.count", [&](rt::Context&, const rt::Action&) { ++calls; });
+  GraphConfig gc;
+  gc.num_vertices = 1;
+  auto& g = dev.allocate_vertices(gc);
+  dev.chip().inject_local(rt::make_action(h, g.root_of(0)));
+  Terminator t;
+  dev.run(t);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(AmccaDevice, DoubleAllocateThrows) {
+  AmccaDevice dev(test::small_chip_config());
+  GraphConfig gc;
+  gc.num_vertices = 1;
+  dev.allocate_vertices(gc);
+  EXPECT_THROW(dev.allocate_vertices(gc), std::logic_error);
+}
+
+TEST(AmccaDevice, TransferBeforeAllocateThrows) {
+  AmccaDevice dev(test::small_chip_config());
+  const std::vector<StreamEdge> edges{{0, 1, 1}};
+  EXPECT_THROW(dev.register_data_transfer(edges), std::logic_error);
+  EXPECT_FALSE(dev.has_graph());
+}
+
+TEST(AmccaDevice, RunWithBudgetLeavesTerminatorUnsatisfied) {
+  AmccaDevice dev(test::small_chip_config());
+  apps::StreamingBfs bfs(dev.protocol());
+  bfs.install();
+  GraphConfig gc;
+  gc.num_vertices = 50;
+  gc.root_init = apps::StreamingBfs::initial_state();
+  auto& g = dev.allocate_vertices(gc);
+  bfs.set_source(g, 0);
+  std::vector<StreamEdge> edges;
+  rt::Xoshiro256 rng(3);
+  for (int i = 0; i < 300; ++i) edges.push_back({rng.below(50), rng.below(50), 1});
+  dev.register_data_transfer(edges);
+
+  Terminator t;
+  dev.run(t, /*max_cycles=*/3);  // far too few
+  EXPECT_FALSE(t.satisfied());
+  dev.run(t);  // finish the diffusion
+  EXPECT_TRUE(t.satisfied());
+}
+
+}  // namespace
+}  // namespace ccastream::graph

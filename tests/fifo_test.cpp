@@ -1,0 +1,87 @@
+// Unit tests: the router port ring-buffer FIFO.
+#include <gtest/gtest.h>
+
+#include "sim/fifo.hpp"
+
+namespace ccastream::sim {
+namespace {
+
+TEST(Fifo, StartsEmpty) {
+  Fifo<int> f(4);
+  EXPECT_TRUE(f.empty());
+  EXPECT_EQ(f.size(), 0u);
+  EXPECT_EQ(f.capacity(), 4u);
+  EXPECT_TRUE(f.has_room());
+}
+
+TEST(Fifo, FifoOrder) {
+  Fifo<int> f(4);
+  f.push(1);
+  f.push(2);
+  f.push(3);
+  EXPECT_EQ(f.front(), 1);
+  f.pop();
+  EXPECT_EQ(f.front(), 2);
+  f.pop();
+  f.push(4);
+  EXPECT_EQ(f.front(), 3);
+  f.pop();
+  EXPECT_EQ(f.front(), 4);
+}
+
+TEST(Fifo, FullReportsNoRoom) {
+  Fifo<int> f(2);
+  f.push(1);
+  EXPECT_TRUE(f.has_room());
+  f.push(2);
+  EXPECT_FALSE(f.has_room());
+  f.pop();
+  EXPECT_TRUE(f.has_room());
+}
+
+TEST(Fifo, WrapsAroundManyTimes) {
+  Fifo<int> f(3);
+  for (int i = 0; i < 100; ++i) {
+    f.push(i);
+    EXPECT_EQ(f.front(), i);
+    f.pop();
+  }
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(Fifo, InterleavedWrap) {
+  Fifo<int> f(3);
+  int next_in = 0, next_out = 0;
+  for (int round = 0; round < 50; ++round) {
+    while (f.has_room()) f.push(next_in++);
+    while (!f.empty()) {
+      EXPECT_EQ(f.front(), next_out++);
+      f.pop();
+    }
+  }
+  EXPECT_EQ(next_in, next_out);
+}
+
+TEST(Fifo, SetCapacityOnEmpty) {
+  Fifo<int> f;
+  EXPECT_EQ(f.capacity(), 0u);
+  EXPECT_FALSE(f.has_room());
+  f.set_capacity(5);
+  EXPECT_EQ(f.capacity(), 5u);
+  for (int i = 0; i < 5; ++i) f.push(i);
+  EXPECT_FALSE(f.has_room());
+}
+
+TEST(Fifo, ClearEmptiesButKeepsCapacity) {
+  Fifo<int> f(3);
+  f.push(1);
+  f.push(2);
+  f.clear();
+  EXPECT_TRUE(f.empty());
+  EXPECT_EQ(f.capacity(), 3u);
+  f.push(9);
+  EXPECT_EQ(f.front(), 9);
+}
+
+}  // namespace
+}  // namespace ccastream::sim

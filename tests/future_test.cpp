@@ -1,0 +1,126 @@
+// Unit + property tests: the future LCO state machine of paper Figure 4.
+#include <gtest/gtest.h>
+
+#include "runtime/future.hpp"
+#include "runtime/rng.hpp"
+#include "test_util.hpp"
+
+namespace ccastream::rt {
+namespace {
+
+using test::MockContext;
+
+rt::Action waiter(Word payload) {
+  return make_action(HandlerId{9}, kNullAddress, payload);
+}
+
+TEST(FutureAddr, LifecycleMatchesFigure4) {
+  FutureAddr fut;
+  MockContext ctx;
+
+  // State 0: null.
+  EXPECT_TRUE(fut.is_empty());
+  EXPECT_TRUE(fut.value().is_null());
+
+  // State 1: first insert puts it in pending.
+  EXPECT_TRUE(fut.set_pending());
+  EXPECT_TRUE(fut.is_pending());
+
+  // State 2: dependent tasks enqueue.
+  EXPECT_TRUE(fut.enqueue(waiter(1)));
+  EXPECT_TRUE(fut.enqueue(waiter(2)));
+  EXPECT_TRUE(fut.enqueue(waiter(3)));
+  EXPECT_EQ(fut.pending_tasks(), 3u);
+
+  // State 3: the continuation returns and sets the value.
+  const GlobalAddress ghost{5, 17};
+  EXPECT_EQ(fut.fulfil(ghost, ctx), 3);
+  EXPECT_TRUE(fut.is_ready());
+  EXPECT_EQ(fut.value(), ghost);
+
+  // State 4: tasks scheduled, queue emptied, targets patched.
+  EXPECT_EQ(fut.pending_tasks(), 0u);
+  ASSERT_EQ(ctx.scheduled.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(ctx.scheduled[i].target, ghost);
+    EXPECT_EQ(ctx.scheduled[i].args[0], i + 1);
+  }
+}
+
+TEST(FutureAddr, SetPendingOnlyFromEmpty) {
+  FutureAddr fut;
+  MockContext ctx;
+  EXPECT_TRUE(fut.set_pending());
+  EXPECT_FALSE(fut.set_pending());  // already pending
+  fut.fulfil(GlobalAddress{1, 1}, ctx);
+  EXPECT_FALSE(fut.set_pending());  // already ready
+}
+
+TEST(FutureAddr, EnqueueRequiresPending) {
+  FutureAddr fut;
+  MockContext ctx;
+  EXPECT_FALSE(fut.enqueue(waiter(0)));  // empty: nothing in flight
+  fut.set_pending();
+  EXPECT_TRUE(fut.enqueue(waiter(0)));
+  fut.fulfil(GlobalAddress{1, 1}, ctx);
+  EXPECT_FALSE(fut.enqueue(waiter(1)));  // ready: callers read the value
+}
+
+TEST(FutureAddr, DoubleFulfilIsAFault) {
+  FutureAddr fut;
+  MockContext ctx;
+  fut.set_pending();
+  EXPECT_EQ(fut.fulfil(GlobalAddress{1, 1}, ctx), 0);
+  EXPECT_EQ(fut.fulfil(GlobalAddress{2, 2}, ctx), -1);
+  EXPECT_EQ(fut.value(), (GlobalAddress{1, 1}));  // first value sticks
+}
+
+TEST(FutureAddr, FulfilWithNullStillDrains) {
+  FutureAddr fut;
+  MockContext ctx;
+  fut.set_pending();
+  fut.enqueue(waiter(1));
+  EXPECT_EQ(fut.fulfil(kNullAddress, ctx), 1);
+  ASSERT_EQ(ctx.scheduled.size(), 1u);
+  EXPECT_TRUE(ctx.scheduled[0].target.is_null());
+}
+
+TEST(FutureAddr, MaxQueueDepthTracksHighWater) {
+  FutureAddr fut;
+  MockContext ctx;
+  fut.set_pending();
+  for (int i = 0; i < 7; ++i) fut.enqueue(waiter(i));
+  fut.fulfil(GlobalAddress{0, 0}, ctx);
+  EXPECT_EQ(fut.max_queue_depth(), 7u);
+}
+
+// Property: whatever interleaving of enqueues happens before fulfilment, no
+// waiter is ever lost and every waiter is retargeted to the value.
+class FutureInterleaving : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FutureInterleaving, NoLostWakeups) {
+  Xoshiro256 rng(GetParam());
+  FutureAddr fut;
+  MockContext ctx;
+  fut.set_pending();
+
+  const int n = static_cast<int>(rng.below(64));
+  int enqueued = 0;
+  for (int i = 0; i < n; ++i) {
+    if (fut.enqueue(waiter(i))) ++enqueued;
+  }
+  const GlobalAddress value{static_cast<std::uint32_t>(rng.below(100)),
+                            static_cast<std::uint32_t>(rng.below(100))};
+  EXPECT_EQ(fut.fulfil(value, ctx), enqueued);
+  EXPECT_EQ(ctx.scheduled.size(), static_cast<std::size_t>(enqueued));
+  for (const auto& a : ctx.scheduled) EXPECT_EQ(a.target, value);
+  // Late arrivals see the value instead of queueing.
+  EXPECT_FALSE(fut.enqueue(waiter(999)));
+  EXPECT_EQ(fut.value(), value);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FutureInterleaving,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+}  // namespace
+}  // namespace ccastream::rt

@@ -1,0 +1,156 @@
+// Property tests: routing policies are minimal and respect their turn
+// restrictions (the deadlock-freedom argument), for every policy and many
+// source/destination pairs.
+#include <gtest/gtest.h>
+
+#include "runtime/geometry.hpp"
+#include "sim/routing.hpp"
+
+namespace ccastream::sim {
+namespace {
+
+using rt::Coord;
+using rt::MeshGeometry;
+
+TEST(Routing, OppositeIsInvolution) {
+  for (const auto d : {Direction::kNorth, Direction::kSouth, Direction::kEast,
+                       Direction::kWest}) {
+    EXPECT_EQ(opposite(opposite(d)), d);
+    EXPECT_NE(opposite(d), d);
+  }
+  EXPECT_EQ(opposite(Direction::kLocal), Direction::kLocal);
+}
+
+TEST(Routing, ArrivedIsLocal) {
+  const DownstreamOccupancy occ{};
+  for (const auto p : {RoutingPolicyKind::kYX, RoutingPolicyKind::kXY,
+                       RoutingPolicyKind::kWestFirst}) {
+    EXPECT_EQ(route(p, Coord{3, 3}, Coord{3, 3}, occ), Direction::kLocal);
+  }
+}
+
+TEST(Routing, YxGoesVerticalFirst) {
+  const DownstreamOccupancy occ{};
+  EXPECT_EQ(route(RoutingPolicyKind::kYX, {0, 0}, {5, 5}, occ), Direction::kSouth);
+  EXPECT_EQ(route(RoutingPolicyKind::kYX, {0, 5}, {5, 5}, occ), Direction::kEast);
+  EXPECT_EQ(route(RoutingPolicyKind::kYX, {5, 5}, {0, 0}, occ), Direction::kNorth);
+}
+
+TEST(Routing, XyGoesHorizontalFirst) {
+  const DownstreamOccupancy occ{};
+  EXPECT_EQ(route(RoutingPolicyKind::kXY, {0, 0}, {5, 5}, occ), Direction::kEast);
+  EXPECT_EQ(route(RoutingPolicyKind::kXY, {5, 0}, {5, 5}, occ), Direction::kSouth);
+}
+
+TEST(Routing, WestFirstTakesWestImmediately) {
+  const DownstreamOccupancy occ{};
+  EXPECT_EQ(route(RoutingPolicyKind::kWestFirst, {5, 2}, {1, 6}, occ),
+            Direction::kWest);
+}
+
+TEST(Routing, WestFirstAdaptsToCongestion) {
+  // Destination is south-east: both East and South are productive; the
+  // policy should prefer the emptier buffer.
+  DownstreamOccupancy occ{};
+  occ[static_cast<std::size_t>(Direction::kSouth)] = 3;
+  occ[static_cast<std::size_t>(Direction::kEast)] = 0;
+  EXPECT_EQ(route(RoutingPolicyKind::kWestFirst, {0, 0}, {4, 4}, occ),
+            Direction::kEast);
+  occ[static_cast<std::size_t>(Direction::kSouth)] = 0;
+  occ[static_cast<std::size_t>(Direction::kEast)] = 3;
+  EXPECT_EQ(route(RoutingPolicyKind::kWestFirst, {0, 0}, {4, 4}, occ),
+            Direction::kSouth);
+}
+
+TEST(Routing, TurnRules) {
+  using D = Direction;
+  using P = RoutingPolicyKind;
+  // YX: a message moving horizontally may never turn vertical.
+  EXPECT_FALSE(turn_allowed(P::kYX, D::kEast, D::kNorth));
+  EXPECT_FALSE(turn_allowed(P::kYX, D::kWest, D::kSouth));
+  EXPECT_TRUE(turn_allowed(P::kYX, D::kSouth, D::kEast));
+  EXPECT_TRUE(turn_allowed(P::kYX, D::kNorth, D::kNorth));
+  // XY is the dual.
+  EXPECT_FALSE(turn_allowed(P::kXY, D::kSouth, D::kEast));
+  EXPECT_TRUE(turn_allowed(P::kXY, D::kEast, D::kSouth));
+  // West-first: only turning into west is forbidden.
+  EXPECT_FALSE(turn_allowed(P::kWestFirst, D::kNorth, D::kWest));
+  EXPECT_TRUE(turn_allowed(P::kWestFirst, D::kWest, D::kWest));
+  EXPECT_TRUE(turn_allowed(P::kWestFirst, D::kEast, D::kNorth));
+}
+
+// Exhaustive path property: for every (src, dst) pair on a mesh, following
+// the policy reaches dst in exactly manhattan(src, dst) hops (minimality),
+// never leaves the mesh, and never takes a forbidden turn.
+class PathProperty : public ::testing::TestWithParam<RoutingPolicyKind> {};
+
+TEST_P(PathProperty, MinimalLegalPathsForAllPairs) {
+  const RoutingPolicyKind policy = GetParam();
+  const MeshGeometry mesh(7, 5);
+  DownstreamOccupancy occ{};  // zero occupancy: deterministic adaptive choice
+
+  for (std::uint32_t s = 0; s < mesh.cell_count(); ++s) {
+    for (std::uint32_t d = 0; d < mesh.cell_count(); ++d) {
+      Coord cur = mesh.coord_of(s);
+      const Coord dst = mesh.coord_of(d);
+      const std::uint32_t expected = mesh.hops(s, d);
+      std::uint32_t hops = 0;
+      Direction prev = Direction::kLocal;
+      while (!(cur == dst)) {
+        const Direction dir = route(policy, cur, dst, occ);
+        ASSERT_NE(dir, Direction::kLocal);
+        ASSERT_TRUE(turn_allowed(policy, prev, dir, cur))
+            << "illegal " << to_string(prev) << "->" << to_string(dir)
+            << " turn under " << to_string(policy) << " at column " << cur.x;
+        cur = step(cur, dir);
+        ASSERT_TRUE(mesh.contains(cur)) << "routed off-mesh";
+        prev = dir;
+        ASSERT_LE(++hops, expected) << "non-minimal path";
+      }
+      EXPECT_EQ(hops, expected);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PathProperty,
+                         ::testing::Values(RoutingPolicyKind::kYX,
+                                           RoutingPolicyKind::kXY,
+                                           RoutingPolicyKind::kWestFirst,
+                                           RoutingPolicyKind::kOddEven),
+                         [](const auto& info) {
+                           std::string n(to_string(info.param));
+                           if (n == "west-first") return std::string("WestFirst");
+                           if (n == "odd-even") return std::string("OddEven");
+                           return n;
+                         });
+
+TEST(Routing, OddEvenTurnRulesDependOnColumnParity) {
+  using D = Direction;
+  using P = RoutingPolicyKind;
+  // East->vertical: odd columns only.
+  EXPECT_FALSE(turn_allowed(P::kOddEven, D::kEast, D::kNorth, {2, 3}));
+  EXPECT_TRUE(turn_allowed(P::kOddEven, D::kEast, D::kNorth, {3, 3}));
+  EXPECT_FALSE(turn_allowed(P::kOddEven, D::kEast, D::kSouth, {0, 0}));
+  // Vertical->west: even columns only.
+  EXPECT_FALSE(turn_allowed(P::kOddEven, D::kNorth, D::kWest, {5, 3}));
+  EXPECT_TRUE(turn_allowed(P::kOddEven, D::kSouth, D::kWest, {4, 3}));
+  // Straight-through and other turns are unrestricted.
+  EXPECT_TRUE(turn_allowed(P::kOddEven, D::kEast, D::kEast, {2, 2}));
+  EXPECT_TRUE(turn_allowed(P::kOddEven, D::kNorth, D::kEast, {2, 2}));
+}
+
+TEST(Routing, OddEvenAdaptsAmongAdmissibleDirections) {
+  // At an odd column heading south-east, both south and east are
+  // admissible: congestion decides.
+  DownstreamOccupancy occ{};
+  occ[static_cast<std::size_t>(Direction::kSouth)] = 4;
+  occ[static_cast<std::size_t>(Direction::kEast)] = 1;
+  EXPECT_EQ(route(RoutingPolicyKind::kOddEven, {3, 0}, {6, 4}, occ),
+            Direction::kEast);
+  occ[static_cast<std::size_t>(Direction::kSouth)] = 0;
+  EXPECT_EQ(route(RoutingPolicyKind::kOddEven, {3, 0}, {6, 4}, occ),
+            Direction::kSouth);
+}
+
+}  // namespace
+}  // namespace ccastream::sim

@@ -1,0 +1,116 @@
+// Unit tests: global addresses, action packing, mesh geometry, RNGs.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "runtime/action.hpp"
+#include "runtime/geometry.hpp"
+#include "runtime/rng.hpp"
+#include "runtime/types.hpp"
+
+namespace ccastream::rt {
+namespace {
+
+TEST(GlobalAddress, DefaultIsNull) {
+  GlobalAddress a;
+  EXPECT_TRUE(a.is_null());
+  EXPECT_TRUE(kNullAddress.is_null());
+}
+
+TEST(GlobalAddress, PackUnpackRoundTrip) {
+  const GlobalAddress a{12345, 67890};
+  EXPECT_EQ(GlobalAddress::unpack(a.pack()), a);
+  EXPECT_EQ(GlobalAddress::unpack(kNullAddress.pack()), kNullAddress);
+  EXPECT_TRUE(GlobalAddress::unpack(kNullAddress.pack()).is_null());
+}
+
+TEST(GlobalAddress, EqualityAndHash) {
+  const GlobalAddress a{1, 2}, b{1, 2}, c{2, 1};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(std::hash<GlobalAddress>{}(a), std::hash<GlobalAddress>{}(b));
+}
+
+TEST(Action, MakeActionPacksOperands) {
+  const GlobalAddress t{3, 4};
+  const Action a = make_action(HandlerId{7}, t, Word{10}, Word{20}, Word{30});
+  EXPECT_EQ(a.handler, 7);
+  EXPECT_EQ(a.target, t);
+  EXPECT_EQ(a.nargs, 3);
+  EXPECT_EQ(a.args[0], 10u);
+  EXPECT_EQ(a.args[1], 20u);
+  EXPECT_EQ(a.args[2], 30u);
+}
+
+TEST(Action, MakeActionNoOperands) {
+  const Action a = make_action(HandlerId{1}, GlobalAddress{0, 0});
+  EXPECT_EQ(a.nargs, 0);
+}
+
+TEST(MeshGeometry, IndexCoordRoundTrip) {
+  const MeshGeometry m(5, 7);
+  EXPECT_EQ(m.cell_count(), 35u);
+  for (std::uint32_t i = 0; i < m.cell_count(); ++i) {
+    EXPECT_EQ(m.index_of(m.coord_of(i)), i);
+    EXPECT_TRUE(m.contains(m.coord_of(i)));
+  }
+  EXPECT_FALSE(m.contains(Coord{5, 0}));
+  EXPECT_FALSE(m.contains(Coord{0, 7}));
+}
+
+TEST(MeshGeometry, ManhattanHops) {
+  const MeshGeometry m(8, 8);
+  EXPECT_EQ(m.hops(0, 0), 0u);
+  EXPECT_EQ(m.hops(m.index_of({0, 0}), m.index_of({7, 7})), 14u);
+  EXPECT_EQ(m.hops(m.index_of({3, 2}), m.index_of({1, 5})), 5u);
+  // Symmetry.
+  for (std::uint32_t a = 0; a < m.cell_count(); a += 7) {
+    for (std::uint32_t b = 0; b < m.cell_count(); b += 5) {
+      EXPECT_EQ(m.hops(a, b), m.hops(b, a));
+    }
+  }
+}
+
+TEST(Rng, SplitMixDeterministic) {
+  SplitMix64 a(42), b(42), c(43);
+  EXPECT_EQ(a.next(), b.next());
+  EXPECT_NE(a.next(), c.next());
+}
+
+TEST(Rng, XoshiroBelowStaysInBounds) {
+  Xoshiro256 rng(99);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+  EXPECT_EQ(rng.below(0), 0u);
+  EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, XoshiroBelowCoversRange) {
+  Xoshiro256 rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Xoshiro256 rng(5);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);  // LLN sanity
+}
+
+TEST(Rng, BernoulliRespectsP) {
+  Xoshiro256 rng(11);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.bernoulli(0.25) ? 1 : 0;
+  EXPECT_NEAR(hits / 20000.0, 0.25, 0.02);
+}
+
+}  // namespace
+}  // namespace ccastream::rt

@@ -1,0 +1,177 @@
+// Checkpoint/restore: a restored graph is observationally identical and
+// continues streaming exactly like the uninterrupted original.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "test_util.hpp"
+
+namespace ccastream::graph {
+namespace {
+
+using test::small_chip_config;
+
+struct Rig {  // NOLINT(readability-identifier-naming)
+  explicit Rig(std::uint64_t nverts, std::uint32_t rhizomes = 1,
+                 std::uint32_t edge_capacity = 3) {
+    chip = std::make_unique<sim::Chip>(small_chip_config());
+    RpvoConfig rc;
+    rc.edge_capacity = edge_capacity;
+    proto = std::make_unique<GraphProtocol>(*chip, rc);
+    bfs = std::make_unique<apps::StreamingBfs>(*proto);
+    bfs->install();
+    GraphConfig gc;
+    gc.num_vertices = nverts;
+    gc.rhizomes = rhizomes;
+    gc.root_init = apps::StreamingBfs::initial_state();
+    g = std::make_unique<StreamingGraph>(*proto, gc);
+  }
+  /// Fresh chip + protocol for the restore side.
+  Rig clone_empty() const {
+    Rig s;
+    s.chip = std::make_unique<sim::Chip>(small_chip_config());
+    s.proto = std::make_unique<GraphProtocol>(*s.chip, proto->rpvo_config());
+    s.bfs = std::make_unique<apps::StreamingBfs>(*s.proto);
+    s.bfs->install();
+    return s;
+  }
+  Rig() = default;
+  std::unique_ptr<sim::Chip> chip;
+  std::unique_ptr<GraphProtocol> proto;
+  std::unique_ptr<apps::StreamingBfs> bfs;
+  std::unique_ptr<StreamingGraph> g;
+};
+
+std::vector<StreamEdge> random_edges(std::uint64_t n, int count, std::uint64_t seed) {
+  rt::Xoshiro256 rng(seed);
+  std::vector<StreamEdge> edges;
+  for (int i = 0; i < count; ++i) {
+    edges.push_back({rng.below(n), rng.below(n),
+                     static_cast<std::uint32_t>(1 + rng.below(4))});
+  }
+  return edges;
+}
+
+TEST(Snapshot, RoundTripPreservesStructureAndState) {
+  Rig a(40);
+  a.bfs->set_source(*a.g, 0);
+  a.g->stream_increment(random_edges(40, 300, 11));
+
+  std::stringstream snap;
+  a.g->save_snapshot(snap);
+
+  Rig b = a.clone_empty();
+  b.g = StreamingGraph::load_snapshot(*b.proto, snap);
+
+  for (std::uint64_t v = 0; v < 40; ++v) {
+    EXPECT_EQ(b.g->stored_degree(v), a.g->stored_degree(v)) << "vertex " << v;
+    EXPECT_EQ(b.g->neighbors(v), a.g->neighbors(v)) << "vertex " << v;
+    EXPECT_EQ(b.bfs->level_of(*b.g, v), a.bfs->level_of(*a.g, v)) << "vertex " << v;
+    EXPECT_EQ(b.g->fragments_of(v), a.g->fragments_of(v)) << "vertex " << v;
+  }
+}
+
+TEST(Snapshot, StreamingContinuesIdentically) {
+  // Stream half, checkpoint, restore elsewhere, stream the other half on
+  // both: final levels and degrees must agree everywhere.
+  const std::uint64_t n = 60;
+  const auto all = random_edges(n, 500, 12);
+  const std::vector<StreamEdge> first(all.begin(), all.begin() + 250);
+  const std::vector<StreamEdge> second(all.begin() + 250, all.end());
+
+  Rig a(n);
+  a.bfs->set_source(*a.g, 3);
+  a.g->stream_increment(first);
+
+  std::stringstream snap;
+  a.g->save_snapshot(snap);
+  Rig b = a.clone_empty();
+  b.g = StreamingGraph::load_snapshot(*b.proto, snap);
+
+  a.g->stream_increment(second);
+  b.g->stream_increment(second);
+
+  const auto ref = base::bfs_levels(test::ref_graph_of(n, all), 3);
+  for (std::uint64_t v = 0; v < n; ++v) {
+    EXPECT_EQ(a.g->stored_degree(v), b.g->stored_degree(v));
+    const rt::Word want = ref[v] == base::kUnreached
+                              ? apps::StreamingBfs::kUnreached
+                              : ref[v];
+    EXPECT_EQ(a.bfs->level_of(*a.g, v), want);
+    EXPECT_EQ(b.bfs->level_of(*b.g, v), want);
+  }
+}
+
+TEST(Snapshot, PreservesRhizomes) {
+  Rig a(16, /*rhizomes=*/3);
+  a.bfs->set_source(*a.g, 0);
+  a.g->stream_increment(random_edges(16, 150, 13));
+
+  std::stringstream snap;
+  a.g->save_snapshot(snap);
+  Rig b = a.clone_empty();
+  b.g = StreamingGraph::load_snapshot(*b.proto, snap);
+
+  EXPECT_EQ(b.g->rhizome_count(), 3u);
+  for (std::uint64_t v = 0; v < 16; ++v) {
+    const auto ra = a.g->rhizome_roots(v);
+    const auto rb = b.g->rhizome_roots(v);
+    ASSERT_EQ(std::vector(ra.begin(), ra.end()), std::vector(rb.begin(), rb.end()));
+  }
+}
+
+TEST(Snapshot, RefusesNonQuiescentChip) {
+  Rig a(8);
+  a.g->enqueue_edge({0, 1, 1});  // work queued, not run
+  std::stringstream snap;
+  EXPECT_THROW(a.g->save_snapshot(snap), std::logic_error);
+}
+
+TEST(Snapshot, RejectsGeometryMismatch) {
+  Rig a(8);
+  a.g->stream_increment(random_edges(8, 20, 14));
+  std::stringstream snap;
+  a.g->save_snapshot(snap);
+
+  sim::Chip other(test::small_chip_config(4));  // different mesh
+  GraphProtocol proto(other, a.proto->rpvo_config());
+  EXPECT_THROW(StreamingGraph::load_snapshot(proto, snap), std::runtime_error);
+}
+
+TEST(Snapshot, RejectsRpvoMismatch) {
+  Rig a(8, 1, /*edge_capacity=*/3);
+  a.g->stream_increment(random_edges(8, 20, 15));
+  std::stringstream snap;
+  a.g->save_snapshot(snap);
+
+  sim::Chip other(small_chip_config());
+  RpvoConfig rc;
+  rc.edge_capacity = 5;  // mismatch
+  GraphProtocol proto(other, rc);
+  EXPECT_THROW(StreamingGraph::load_snapshot(proto, snap), std::runtime_error);
+}
+
+TEST(Snapshot, RejectsGarbage) {
+  sim::Chip chip(small_chip_config());
+  GraphProtocol proto(chip);
+  std::stringstream junk("definitely not a snapshot");
+  EXPECT_THROW(StreamingGraph::load_snapshot(proto, junk), std::runtime_error);
+}
+
+TEST(Snapshot, RestoreIntoUsedChipFails) {
+  Rig a(8);
+  a.g->stream_increment(random_edges(8, 30, 16));
+  std::stringstream snap;
+  a.g->save_snapshot(snap);
+
+  // The destination chip already carries fragments: placement diverges.
+  Rig b(8);
+  b.g->stream_increment(random_edges(8, 10, 17));
+  EXPECT_THROW(StreamingGraph::load_snapshot(*b.proto, snap),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ccastream::graph

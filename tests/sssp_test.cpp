@@ -1,0 +1,111 @@
+// Streaming SSSP correctness against the Dijkstra oracle.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "test_util.hpp"
+
+namespace ccastream::apps {
+namespace {
+
+using test::small_chip_config;
+
+struct SsspFixture {
+  explicit SsspFixture(std::uint64_t nverts, sim::ChipConfig cfg = small_chip_config(),
+                       graph::RpvoConfig rc = {}) {
+    chip = std::make_unique<sim::Chip>(cfg);
+    proto = std::make_unique<graph::GraphProtocol>(*chip, rc);
+    sssp = std::make_unique<StreamingSssp>(*proto);
+    sssp->install();
+    graph::GraphConfig gc;
+    gc.num_vertices = nverts;
+    gc.root_init = StreamingSssp::initial_state();
+    g = std::make_unique<graph::StreamingGraph>(*proto, gc);
+  }
+  std::unique_ptr<sim::Chip> chip;
+  std::unique_ptr<graph::GraphProtocol> proto;
+  std::unique_ptr<StreamingSssp> sssp;
+  std::unique_ptr<graph::StreamingGraph> g;
+};
+
+TEST(StreamingSssp, WeightedPathBeatsHopPath) {
+  // 0 -> 1 -> 2 with weights 1+1 beats the direct 0 -> 2 of weight 5.
+  SsspFixture f(3);
+  f.sssp->set_source(*f.g, 0);
+  f.g->stream_increment(
+      std::vector<StreamEdge>{{0, 2, 5}, {0, 1, 1}, {1, 2, 1}});
+  EXPECT_EQ(f.sssp->distance_of(*f.g, 1), 1u);
+  EXPECT_EQ(f.sssp->distance_of(*f.g, 2), 2u);
+}
+
+TEST(StreamingSssp, LaterCheaperEdgeImprovesDistance) {
+  SsspFixture f(3);
+  f.sssp->set_source(*f.g, 0);
+  f.g->stream_increment(std::vector<StreamEdge>{{0, 1, 10}});
+  EXPECT_EQ(f.sssp->distance_of(*f.g, 1), 10u);
+  f.g->stream_increment(std::vector<StreamEdge>{{0, 2, 2}, {2, 1, 3}});
+  EXPECT_EQ(f.sssp->distance_of(*f.g, 1), 5u);  // improved incrementally
+}
+
+TEST(StreamingSssp, UnreachableIsInfinite) {
+  SsspFixture f(3);
+  f.sssp->set_source(*f.g, 0);
+  f.g->stream_increment(std::vector<StreamEdge>{{1, 2, 1}});
+  EXPECT_EQ(f.sssp->distance_of(*f.g, 2), StreamingSssp::kUnreached);
+}
+
+struct SsspCase {
+  std::uint64_t vertices;
+  std::uint64_t edges;
+  std::uint32_t max_weight;
+  std::uint32_t edge_capacity;
+  std::uint64_t seed;
+};
+
+class SsspEquivalence : public ::testing::TestWithParam<SsspCase> {};
+
+TEST_P(SsspEquivalence, MatchesDijkstraAfterEveryIncrement) {
+  const auto p = GetParam();
+  auto cfg = small_chip_config();
+  cfg.seed = p.seed;
+  graph::RpvoConfig rc;
+  rc.edge_capacity = p.edge_capacity;
+  SsspFixture f(p.vertices, cfg, rc);
+
+  rt::Xoshiro256 rng(p.seed);
+  std::vector<StreamEdge> all;
+  for (std::uint64_t i = 0; i < p.edges; ++i) {
+    all.push_back({rng.below(p.vertices), rng.below(p.vertices),
+                   static_cast<std::uint32_t>(1 + rng.below(p.max_weight))});
+  }
+  const std::uint64_t source = rng.below(p.vertices);
+  f.sssp->set_source(*f.g, source);
+
+  std::vector<StreamEdge> so_far;
+  const std::size_t half = all.size() / 2;
+  for (const auto& inc :
+       {std::vector<StreamEdge>(all.begin(), all.begin() + half),
+        std::vector<StreamEdge>(all.begin() + half, all.end())}) {
+    f.g->stream_increment(inc);
+    so_far.insert(so_far.end(), inc.begin(), inc.end());
+    const auto ref =
+        base::sssp_distances(test::ref_graph_of(p.vertices, so_far), source);
+    for (std::uint64_t v = 0; v < p.vertices; ++v) {
+      const rt::Word want =
+          ref[v] == base::kUnreached ? StreamingSssp::kUnreached : ref[v];
+      ASSERT_EQ(f.sssp->distance_of(*f.g, v), want)
+          << "vertex " << v << " seed " << p.seed;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SsspEquivalence,
+    ::testing::Values(SsspCase{16, 60, 10, 4, 21}, SsspCase{32, 150, 5, 2, 22},
+                      SsspCase{64, 400, 20, 8, 23}, SsspCase{64, 400, 1, 4, 24},
+                      SsspCase{100, 700, 7, 3, 25},
+                      SsspCase{48, 200, 100, 1, 26}));
+
+}  // namespace
+}  // namespace ccastream::apps

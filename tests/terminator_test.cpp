@@ -1,0 +1,141 @@
+// Unit + property tests: Safra's distributed termination detection.
+//
+// The key safety property: the detector NEVER announces while basic
+// messages are in flight or any process is active. The liveness property:
+// once the system is truly quiescent, a bounded number of token rounds
+// announces termination.
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "runtime/rng.hpp"
+#include "runtime/terminator.hpp"
+
+namespace ccastream::rt {
+namespace {
+
+TEST(SafraTerminator, SingleProcessTerminatesImmediately) {
+  SafraTerminator t(1);
+  t.on_passive(0);
+  EXPECT_TRUE(t.pump(4));
+  EXPECT_TRUE(t.terminated());
+}
+
+TEST(SafraTerminator, DoesNotAnnounceWhileActive) {
+  SafraTerminator t(3);
+  t.on_passive(1);
+  t.on_passive(2);
+  // Process 0 still active: the token may not even start.
+  EXPECT_FALSE(t.pump(100));
+  t.on_passive(0);
+  EXPECT_TRUE(t.pump(100));
+}
+
+TEST(SafraTerminator, InFlightMessageBlocksAnnouncement) {
+  SafraTerminator t(4);
+  for (std::uint32_t p = 0; p < 4; ++p) t.on_passive(p);
+  // p1 sent a message that nobody has received yet: counters sum to +1.
+  t.on_send(1);
+  EXPECT_FALSE(t.pump(1000));
+  // Delivery re-activates p3; still no announcement.
+  t.on_receive(3);
+  EXPECT_FALSE(t.pump(1000));
+  // p3 finishes: now the system is quiescent and detection must succeed.
+  t.on_passive(3);
+  EXPECT_TRUE(t.pump(1000));
+}
+
+TEST(SafraTerminator, BlackProcessForcesAnotherRound) {
+  SafraTerminator t(2);
+  t.on_passive(0);
+  t.on_passive(1);
+  t.on_send(0);
+  t.on_receive(1);  // p1 turns black
+  t.on_passive(1);
+  EXPECT_TRUE(t.pump(100));  // needs >1 round but must get there
+  EXPECT_GE(t.token_rounds(), 2u);
+}
+
+// Property: simulate random message-passing histories; check the detector
+// never announces early and always announces after quiescence.
+class SafraProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SafraProperty, SoundAndLive) {
+  Xoshiro256 rng(GetParam());
+  const std::uint32_t n = 2 + static_cast<std::uint32_t>(rng.below(6));
+  SafraTerminator det(n);
+
+  struct Proc {
+    bool active = true;
+    std::uint32_t work = 0;  // messages it will still send while active
+  };
+  std::vector<Proc> procs(n);
+  for (auto& p : procs) p.work = static_cast<std::uint32_t>(rng.below(5));
+  std::deque<std::uint32_t> in_flight;  // destination of undelivered messages
+
+  auto quiescent = [&] {
+    if (!in_flight.empty()) return false;
+    for (const auto& p : procs) {
+      if (p.active) return false;
+    }
+    return true;
+  };
+
+  for (int step = 0; step < 4000; ++step) {
+    ASSERT_FALSE(det.terminated() && !quiescent())
+        << "announced termination while system is live (seed " << GetParam()
+        << ", step " << step << ")";
+    if (det.terminated()) break;
+
+    const auto choice = rng.below(4);
+    if (choice == 0 && !in_flight.empty()) {
+      // Deliver a message.
+      const std::uint32_t dst = in_flight.front();
+      in_flight.pop_front();
+      procs[dst].active = true;
+      procs[dst].work += static_cast<std::uint32_t>(rng.below(3));
+      det.on_receive(dst);
+    } else if (choice == 1) {
+      // Some active process does one unit of work (maybe sending).
+      for (std::uint32_t p = 0; p < n; ++p) {
+        if (!procs[p].active) continue;
+        if (procs[p].work > 0) {
+          --procs[p].work;
+          const auto dst = static_cast<std::uint32_t>(rng.below(n));
+          in_flight.push_back(dst);
+          det.on_send(p);
+        } else {
+          procs[p].active = false;
+          det.on_passive(p);
+        }
+        break;
+      }
+    } else {
+      det.pump(1 + static_cast<std::uint32_t>(rng.below(3)));
+    }
+  }
+
+  // Drain everything, then detection must fire within bounded pumping.
+  while (!in_flight.empty()) {
+    const std::uint32_t dst = in_flight.front();
+    in_flight.pop_front();
+    det.on_receive(dst);
+    det.on_passive(dst);
+    procs[dst].active = false;
+  }
+  for (std::uint32_t p = 0; p < n; ++p) {
+    if (procs[p].active) {
+      procs[p].active = false;
+      det.on_passive(p);
+    }
+  }
+  ASSERT_TRUE(quiescent());
+  EXPECT_TRUE(det.pump(10 * (n + 1) * (n + 1)))
+      << "failed to detect termination (seed " << GetParam() << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SafraProperty,
+                         ::testing::Range<std::uint64_t>(1, 26));
+
+}  // namespace
+}  // namespace ccastream::rt

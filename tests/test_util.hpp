@@ -1,0 +1,77 @@
+// Shared helpers for the ccastream test suite.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ccastream/ccastream.hpp"
+
+namespace ccastream::test {
+
+/// Minimal rt::Context for unit-testing runtime components in isolation
+/// (futures, handlers) without a chip. Records everything it is asked to do.
+class MockContext final : public rt::Context {
+ public:
+  explicit MockContext(std::uint32_t cc = 0, std::uint32_t mesh_dim = 4)
+      : mesh_(mesh_dim, mesh_dim), rng_(1234), cc_(cc) {}
+
+  [[nodiscard]] std::uint32_t cc() const override { return cc_; }
+  [[nodiscard]] const rt::MeshGeometry& geometry() const override { return mesh_; }
+
+  void propagate(const rt::Action& a) override { propagated.push_back(a); }
+  void schedule_local(const rt::Action& a) override { scheduled.push_back(a); }
+  void charge(std::uint32_t n) override { charged += n; }
+
+  [[nodiscard]] rt::ArenaObject* deref(rt::GlobalAddress addr) override {
+    if (addr.cc != cc_ || addr.slot >= objects.size()) return nullptr;
+    return objects[addr.slot];
+  }
+
+  std::optional<rt::GlobalAddress> allocate_local(rt::ObjectKind) override {
+    return std::nullopt;  // tests that need allocation use a real chip
+  }
+
+  void call_cc_allocate(rt::ObjectKind kind, rt::GlobalAddress reply_to,
+                        rt::HandlerId reply_handler, rt::Word tag) override {
+    alloc_requests.push_back({kind, reply_to, reply_handler, tag});
+  }
+
+  [[nodiscard]] rt::Xoshiro256& rng() override { return rng_; }
+
+  struct AllocRequest {
+    rt::ObjectKind kind;
+    rt::GlobalAddress reply_to;
+    rt::HandlerId reply_handler;
+    rt::Word tag;
+  };
+
+  std::vector<rt::Action> propagated;
+  std::vector<rt::Action> scheduled;
+  std::vector<AllocRequest> alloc_requests;
+  std::vector<rt::ArenaObject*> objects;  // slot -> object (not owned)
+  std::uint32_t charged = 0;
+
+ private:
+  rt::MeshGeometry mesh_;
+  rt::Xoshiro256 rng_;
+  std::uint32_t cc_;
+};
+
+/// A small chip configuration that keeps unit tests fast.
+inline sim::ChipConfig small_chip_config(std::uint32_t dim = 8) {
+  sim::ChipConfig cfg;
+  cfg.width = dim;
+  cfg.height = dim;
+  cfg.cc_memory_bytes = 1u << 20;
+  return cfg;
+}
+
+/// Builds a RefGraph from streamed edges.
+inline base::RefGraph ref_graph_of(std::uint64_t n,
+                                   const std::vector<StreamEdge>& edges) {
+  base::RefGraph g(n);
+  g.add_edges(edges);
+  return g;
+}
+
+}  // namespace ccastream::test

@@ -1,0 +1,136 @@
+// Message-driven triangle counting & Jaccard queries vs the oracles.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "test_util.hpp"
+
+namespace ccastream::apps {
+namespace {
+
+using test::small_chip_config;
+
+struct TriFixture {
+  explicit TriFixture(std::uint64_t nverts, std::uint32_t edge_capacity = 16) {
+    chip = std::make_unique<sim::Chip>(small_chip_config());
+    graph::RpvoConfig rc;
+    rc.edge_capacity = edge_capacity;
+    proto = std::make_unique<graph::GraphProtocol>(*chip, rc);
+    tri = std::make_unique<TriangleCounter>(*proto);
+    jacc = std::make_unique<JaccardQuery>(*proto);
+    graph::GraphConfig gc;
+    gc.num_vertices = nverts;
+    g = std::make_unique<graph::StreamingGraph>(*proto, gc);
+  }
+
+  std::uint64_t count(const std::vector<StreamEdge>& undirected_edges) {
+    sym = wl::undirected_simple(undirected_edges);
+    g->stream_increment(sym);
+    tri->start(*g);
+    g->run();
+    return tri->triangles(*g);
+  }
+
+  std::unique_ptr<sim::Chip> chip;
+  std::unique_ptr<graph::GraphProtocol> proto;
+  std::unique_ptr<TriangleCounter> tri;
+  std::unique_ptr<JaccardQuery> jacc;
+  std::unique_ptr<graph::StreamingGraph> g;
+  std::vector<StreamEdge> sym;
+};
+
+TEST(Triangles, SingleTriangle) {
+  TriFixture f(3);
+  EXPECT_EQ(f.count({{0, 1, 1}, {1, 2, 1}, {0, 2, 1}}), 1u);
+}
+
+TEST(Triangles, PathHasNone) {
+  TriFixture f(4);
+  EXPECT_EQ(f.count({{0, 1, 1}, {1, 2, 1}, {2, 3, 1}}), 0u);
+}
+
+TEST(Triangles, K4HasFour) {
+  TriFixture f(4);
+  EXPECT_EQ(f.count({{0, 1, 1}, {0, 2, 1}, {0, 3, 1},
+                     {1, 2, 1}, {1, 3, 1}, {2, 3, 1}}),
+            4u);
+}
+
+TEST(Triangles, K5HasTen) {
+  TriFixture f(5);
+  std::vector<StreamEdge> k5;
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    for (std::uint64_t j = i + 1; j < 5; ++j) k5.push_back({i, j, 1});
+  }
+  EXPECT_EQ(f.count(k5), 10u);
+}
+
+TEST(Triangles, CountSurvivesGhostChains) {
+  TriFixture f(4, /*edge_capacity=*/1);
+  EXPECT_EQ(f.count({{0, 1, 1}, {0, 2, 1}, {0, 3, 1},
+                     {1, 2, 1}, {1, 3, 1}, {2, 3, 1}}),
+            4u);
+}
+
+class TriEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TriEquivalence, ClosedWedgesMatchOracle) {
+  const std::uint64_t seed = GetParam();
+  const std::uint64_t n = 24;
+  TriFixture f(n, /*edge_capacity=*/4);
+  rt::Xoshiro256 rng(seed);
+  std::vector<StreamEdge> edges;
+  for (int i = 0; i < 60; ++i) {
+    edges.push_back({rng.below(n), rng.below(n), 1});
+  }
+  f.count(edges);  // runs the chip
+  const auto ref = base::closed_wedges(test::ref_graph_of(n, f.sym));
+  EXPECT_EQ(f.tri->closed_wedges(*f.g), ref);
+  EXPECT_EQ(ref % 3, 0u);  // symmetric simple graph: wedges = 3 * triangles
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TriEquivalence,
+                         ::testing::Values(51, 52, 53, 54, 55, 56));
+
+TEST(Jaccard, DisjointNeighborhoodsGiveZero) {
+  TriFixture f(6);
+  f.g->stream_increment(wl::symmetrize(
+      std::vector<StreamEdge>{{0, 1, 1}, {0, 2, 1}, {3, 4, 1}, {3, 5, 1}}));
+  EXPECT_DOUBLE_EQ(f.jacc->query(*f.g, 0, 3), 0.0);
+}
+
+TEST(Jaccard, KnownOverlap) {
+  // N(0) = {1,2,3}, N(4) = {2,3,5}: common 2, union 4 -> J = 0.5.
+  TriFixture f(6);
+  f.g->stream_increment(wl::symmetrize(std::vector<StreamEdge>{
+      {0, 1, 1}, {0, 2, 1}, {0, 3, 1}, {4, 2, 1}, {4, 3, 1}, {4, 5, 1}}));
+  EXPECT_DOUBLE_EQ(f.jacc->query(*f.g, 0, 4), 0.5);
+}
+
+class JaccardEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(JaccardEquivalence, MatchesOracleOnRandomPairs) {
+  const std::uint64_t seed = GetParam();
+  const std::uint64_t n = 20;
+  TriFixture f(n, /*edge_capacity=*/3);
+  rt::Xoshiro256 rng(seed);
+  std::vector<StreamEdge> edges;
+  for (int i = 0; i < 50; ++i) edges.push_back({rng.below(n), rng.below(n), 1});
+  const auto sym = wl::undirected_simple(edges);
+  f.g->stream_increment(sym);
+  const auto ref_g = test::ref_graph_of(n, sym);
+  for (int q = 0; q < 6; ++q) {
+    const std::uint64_t u = rng.below(n);
+    const std::uint64_t v = rng.below(n);
+    if (u == v) continue;
+    ASSERT_DOUBLE_EQ(f.jacc->query(*f.g, u, v), base::jaccard(ref_g, u, v))
+        << "pair (" << u << "," << v << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JaccardEquivalence,
+                         ::testing::Values(61, 62, 63, 64));
+
+}  // namespace
+}  // namespace ccastream::apps

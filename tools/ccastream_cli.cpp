@@ -1,0 +1,283 @@
+// ccastream_cli — run a streaming dynamic-graph experiment from the command
+// line: pick the chip, the workload, the sampling order and the application,
+// get a per-increment report (and optionally CSV series, an activation
+// trace, oracle verification, and a snapshot of the final graph).
+//
+// Examples:
+//   ccastream_cli --vertices 5000 --edges 100000 --sampling snowball --app bfs
+//   ccastream_cli --edges-file graph.el --app components --verify
+//   ccastream_cli --vertices 2000 --edges 40000 --rhizomes 4 \
+//                 --routing odd-even --alloc random --csv run.csv
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include "ccastream/ccastream.hpp"
+
+using namespace ccastream;
+
+namespace {
+
+struct Options {
+  std::uint64_t vertices = 2000;
+  std::uint64_t edges = 40000;
+  std::string edges_file;
+  wl::SamplingKind sampling = wl::SamplingKind::kEdge;
+  std::uint32_t increments = 10;
+  std::uint32_t width = 16, height = 16;
+  sim::RoutingPolicyKind routing = sim::RoutingPolicyKind::kYX;
+  rt::AllocPolicyKind alloc = rt::AllocPolicyKind::kVicinity;
+  std::uint32_t vicinity_radius = 2;
+  std::uint32_t edge_capacity = 16;
+  std::uint32_t ghost_fanout = 1;
+  std::uint32_t rhizomes = 1;
+  std::string app = "bfs";  // none|bfs|sssp|components
+  std::uint64_t source = 0;
+  bool source_set = false;
+  std::uint64_t seed = 42;
+  bool verify = false;
+  std::string csv_path;
+  std::string activation_path;
+  std::string snapshot_path;
+};
+
+void usage() {
+  std::puts(
+      "ccastream_cli [options]\n"
+      "  --vertices N --edges M        synthetic SBM workload size\n"
+      "  --edges-file PATH             stream an edge-list file instead\n"
+      "  --sampling edge|snowball      streaming order (default edge)\n"
+      "  --increments K                number of increments (default 10)\n"
+      "  --width W --height H          chip mesh (default 16x16)\n"
+      "  --routing yx|xy|west-first|odd-even\n"
+      "  --alloc vicinity|random|round-robin|local\n"
+      "  --radius R                    vicinity radius (default 2)\n"
+      "  --edge-capacity C             edge slots per fragment (default 16)\n"
+      "  --ghost-fanout F              ghost futures per fragment (default 1)\n"
+      "  --rhizomes R                  roots per vertex (default 1)\n"
+      "  --app none|bfs|sssp|components\n"
+      "  --source V                    BFS/SSSP source (default snowball seed\n"
+      "                                or vertex 0)\n"
+      "  --seed X                      workload/chip seed (default 42)\n"
+      "  --verify                      check results against the CPU oracle\n"
+      "  --csv PATH                    per-increment CSV\n"
+      "  --activation PATH             per-cycle activation CSV\n"
+      "  --snapshot PATH               save the final graph snapshot\n");
+}
+
+bool parse(int argc, char** argv, Options& o) {
+  auto need = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", argv[i]);
+      std::exit(2);
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--help" || a == "-h") return false;
+    if (a == "--vertices") o.vertices = std::strtoull(need(i), nullptr, 10);
+    else if (a == "--edges") o.edges = std::strtoull(need(i), nullptr, 10);
+    else if (a == "--edges-file") o.edges_file = need(i);
+    else if (a == "--sampling") {
+      const std::string v = need(i);
+      o.sampling = v == "snowball" ? wl::SamplingKind::kSnowball
+                                   : wl::SamplingKind::kEdge;
+    } else if (a == "--increments") {
+      o.increments = static_cast<std::uint32_t>(std::strtoul(need(i), nullptr, 10));
+    } else if (a == "--width") {
+      o.width = static_cast<std::uint32_t>(std::strtoul(need(i), nullptr, 10));
+    } else if (a == "--height") {
+      o.height = static_cast<std::uint32_t>(std::strtoul(need(i), nullptr, 10));
+    } else if (a == "--routing") {
+      const std::string v = need(i);
+      if (v == "xy") o.routing = sim::RoutingPolicyKind::kXY;
+      else if (v == "west-first") o.routing = sim::RoutingPolicyKind::kWestFirst;
+      else if (v == "odd-even") o.routing = sim::RoutingPolicyKind::kOddEven;
+      else o.routing = sim::RoutingPolicyKind::kYX;
+    } else if (a == "--alloc") {
+      const std::string v = need(i);
+      if (v == "random") o.alloc = rt::AllocPolicyKind::kRandom;
+      else if (v == "round-robin") o.alloc = rt::AllocPolicyKind::kRoundRobin;
+      else if (v == "local") o.alloc = rt::AllocPolicyKind::kLocal;
+      else o.alloc = rt::AllocPolicyKind::kVicinity;
+    } else if (a == "--radius") {
+      o.vicinity_radius = static_cast<std::uint32_t>(std::strtoul(need(i), nullptr, 10));
+    } else if (a == "--edge-capacity") {
+      o.edge_capacity = static_cast<std::uint32_t>(std::strtoul(need(i), nullptr, 10));
+    } else if (a == "--ghost-fanout") {
+      o.ghost_fanout = static_cast<std::uint32_t>(std::strtoul(need(i), nullptr, 10));
+    } else if (a == "--rhizomes") {
+      o.rhizomes = static_cast<std::uint32_t>(std::strtoul(need(i), nullptr, 10));
+    } else if (a == "--app") {
+      o.app = need(i);
+    } else if (a == "--source") {
+      o.source = std::strtoull(need(i), nullptr, 10);
+      o.source_set = true;
+    } else if (a == "--seed") {
+      o.seed = std::strtoull(need(i), nullptr, 10);
+    } else if (a == "--verify") {
+      o.verify = true;
+    } else if (a == "--csv") {
+      o.csv_path = need(i);
+    } else if (a == "--activation") {
+      o.activation_path = need(i);
+    } else if (a == "--snapshot") {
+      o.snapshot_path = need(i);
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options o;
+  if (!parse(argc, argv, o)) {
+    usage();
+    return 2;
+  }
+
+  // --- Workload --------------------------------------------------------------
+  wl::StreamSchedule sched;
+  if (!o.edges_file.empty()) {
+    auto edges = io::read_edgelist_file(o.edges_file);
+    std::uint64_t max_vid = 0;
+    for (const auto& e : edges) max_vid = std::max({max_vid, e.src, e.dst});
+    o.vertices = max_vid + 1;
+    sched = o.sampling == wl::SamplingKind::kSnowball
+                ? wl::snowball_sampling(edges, o.vertices, o.increments, o.seed)
+                : wl::edge_sampling(std::move(edges), o.increments, o.seed);
+  } else {
+    sched = wl::make_graphchallenge_like(o.vertices, o.edges, o.sampling,
+                                         o.increments, o.seed);
+  }
+  if (!o.source_set) {
+    o.source = o.sampling == wl::SamplingKind::kSnowball ? sched.seed_vertex : 0;
+  }
+
+  // --- Chip + graph + app ------------------------------------------------------
+  sim::ChipConfig cfg;
+  cfg.width = o.width;
+  cfg.height = o.height;
+  cfg.routing = o.routing;
+  cfg.alloc_policy = o.alloc;
+  cfg.vicinity_radius = o.vicinity_radius;
+  cfg.seed = o.seed;
+  cfg.record_activation = !o.activation_path.empty();
+  sim::Chip chip(cfg);
+
+  graph::RpvoConfig rc;
+  rc.edge_capacity = o.edge_capacity;
+  rc.ghost_fanout = o.ghost_fanout;
+  graph::GraphProtocol proto(chip, rc);
+
+  apps::StreamingBfs bfs(proto);
+  apps::StreamingSssp sssp(proto);
+  apps::StreamingComponents comps(proto);
+
+  graph::GraphConfig gc;
+  gc.num_vertices = o.vertices;
+  gc.rhizomes = o.rhizomes;
+  if (o.app == "bfs") {
+    bfs.install();
+    gc.root_init = apps::StreamingBfs::initial_state();
+  } else if (o.app == "sssp") {
+    sssp.install();
+    gc.root_init = apps::StreamingSssp::initial_state();
+  } else if (o.app == "components") {
+    comps.install();
+    gc.root_init = apps::StreamingComponents::initial_state();
+  }
+  graph::StreamingGraph g(proto, gc);
+  if (o.app == "bfs") bfs.set_source(g, o.source);
+  if (o.app == "sssp") sssp.set_source(g, o.source);
+  if (o.app == "components") comps.seed_labels(g);
+
+  // --- Stream ------------------------------------------------------------------
+  std::printf("chip %ux%u  routing %s  alloc %s  rhizomes %u  app %s\n",
+              o.width, o.height,
+              std::string(sim::to_string(o.routing)).c_str(),
+              std::string(rt::to_string(o.alloc)).c_str(), o.rhizomes,
+              o.app.c_str());
+  std::printf("%lu vertices, %lu edges, %s sampling, %u increments, source %lu\n",
+              o.vertices, sched.total_edges(),
+              std::string(wl::to_string(sched.kind)).c_str(), o.increments,
+              o.source);
+  std::printf("%-10s %10s %12s %12s %12s\n", "Increment", "Edges", "Cycles",
+              "Energy µJ", "Msgs");
+
+  std::optional<io::CsvWriter> csv;
+  if (!o.csv_path.empty()) {
+    csv.emplace(o.csv_path, std::initializer_list<std::string>{
+                                "increment", "edges", "cycles", "energy_uj",
+                                "messages"});
+  }
+  for (std::size_t i = 0; i < sched.increments.size(); ++i) {
+    const auto r = g.stream_increment(sched.increments[i]);
+    std::printf("%-10zu %10lu %12lu %12.2f %12lu\n", i + 1, r.edges, r.cycles,
+                r.energy_uj, r.stats_delta.actions_created);
+    if (csv) {
+      csv->row_numeric({static_cast<double>(i + 1), static_cast<double>(r.edges),
+                        static_cast<double>(r.cycles), r.energy_uj,
+                        static_cast<double>(r.stats_delta.actions_created)});
+    }
+  }
+  std::printf("total: %lu cycles (%.1f µs @1GHz), %.1f µJ, %lu hops\n",
+              chip.stats().cycles, sim::cycles_to_us(chip.stats().cycles),
+              sim::pj_to_uj(chip.energy_pj()), chip.stats().hops);
+
+  // --- Optional outputs ----------------------------------------------------------
+  if (!o.activation_path.empty()) {
+    io::CsvWriter act(o.activation_path, {"cycle", "percent_active"});
+    for (const auto& [cycle, pct] :
+         chip.activation().percent_series(chip.geometry().cell_count(), 2048)) {
+      act.row_numeric({static_cast<double>(cycle), pct});
+    }
+    std::printf("wrote activation series to %s\n", o.activation_path.c_str());
+  }
+  if (!o.snapshot_path.empty()) {
+    std::ofstream snap(o.snapshot_path);
+    g.save_snapshot(snap);
+    std::printf("wrote graph snapshot to %s\n", o.snapshot_path.c_str());
+  }
+
+  // --- Verification ---------------------------------------------------------------
+  if (o.verify && o.app != "none") {
+    base::RefGraph ref(o.vertices);
+    for (const auto& inc : sched.increments) ref.add_edges(inc);
+    std::uint64_t mismatches = 0;
+    if (o.app == "bfs") {
+      const auto want = base::bfs_levels(ref, o.source);
+      for (std::uint64_t v = 0; v < o.vertices; ++v) {
+        const rt::Word w = want[v] == base::kUnreached
+                               ? apps::StreamingBfs::kUnreached
+                               : want[v];
+        if (bfs.level_of(g, v) != w) ++mismatches;
+      }
+    } else if (o.app == "sssp") {
+      const auto want = base::sssp_distances(ref, o.source);
+      for (std::uint64_t v = 0; v < o.vertices; ++v) {
+        const rt::Word w = want[v] == base::kUnreached
+                               ? apps::StreamingSssp::kUnreached
+                               : want[v];
+        if (sssp.distance_of(g, v) != w) ++mismatches;
+      }
+    } else if (o.app == "components") {
+      const auto want = base::component_min_labels(ref);
+      for (std::uint64_t v = 0; v < o.vertices; ++v) {
+        if (comps.label_of(g, v) != want[v]) ++mismatches;
+      }
+    }
+    std::printf("verification vs oracle: %s (%lu mismatches)\n",
+                mismatches == 0 ? "OK" : "FAILED", mismatches);
+    if (mismatches != 0) return 1;
+  }
+  return 0;
+}
