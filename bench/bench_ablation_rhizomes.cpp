@@ -15,6 +15,7 @@ int main() {
   rp.scale = rmat_scale;
   rp.num_edges = (1ull << rmat_scale) * 12;
   const auto edges = wl::generate_rmat(rp);
+  const bench::JsonReporter reporter("bench_ablation_rhizomes");
 
   bench::print_header("Ablation: rhizomes per vertex (R-MAT, ingestion+BFS)");
   std::printf("(R-MAT scale %u, %zu edges, heavy-hub degree distribution)\n",
@@ -36,6 +37,10 @@ int main() {
     bfs.set_source(g, 0);
 
     const auto r = g.stream_increment(edges);
+    if (rhizomes == 1) {
+      // Headline record: the paper's single-root configuration.
+      reporter.record("rmat" + std::to_string(rp.scale), r.cycles, r.energy_uj);
+    }
     std::uint64_t peak = 0;
     for (const auto l : chip.cell_load()) peak = std::max(peak, l);
     std::printf("%-10u %12lu %12.1f %14lu %14.1f\n", rhizomes, r.cycles,

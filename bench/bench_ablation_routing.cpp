@@ -11,6 +11,7 @@ using namespace ccastream;
 int main() {
   const auto scale = bench::scale_from_env();
   const auto ds = bench::datasets(scale).front();
+  const bench::JsonReporter reporter("bench_ablation_routing");
   bench::print_header("Ablation: mesh routing policy (ingestion+BFS)");
   std::printf("%-12s %12s %12s %12s %12s\n", "Routing", "Cycles", "Energy µJ",
               "MeanLat", "Stalls");
@@ -25,6 +26,11 @@ int main() {
     cfg.routing = routing;
     auto e = bench::make_experiment(cfg, ds.vertices, /*with_bfs=*/true, 0);
     const auto reports = bench::run_schedule(e, sched);
+    if (routing == sim::RoutingPolicyKind::kYX) {
+      // Headline record: the paper's YX dimension-ordered routing.
+      reporter.record(ds.label, bench::total_cycles(reports),
+                      bench::total_energy_uj(reports));
+    }
     std::printf("%-12s %12lu %12.0f %12.1f %12lu\n",
                 std::string(sim::to_string(routing)).c_str(),
                 bench::total_cycles(reports), bench::total_energy_uj(reports),

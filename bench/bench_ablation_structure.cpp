@@ -40,6 +40,7 @@ int main() {
   const std::uint64_t edges = ds.edges / 5;
   const auto sched = wl::make_graphchallenge_like(
       verts, edges, wl::SamplingKind::kEdge, 10, 42);
+  const bench::JsonReporter reporter("bench_ablation_structure");
 
   bench::print_header("Ablation (a): fragment edge capacity");
   std::printf("%-10s %12s %12s %14s\n", "Capacity", "Cycles", "Energy µJ",
@@ -49,6 +50,11 @@ int main() {
     rc.edge_capacity = cap;
     auto e = make_structured(bench::paper_chip_config(), verts, rc, 0);
     const auto reports = bench::run_schedule(e, sched);
+    if (cap == 16) {
+      // Headline record: the default fragment shape on the 1/5 dataset.
+      reporter.record(ds.label + "/5", bench::total_cycles(reports),
+                      bench::total_energy_uj(reports));
+    }
     std::printf("%-10u %12lu %12.0f %14lu\n", cap, bench::total_cycles(reports),
                 bench::total_energy_uj(reports),
                 e.proto->stats().ghost_links_made);

@@ -28,6 +28,7 @@ int main() {
 
   const auto sched = wl::make_graphchallenge_like(
       ds.vertices, ds.edges, wl::SamplingKind::kEdge, 10, 42);
+  const bench::JsonReporter reporter("bench_baseline_comparison");
 
   base::DynamicBfs dyn(ds.vertices, 0);
   std::printf("%-10s %14s %14s %16s %16s\n", "Increment", "IncrTime ms",
@@ -38,6 +39,8 @@ int main() {
   auto e = bench::make_experiment(bench::paper_chip_config(), ds.vertices,
                                   /*with_bfs=*/true, 0);
   std::uint64_t resettled_before = 0;
+  std::uint64_t chip_cycles = 0;
+  double chip_uj = 0.0;
   for (std::size_t i = 0; i < sched.increments.size(); ++i) {
     const auto& inc = sched.increments[i];
 
@@ -51,11 +54,14 @@ int main() {
     (void)full;
 
     const auto report = e.graph->stream_increment(inc);
+    chip_cycles += report.cycles;
+    chip_uj += report.energy_uj;
     std::printf("%-10zu %14.2f %14.2f %16lu %16lu\n", i + 1, incr_ms, recomp_ms,
                 dyn.vertices_resettled() - resettled_before,
                 report.stats_delta.actions_created);
     resettled_before = dyn.vertices_resettled();
   }
+  reporter.record(ds.label, chip_cycles, chip_uj);
   std::printf(
       "\nExpected: incremental repair touches far fewer vertices than a\n"
       "recompute, especially in late increments when most levels are final.\n");

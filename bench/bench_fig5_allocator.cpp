@@ -15,6 +15,7 @@ using namespace ccastream;
 int main() {
   const auto scale = bench::scale_from_env();
   const auto ds = bench::datasets(scale).front();
+  const bench::JsonReporter reporter("bench_fig5_allocator");
   // A smaller edge capacity exaggerates chains, which is exactly where the
   // allocation policy matters.
   bench::print_header("Figure 5 ablation: ghost allocation policy");
@@ -33,6 +34,11 @@ int main() {
     cfg.alloc_policy = policy;
     auto e = bench::make_experiment(cfg, ds.vertices, /*with_bfs=*/true, 0);
     const auto reports = bench::run_schedule(e, sched);
+    if (policy == rt::AllocPolicyKind::kVicinity) {
+      // Headline record: the paper's vicinity configuration.
+      reporter.record(ds.label, bench::total_cycles(reports),
+                      bench::total_energy_uj(reports));
+    }
     std::printf("%-12s %12lu %12.0f %12.1f %12.1f\n",
                 std::string(rt::to_string(policy)).c_str(),
                 bench::total_cycles(reports), bench::total_energy_uj(reports),

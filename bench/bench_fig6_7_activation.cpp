@@ -15,6 +15,7 @@ int main() {
   const auto scale = bench::scale_from_env();
   // Figures 6/7 use the larger graph; take the second dataset row.
   const auto ds = bench::datasets(scale).back();
+  const bench::JsonReporter reporter("bench_fig6_7_activation");
   bench::print_header("Figures 6 & 7: cells active per cycle");
 
   for (const bool with_bfs : {false, true}) {
@@ -27,7 +28,12 @@ int main() {
       auto cfg = bench::paper_chip_config();
       cfg.record_activation = true;
       auto e = bench::make_experiment(cfg, ds.vertices, with_bfs, source);
-      bench::run_schedule(e, sched);
+      const auto reports = bench::run_schedule(e, sched);
+      if (with_bfs && kind == wl::SamplingKind::kEdge) {
+        // Headline record: Fig 7's ingestion+BFS edge-sampled run.
+        reporter.record(ds.label, bench::total_cycles(reports),
+                        bench::total_energy_uj(reports));
+      }
 
       const auto& trace = e.chip->activation();
       const std::uint32_t cells = e.chip->geometry().cell_count();

@@ -4,7 +4,7 @@
 
 #include <memory>
 
-#include "ccastream/ccastream.hpp"
+#include "harness.hpp"
 
 using namespace ccastream;
 
@@ -125,26 +125,65 @@ void BM_SbmGeneration(benchmark::State& state) {
 }
 BENCHMARK(BM_SbmGeneration)->Arg(10'000)->Arg(100'000);
 
+// One full (small) ingestion on a 16x16 chip — shared between the
+// wall-clock microbenchmark and the headline JSON record below, so both
+// always measure the same configuration.
+constexpr std::uint64_t kIngestVerts = 2'000;
+constexpr std::uint64_t kIngestEdges = 20'000;
+
+struct IngestResult {
+  std::uint64_t cycles = 0;
+  double energy_uj = 0.0;
+};
+
+IngestResult run_small_ingest(const wl::StreamSchedule& sched) {
+  sim::ChipConfig cfg;
+  cfg.width = cfg.height = 16;
+  sim::Chip chip(cfg);
+  graph::GraphProtocol proto(chip);
+  graph::GraphConfig gc;
+  gc.num_vertices = kIngestVerts;
+  graph::StreamingGraph g(proto, gc);
+  IngestResult out;
+  for (const auto& inc : sched.increments) {
+    const auto r = g.stream_increment(inc);
+    out.cycles += r.cycles;
+    out.energy_uj += r.energy_uj;
+  }
+  return out;
+}
+
+wl::StreamSchedule small_ingest_schedule() {
+  return wl::make_graphchallenge_like(kIngestVerts, kIngestEdges,
+                                      wl::SamplingKind::kEdge, 1, 9);
+}
+
 void BM_StreamingIngestEndToEnd(benchmark::State& state) {
   // Wall-clock cost of simulating one full (small) ingestion per iteration.
-  const std::uint64_t verts = 2'000, edges = 20'000;
-  const auto sched = wl::make_graphchallenge_like(
-      verts, edges, wl::SamplingKind::kEdge, 1, 9);
+  const auto sched = small_ingest_schedule();
   for (auto _ : state) {
-    sim::ChipConfig cfg;
-    cfg.width = cfg.height = 16;
-    sim::Chip chip(cfg);
-    graph::GraphProtocol proto(chip);
-    graph::GraphConfig gc;
-    gc.num_vertices = verts;
-    graph::StreamingGraph g(proto, gc);
-    for (const auto& inc : sched.increments) g.stream_increment(inc);
-    benchmark::DoNotOptimize(chip.stats().cycles);
+    benchmark::DoNotOptimize(run_small_ingest(sched).cycles);
   }
-  state.SetItemsProcessed(state.iterations() * edges);
+  state.SetItemsProcessed(state.iterations() * kIngestEdges);
 }
 BENCHMARK(BM_StreamingIngestEndToEnd)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN() plus a headline JSON record: one deterministic 2K/20K
+// ingest, so this binary leaves the same {cycles, energy} datapoint shape
+// as the harness-driven benches.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  // The 2K/20K workload is fixed regardless of CCASTREAM_SCALE.
+  const bench::JsonReporter reporter("bench_micro", "fixed");
+  if (reporter.enabled()) {
+    const auto r = run_small_ingest(small_ingest_schedule());
+    reporter.record("2K/20K(ingest)", r.cycles, r.energy_uj);
+  }
+  return 0;
+}

@@ -11,6 +11,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -122,5 +123,203 @@ inline double total_energy_uj(const std::vector<graph::IncrementReport>& r) {
 inline void print_header(const char* title) {
   std::printf("\n=== %s ===\n", title);
 }
+
+inline const char* to_string(Scale scale) {
+  switch (scale) {
+    case Scale::kTiny: return "tiny";
+    case Scale::kPaper: return "paper";
+    case Scale::kLarge: return "large";
+  }
+  return "paper";
+}
+
+// ---------------------------------------------------------------------------
+// Machine-readable reporting: each bench emits one headline JSON record per
+// run so every PR leaves a perf datapoint (aggregated into BENCH_*.json by
+// tools/run_benches.sh).
+
+/// One measurement record: `{"bench":...,"dataset":...,"cycles":N,
+/// "energy_uj":X,"scale":...}`.
+struct BenchRecord {
+  std::string bench;
+  std::string dataset;
+  std::uint64_t cycles = 0;
+  double energy_uj = 0.0;
+  std::string scale;
+
+  friend bool operator==(const BenchRecord&, const BenchRecord&) = default;
+};
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+/// Replaces filesystem-hostile characters in a dataset label ('/' would
+/// introduce a directory component) for use in output filenames.
+inline std::string path_safe_label(const std::string& label) {
+  std::string out = label;
+  for (char& c : out) {
+    if (c == '/' || c == '\\' || c == ' ') c = '-';
+  }
+  return out;
+}
+
+/// Serialises one record as a single-line JSON object. `%.17g` keeps the
+/// energy double bit-exact across a parse round trip.
+inline std::string format_record(const BenchRecord& r) {
+  char num[64];
+  std::string out = "{\"bench\":\"" + json_escape(r.bench) + "\"";
+  out += ",\"dataset\":\"" + json_escape(r.dataset) + "\"";
+  std::snprintf(num, sizeof num, "%llu",
+                static_cast<unsigned long long>(r.cycles));
+  out += std::string(",\"cycles\":") + num;
+  std::snprintf(num, sizeof num, "%.17g", r.energy_uj);
+  out += std::string(",\"energy_uj\":") + num;
+  out += ",\"scale\":\"" + json_escape(r.scale) + "\"}";
+  return out;
+}
+
+namespace detail {
+
+/// Locates the first character of `key`'s value; nullopt when absent.
+inline std::optional<std::size_t> find_value_start(const std::string& line,
+                                                   const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return std::nullopt;
+  return pos + needle.size();
+}
+
+inline std::optional<std::string> parse_string_field(const std::string& line,
+                                                     const std::string& key) {
+  const auto start = find_value_start(line, key);
+  if (!start || *start >= line.size() || line[*start] != '"') {
+    return std::nullopt;
+  }
+  std::string out;
+  for (std::size_t i = *start + 1; i < line.size(); ++i) {
+    const char c = line[i];
+    if (c == '\\' && i + 1 < line.size()) {
+      const char next = line[++i];
+      switch (next) {
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'u':
+          if (i + 4 < line.size()) {
+            out += static_cast<char>(
+                std::strtoul(line.substr(i + 1, 4).c_str(), nullptr, 16));
+            i += 4;
+          }
+          break;
+        default: out += next; break;
+      }
+    } else if (c == '"') {
+      return out;
+    } else {
+      out += c;
+    }
+  }
+  return std::nullopt;  // unterminated string
+}
+
+inline std::optional<double> parse_number_field(const std::string& line,
+                                                const std::string& key) {
+  const auto pos = find_value_start(line, key);
+  if (!pos) return std::nullopt;
+  const char* start = line.c_str() + *pos;
+  char* end = nullptr;
+  const double v = std::strtod(start, &end);
+  if (end == start) return std::nullopt;
+  return v;
+}
+
+// Cycle counts can exceed 2^53, so they never go through a double.
+inline std::optional<std::uint64_t> parse_uint_field(const std::string& line,
+                                                     const std::string& key) {
+  const auto pos = find_value_start(line, key);
+  if (!pos) return std::nullopt;
+  const char* start = line.c_str() + *pos;
+  // strtoull wraps negatives to huge values; reject them outright.
+  if (*start < '0' || *start > '9') return std::nullopt;
+  char* end = nullptr;
+  const std::uint64_t v = std::strtoull(start, &end, 10);
+  if (end == start) return std::nullopt;
+  return v;
+}
+
+}  // namespace detail
+
+/// Parses one `format_record` line back into a record. Returns nullopt for
+/// lines that are not records (blank lines, truncated writes).
+inline std::optional<BenchRecord> parse_record(const std::string& line) {
+  BenchRecord r;
+  const auto bench = detail::parse_string_field(line, "bench");
+  const auto dataset = detail::parse_string_field(line, "dataset");
+  const auto cycles = detail::parse_uint_field(line, "cycles");
+  const auto energy = detail::parse_number_field(line, "energy_uj");
+  const auto scale = detail::parse_string_field(line, "scale");
+  if (!bench || !dataset || !cycles || !energy || !scale) return std::nullopt;
+  r.bench = *bench;
+  r.dataset = *dataset;
+  r.cycles = *cycles;
+  r.energy_uj = *energy;
+  r.scale = *scale;
+  return r;
+}
+
+/// Appends records (JSON Lines) to the file named by CCASTREAM_BENCH_JSON;
+/// a no-op when the variable is unset, so interactive runs stay unchanged.
+/// Benches whose workload ignores CCASTREAM_SCALE pass `fixed_scale` so
+/// identical measurements are never tagged with different scales.
+class JsonReporter {
+ public:
+  explicit JsonReporter(std::string bench, const char* fixed_scale = nullptr)
+      : bench_(std::move(bench)),
+        scale_(fixed_scale != nullptr ? fixed_scale
+                                      : to_string(scale_from_env())) {
+    const char* path = std::getenv("CCASTREAM_BENCH_JSON");
+    if (path != nullptr && *path != '\0') path_ = path;
+  }
+
+  [[nodiscard]] bool enabled() const { return !path_.empty(); }
+
+  void record(const std::string& dataset, std::uint64_t cycles,
+              double energy_uj) const {
+    if (path_.empty()) return;
+    std::FILE* f = std::fopen(path_.c_str(), "a");
+    if (f == nullptr) {
+      std::fprintf(stderr, "JsonReporter: cannot open %s\n", path_.c_str());
+      return;
+    }
+    const BenchRecord r{bench_, dataset, cycles, energy_uj, scale_};
+    std::fprintf(f, "%s\n", format_record(r).c_str());
+    std::fclose(f);
+  }
+
+ private:
+  std::string bench_;
+  std::string scale_;
+  std::string path_;
+};
 
 }  // namespace ccastream::bench

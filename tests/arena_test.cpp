@@ -10,7 +10,7 @@ namespace {
 
 class TestObject final : public ArenaObject {
  public:
-  explicit TestObject(std::size_t bytes, int tag = 0) : bytes_(bytes), tag(tag) {}
+  explicit TestObject(std::size_t bytes, int tag = 0) : tag(tag), bytes_(bytes) {}
   [[nodiscard]] std::size_t logical_bytes() const noexcept override { return bytes_; }
   int tag;
 

@@ -1,0 +1,229 @@
+// Tests for the shared bench harness (bench/harness.hpp): scale selection
+// from the environment, the dataset table at every scale, and the JSON
+// reporting layer round trip (format -> parse, and file append -> re-read).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "harness.hpp"
+
+namespace bench = ccastream::bench;
+
+namespace {
+
+// RAII environment override so a failing assertion can't leak state into
+// the other tests in this binary.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) saved_ = old;
+    had_value_ = old != nullptr;
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (had_value_) {
+      ::setenv(name_.c_str(), saved_.c_str(), 1);
+    } else {
+      ::unsetenv(name_.c_str());
+    }
+  }
+
+ private:
+  std::string name_;
+  std::string saved_;
+  bool had_value_ = false;
+};
+
+TEST(ScaleFromEnv, DefaultsToPaperWhenUnset) {
+  const ScopedEnv env("CCASTREAM_SCALE", nullptr);
+  EXPECT_EQ(bench::scale_from_env(), bench::Scale::kPaper);
+}
+
+TEST(ScaleFromEnv, ReadsEachKnownValue) {
+  {
+    const ScopedEnv env("CCASTREAM_SCALE", "tiny");
+    EXPECT_EQ(bench::scale_from_env(), bench::Scale::kTiny);
+  }
+  {
+    const ScopedEnv env("CCASTREAM_SCALE", "paper");
+    EXPECT_EQ(bench::scale_from_env(), bench::Scale::kPaper);
+  }
+  {
+    const ScopedEnv env("CCASTREAM_SCALE", "large");
+    EXPECT_EQ(bench::scale_from_env(), bench::Scale::kLarge);
+  }
+}
+
+TEST(ScaleFromEnv, UnknownValueFallsBackToPaper) {
+  const ScopedEnv env("CCASTREAM_SCALE", "galactic");
+  EXPECT_EQ(bench::scale_from_env(), bench::Scale::kPaper);
+}
+
+TEST(Datasets, TwoRowsAtEveryScale) {
+  for (const auto scale :
+       {bench::Scale::kTiny, bench::Scale::kPaper, bench::Scale::kLarge}) {
+    const auto ds = bench::datasets(scale);
+    ASSERT_EQ(ds.size(), 2u) << bench::to_string(scale);
+    EXPECT_LT(ds[0].vertices, ds[1].vertices);
+    for (const auto& d : ds) {
+      EXPECT_FALSE(d.label.empty());
+      EXPECT_GT(d.vertices, 0u);
+      EXPECT_GT(d.edges, d.vertices);  // all rows are denser than a tree
+    }
+  }
+}
+
+TEST(Datasets, PaperRowsMatchTable1) {
+  const auto ds = bench::datasets(bench::Scale::kPaper);
+  EXPECT_EQ(ds[0].label, "50K");
+  EXPECT_EQ(ds[0].vertices, 50'000u);
+  EXPECT_EQ(ds[0].edges, 1'000'000u);
+  EXPECT_FALSE(ds[0].scaled);
+  EXPECT_TRUE(ds[1].scaled);
+
+  const auto large = bench::datasets(bench::Scale::kLarge);
+  EXPECT_EQ(large[1].vertices, 500'000u);
+  EXPECT_EQ(large[1].edges, 10'200'000u);
+}
+
+TEST(Datasets, TinyIsCiSized) {
+  for (const auto& d : bench::datasets(bench::Scale::kTiny)) {
+    EXPECT_LE(d.edges, 200'000u);
+    EXPECT_TRUE(d.scaled);
+  }
+}
+
+TEST(ScaleNames, RoundTripThroughEnv) {
+  for (const auto scale :
+       {bench::Scale::kTiny, bench::Scale::kPaper, bench::Scale::kLarge}) {
+    const ScopedEnv env("CCASTREAM_SCALE", bench::to_string(scale));
+    EXPECT_EQ(bench::scale_from_env(), scale);
+  }
+}
+
+TEST(JsonRecord, FormatParseRoundTrip) {
+  const bench::BenchRecord r{"bench_table2", "500K(1/5)", 123456789,
+                             4669.125, "paper"};
+  const auto parsed = bench::parse_record(bench::format_record(r));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, r);
+}
+
+TEST(JsonRecord, RoundTripPreservesAwkwardValues) {
+  const bench::BenchRecord r{"bench \"quoted\"\\slash", "ds\nnewline\ttab",
+                             0, 0.1 + 0.2, "tiny"};
+  const std::string line = bench::format_record(r);
+  EXPECT_EQ(line.find('\n'), std::string::npos) << "records must be one line";
+  const auto parsed = bench::parse_record(line);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, r);  // %.17g keeps the double bit-exact
+}
+
+TEST(JsonRecord, ControlCharactersEscapeAndRoundTrip) {
+  const bench::BenchRecord r{"bench\rcarriage", "ds\x01\x1f", 7, 1.0, "tiny"};
+  const std::string line = bench::format_record(r);
+  for (const char c : line) {
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u)
+        << "raw control char leaked into JSON";
+  }
+  const auto parsed = bench::parse_record(line);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, r);
+}
+
+TEST(JsonRecord, CyclesAbove2Pow53StayExact) {
+  const bench::BenchRecord r{"b", "d", (1ull << 53) + 1, 0.0, "large"};
+  const auto parsed = bench::parse_record(bench::format_record(r));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->cycles, (1ull << 53) + 1);
+}
+
+TEST(PathSafeLabel, StripsDirectorySeparators) {
+  EXPECT_EQ(bench::path_safe_label("500K(1/5)"), "500K(1-5)");
+  EXPECT_EQ(bench::path_safe_label("a\\b c"), "a-b-c");
+  EXPECT_EQ(bench::path_safe_label("2K(tiny)"), "2K(tiny)");
+}
+
+TEST(JsonRecord, ParseRejectsGarbage) {
+  EXPECT_FALSE(bench::parse_record("").has_value());
+  EXPECT_FALSE(bench::parse_record("not json at all").has_value());
+  EXPECT_FALSE(
+      bench::parse_record("{\"bench\":\"x\",\"cycles\":1}").has_value());
+  EXPECT_FALSE(
+      bench::parse_record("{\"bench\":\"unterminated").has_value());
+}
+
+TEST(JsonRecord, ParseRejectsNegativeCycles) {
+  const std::string line =
+      "{\"bench\":\"b\",\"dataset\":\"d\",\"cycles\":-1,"
+      "\"energy_uj\":1.0,\"scale\":\"tiny\"}";
+  EXPECT_FALSE(bench::parse_record(line).has_value());
+}
+
+TEST(JsonReporter, FixedScaleOverridesEnvironment) {
+  const ScopedEnv scale("CCASTREAM_SCALE", "paper");
+  const std::string path = ::testing::TempDir() + "harness_test_fixed.jsonl";
+  std::remove(path.c_str());
+  const ScopedEnv json("CCASTREAM_BENCH_JSON", path.c_str());
+  const bench::JsonReporter reporter("bench_micro", "fixed");
+  reporter.record("2K/20K(ingest)", 1, 1.0);
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  const auto r = bench::parse_record(line);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->scale, "fixed");
+  std::remove(path.c_str());
+}
+
+TEST(JsonReporter, DisabledWithoutEnvWritesNothing) {
+  const ScopedEnv env("CCASTREAM_BENCH_JSON", nullptr);
+  const bench::JsonReporter reporter("bench_x");
+  EXPECT_FALSE(reporter.enabled());
+  reporter.record("ds", 1, 1.0);  // must be a no-op, not a crash
+}
+
+TEST(JsonReporter, AppendsParseableRecordsToEnvNamedFile) {
+  const std::string path =
+      ::testing::TempDir() + "harness_test_records.jsonl";
+  std::remove(path.c_str());
+  const ScopedEnv json(("CCASTREAM_BENCH_JSON"), path.c_str());
+  const ScopedEnv scale("CCASTREAM_SCALE", "tiny");
+
+  {
+    const bench::JsonReporter reporter("bench_alpha");
+    ASSERT_TRUE(reporter.enabled());
+    reporter.record("2K(tiny)", 1000, 1.5);
+  }
+  {
+    const bench::JsonReporter reporter("bench_beta");
+    reporter.record("8K(tiny)", 2000, 2.5);  // appends, never truncates
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::vector<bench::BenchRecord> records;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto r = bench::parse_record(line);
+    ASSERT_TRUE(r.has_value()) << line;
+    records.push_back(*r);
+  }
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0],
+            (bench::BenchRecord{"bench_alpha", "2K(tiny)", 1000, 1.5, "tiny"}));
+  EXPECT_EQ(records[1],
+            (bench::BenchRecord{"bench_beta", "8K(tiny)", 2000, 2.5, "tiny"}));
+  std::remove(path.c_str());
+}
+
+}  // namespace

@@ -82,7 +82,7 @@ TEST(Rhizomes, InsertsSpreadOverRoots) {
   // A hub with 120 out-edges and 4 rhizomes: each root should ingest ~30.
   RhizomeFixture f(8, 4, /*edge_capacity=*/64);
   std::vector<StreamEdge> edges;
-  for (int i = 0; i < 120; ++i) edges.push_back({0, 1 + (i % 7), 1});
+  for (std::uint64_t i = 0; i < 120; ++i) edges.push_back({0, 1 + (i % 7), 1});
   f.g->stream_increment(edges);
   for (const auto root : f.g->rhizome_roots(0)) {
     const auto* frag = f.chip->as<VertexFragment>(root);
@@ -179,7 +179,7 @@ TEST(Rhizomes, UnsupportedAppsThrow) {
   StreamingGraph g(proto, gc);
   EXPECT_THROW(pr.seed(g), std::invalid_argument);
   EXPECT_THROW(tri.start(g), std::invalid_argument);
-  EXPECT_THROW(jacc.query(g, 0, 1), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(jacc.query(g, 0, 1)), std::invalid_argument);
 }
 
 TEST(Rhizomes, ZeroRhizomesClampedToOne) {

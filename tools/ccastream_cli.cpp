@@ -6,7 +6,7 @@
 // Examples:
 //   ccastream_cli --vertices 5000 --edges 100000 --sampling snowball --app bfs
 //   ccastream_cli --edges-file graph.el --app components --verify
-//   ccastream_cli --vertices 2000 --edges 40000 --rhizomes 4 \
+//   ccastream_cli --vertices 2000 --edges 40000 --rhizomes 4
 //                 --routing odd-even --alloc random --csv run.csv
 #include <cstdio>
 #include <cstdlib>
@@ -78,7 +78,10 @@ bool parse(int argc, char** argv, Options& o) {
   };
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
-    if (a == "--help" || a == "-h") return false;
+    if (a == "--help" || a == "-h") {
+      usage();
+      std::exit(0);
+    }
     if (a == "--vertices") o.vertices = std::strtoull(need(i), nullptr, 10);
     else if (a == "--edges") o.edges = std::strtoull(need(i), nullptr, 10);
     else if (a == "--edges-file") o.edges_file = need(i);
