@@ -39,7 +39,8 @@ int main() {
     const auto r = g.stream_increment(edges);
     if (rhizomes == 1) {
       // Headline record: the paper's single-root configuration.
-      reporter.record("rmat" + std::to_string(rp.scale), r.cycles, r.energy_uj);
+      reporter.record("rmat" + std::to_string(rp.scale), r.cycles, r.energy_uj,
+                      chip.threads());
     }
     std::uint64_t peak = 0;
     for (const auto l : chip.cell_load()) peak = std::max(peak, l);

@@ -29,7 +29,7 @@ int main() {
     if (routing == sim::RoutingPolicyKind::kYX) {
       // Headline record: the paper's YX dimension-ordered routing.
       reporter.record(ds.label, bench::total_cycles(reports),
-                      bench::total_energy_uj(reports));
+                      bench::total_energy_uj(reports), e.chip->threads());
     }
     std::printf("%-12s %12lu %12.0f %12.1f %12lu\n",
                 std::string(sim::to_string(routing)).c_str(),

@@ -53,7 +53,7 @@ int main() {
     if (cap == 16) {
       // Headline record: the default fragment shape on the 1/5 dataset.
       reporter.record(ds.label + "/5", bench::total_cycles(reports),
-                      bench::total_energy_uj(reports));
+                      bench::total_energy_uj(reports), e.chip->threads());
     }
     std::printf("%-10u %12lu %12.0f %14lu\n", cap, bench::total_cycles(reports),
                 bench::total_energy_uj(reports),

@@ -61,7 +61,7 @@ int main() {
                 report.stats_delta.actions_created);
     resettled_before = dyn.vertices_resettled();
   }
-  reporter.record(ds.label, chip_cycles, chip_uj);
+  reporter.record(ds.label, chip_cycles, chip_uj, e.chip->threads());
   std::printf(
       "\nExpected: incremental repair touches far fewer vertices than a\n"
       "recompute, especially in late increments when most levels are final.\n");

@@ -37,7 +37,7 @@ int main() {
     if (policy == rt::AllocPolicyKind::kVicinity) {
       // Headline record: the paper's vicinity configuration.
       reporter.record(ds.label, bench::total_cycles(reports),
-                      bench::total_energy_uj(reports));
+                      bench::total_energy_uj(reports), e.chip->threads());
     }
     std::printf("%-12s %12lu %12.0f %12.1f %12.1f\n",
                 std::string(rt::to_string(policy)).c_str(),

@@ -32,7 +32,7 @@ int main() {
       if (with_bfs && kind == wl::SamplingKind::kEdge) {
         // Headline record: Fig 7's ingestion+BFS edge-sampled run.
         reporter.record(ds.label, bench::total_cycles(reports),
-                        bench::total_energy_uj(reports));
+                        bench::total_energy_uj(reports), e.chip->threads());
       }
 
       const auto& trace = e.chip->activation();

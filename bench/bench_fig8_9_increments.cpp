@@ -31,6 +31,7 @@ int main() {
           kind == wl::SamplingKind::kSnowball ? sched.seed_vertex : 0;
 
       std::vector<graph::IncrementReport> plain, with_bfs;
+      std::uint64_t backend_threads = 1;
       {
         auto e = bench::make_experiment(bench::paper_chip_config(), ds.vertices,
                                         false, source);
@@ -40,11 +41,12 @@ int main() {
         auto e = bench::make_experiment(bench::paper_chip_config(), ds.vertices,
                                         true, source);
         with_bfs = bench::run_schedule(e, sched);
+        backend_threads = e.chip->threads();
       }
       if (!recorded && kind == wl::SamplingKind::kEdge) {
         // Headline record: first dataset, edge sampling, streaming+BFS.
         reporter.record(ds.label, bench::total_cycles(with_bfs),
-                        bench::total_energy_uj(with_bfs));
+                        bench::total_energy_uj(with_bfs), backend_threads);
         recorded = true;
       }
 

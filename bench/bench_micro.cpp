@@ -134,6 +134,7 @@ constexpr std::uint64_t kIngestEdges = 20'000;
 struct IngestResult {
   std::uint64_t cycles = 0;
   double energy_uj = 0.0;
+  std::uint64_t threads = 1;  ///< Resolved backend of the measuring chip.
 };
 
 IngestResult run_small_ingest(const wl::StreamSchedule& sched) {
@@ -145,6 +146,7 @@ IngestResult run_small_ingest(const wl::StreamSchedule& sched) {
   gc.num_vertices = kIngestVerts;
   graph::StreamingGraph g(proto, gc);
   IngestResult out;
+  out.threads = chip.threads();
   for (const auto& inc : sched.increments) {
     const auto r = g.stream_increment(inc);
     out.cycles += r.cycles;
@@ -183,7 +185,7 @@ int main(int argc, char** argv) {
   const bench::JsonReporter reporter("bench_micro", "fixed");
   if (reporter.enabled()) {
     const auto r = run_small_ingest(small_ingest_schedule());
-    reporter.record("2K/20K(ingest)", r.cycles, r.energy_uj);
+    reporter.record("2K/20K(ingest)", r.cycles, r.energy_uj, r.threads);
   }
   return 0;
 }

@@ -28,10 +28,11 @@ int main() {
           wl::make_graphchallenge_like(ds.vertices, ds.edges, kind, 10, 42);
       if (!recorded) {
         // Workload-shape bench: no chip is simulated, so cycles/energy are
-        // zero; the record still pins the generated edge volume per PR.
+        // zero and the measurement is backend-independent — tag threads=1
+        // so records from serial and parallel sweeps stay identical.
         reporter.record(ds.label + "/" + std::to_string(sched.total_edges()) +
                             "edges",
-                        0, 0.0);
+                        0, 0.0, /*threads=*/1);
         recorded = true;
       }
       std::printf("%-12s %-9s", ds.label.c_str(),

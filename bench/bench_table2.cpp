@@ -34,16 +34,18 @@ int main() {
 
       double uj[2];
       std::uint64_t cycles[2];
+      std::uint64_t backend_threads = 1;
       for (const bool with_bfs : {false, true}) {
         auto e = bench::make_experiment(bench::paper_chip_config(), ds.vertices,
                                         with_bfs, source);
         const auto reports = bench::run_schedule(e, sched);
         uj[with_bfs] = bench::total_energy_uj(reports);
         cycles[with_bfs] = bench::total_cycles(reports);
+        backend_threads = e.chip->threads();
       }
       if (!recorded) {
         // Headline record: first dataset, edge sampling, ingestion+BFS.
-        reporter.record(ds.label, cycles[1], uj[1]);
+        reporter.record(ds.label, cycles[1], uj[1], backend_threads);
         recorded = true;
       }
       std::printf("%-12s %-9s | %12.0f %10.0f | %12.0f %10.0f\n",

@@ -52,7 +52,10 @@ inline std::vector<DatasetSpec> datasets(Scale scale) {
   return {};
 }
 
-/// The paper's chip: 32x32 mesh, YX routing, vicinity allocation.
+/// The paper's chip: 32x32 mesh, YX routing, vicinity allocation. The
+/// thread count is left at 0 (= CCASTREAM_THREADS env, default serial) so
+/// a whole bench sweep can be re-run on the parallel backend by exporting
+/// one variable; results are cycle-identical either way.
 inline sim::ChipConfig paper_chip_config() {
   sim::ChipConfig cfg;
   cfg.width = 32;
@@ -139,13 +142,20 @@ inline const char* to_string(Scale scale) {
 // tools/run_benches.sh).
 
 /// One measurement record: `{"bench":...,"dataset":...,"cycles":N,
-/// "energy_uj":X,"scale":...}`.
+/// "energy_uj":X,"scale":...,"threads":T[,"wall_ms":W]}`. `threads` is the
+/// simulator backend the record was measured on (1 = serial engine), making
+/// records comparable across backends in aggregated BENCH_*.json files.
+/// `wall_ms` is host wall-clock — the only number that *should* differ
+/// across backends (simulated cycles are backend-invariant by the
+/// determinism guarantee); 0 means unmeasured and the field is omitted.
 struct BenchRecord {
   std::string bench;
   std::string dataset;
   std::uint64_t cycles = 0;
   double energy_uj = 0.0;
   std::string scale;
+  std::uint64_t threads = 1;
+  double wall_ms = 0.0;
 
   friend bool operator==(const BenchRecord&, const BenchRecord&) = default;
 };
@@ -195,7 +205,15 @@ inline std::string format_record(const BenchRecord& r) {
   out += std::string(",\"cycles\":") + num;
   std::snprintf(num, sizeof num, "%.17g", r.energy_uj);
   out += std::string(",\"energy_uj\":") + num;
-  out += ",\"scale\":\"" + json_escape(r.scale) + "\"}";
+  out += ",\"scale\":\"" + json_escape(r.scale) + "\"";
+  std::snprintf(num, sizeof num, "%llu",
+                static_cast<unsigned long long>(r.threads));
+  out += std::string(",\"threads\":") + num;
+  if (r.wall_ms != 0.0) {
+    std::snprintf(num, sizeof num, "%.17g", r.wall_ms);
+    out += std::string(",\"wall_ms\":") + num;
+  }
+  out += "}";
   return out;
 }
 
@@ -284,6 +302,10 @@ inline std::optional<BenchRecord> parse_record(const std::string& line) {
   r.cycles = *cycles;
   r.energy_uj = *energy;
   r.scale = *scale;
+  // Absent in records written before the parallel backend existed: those
+  // were all measured on the serial engine (and did not record wall time).
+  r.threads = detail::parse_uint_field(line, "threads").value_or(1);
+  r.wall_ms = detail::parse_number_field(line, "wall_ms").value_or(0.0);
   return r;
 }
 
@@ -296,22 +318,33 @@ class JsonReporter {
   explicit JsonReporter(std::string bench, const char* fixed_scale = nullptr)
       : bench_(std::move(bench)),
         scale_(fixed_scale != nullptr ? fixed_scale
-                                      : to_string(scale_from_env())) {
+                                      : to_string(scale_from_env())),
+        threads_(sim::resolve_threads(0)) {
     const char* path = std::getenv("CCASTREAM_BENCH_JSON");
     if (path != nullptr && *path != '\0') path_ = path;
   }
 
   [[nodiscard]] bool enabled() const { return !path_.empty(); }
 
+  /// Appends one record. `threads` should be the *measured* backend — pass
+  /// `chip.threads()` (the resolved stripe count, which clamps the env
+  /// request to the mesh height) rather than the raw env value; 0 falls
+  /// back to the env-resolved default for chip-less measurements.
+  /// `wall_ms`, when nonzero, persists host wall-clock so backend speedup
+  /// is trackable from the aggregated BENCH_*.json files.
   void record(const std::string& dataset, std::uint64_t cycles,
-              double energy_uj) const {
+              double energy_uj, std::uint64_t threads = 0,
+              double wall_ms = 0.0) const {
     if (path_.empty()) return;
     std::FILE* f = std::fopen(path_.c_str(), "a");
     if (f == nullptr) {
       std::fprintf(stderr, "JsonReporter: cannot open %s\n", path_.c_str());
       return;
     }
-    const BenchRecord r{bench_, dataset, cycles, energy_uj, scale_};
+    const BenchRecord r{bench_,      dataset,
+                        cycles,      energy_uj,
+                        scale_,      threads == 0 ? threads_ : threads,
+                        wall_ms};
     std::fprintf(f, "%s\n", format_record(r).c_str());
     std::fclose(f);
   }
@@ -320,6 +353,7 @@ class JsonReporter {
   std::string bench_;
   std::string scale_;
   std::string path_;
+  std::uint64_t threads_ = 1;
 };
 
 }  // namespace ccastream::bench

@@ -1,11 +1,13 @@
 #include "graph/protocol.hpp"
 
+#include <algorithm>
 #include <memory>
 
 namespace ccastream::graph {
 
 GraphProtocol::GraphProtocol(sim::Chip& chip, RpvoConfig cfg)
     : chip_(chip), cfg_(cfg) {
+  shards_.resize(std::max<std::uint32_t>(1, chip.threads()));
   // A fragment must hold at least one edge (capacity 0 would grow an
   // infinite ghost chain) and have at least one ghost slot.
   if (cfg_.edge_capacity == 0) cfg_.edge_capacity = 1;
@@ -31,9 +33,10 @@ GraphProtocol::GraphProtocol(sim::Chip& chip, RpvoConfig cfg)
 // insert-edge-action — paper Listing 6.
 // args: w0 = dst root address, w1 = weight.
 void GraphProtocol::handle_insert(rt::Context& ctx, const rt::Action& a) {
+  ProtocolStats& ps = shard_stats(ctx);
   auto* frag = ctx.as<VertexFragment>(a.target);
   if (frag == nullptr) {
-    ++stats_.bad_targets;
+    ++ps.bad_targets;
     return;
   }
   ++frag->inserts_seen;
@@ -44,7 +47,7 @@ void GraphProtocol::handle_insert(rt::Context& ctx, const rt::Action& a) {
     const EdgeRecord edge{rt::GlobalAddress::unpack(a.args[0]),
                           static_cast<std::uint32_t>(a.args[1])};
     frag->edges.push_back(edge);
-    ++stats_.edges_inserted;
+    ++ps.edges_inserted;
     ctx.charge(1);
     // Chain into the application (Listing 4: propagate bfs-action ...).
     if (hooks_.on_edge_inserted) hooks_.on_edge_inserted(ctx, *frag, edge);
@@ -61,11 +64,11 @@ void GraphProtocol::handle_insert(rt::Context& ctx, const rt::Action& a) {
     // (Listing 6 lines 14-18). The edge itself waits on the future.
     ghost.set_pending();
     ctx.call_cc_allocate(kFragmentKind, a.target, h_ghost_reply_, slot_tag);
-    ++stats_.ghost_allocs_started;
+    ++ps.ghost_allocs_started;
     rt::Action deferred = a;
     deferred.target = rt::kNullAddress;  // patched with the value at fulfilment
     ghost.enqueue(deferred);
-    ++stats_.inserts_deferred;
+    ++ps.inserts_deferred;
     ctx.charge(2);
   } else if (ghost.is_pending()) {
     // Allocation already in flight: park this insert on the wait queue
@@ -73,7 +76,7 @@ void GraphProtocol::handle_insert(rt::Context& ctx, const rt::Action& a) {
     rt::Action deferred = a;
     deferred.target = rt::kNullAddress;
     ghost.enqueue(deferred);
-    ++stats_.inserts_deferred;
+    ++ps.inserts_deferred;
     ctx.charge(1);
   } else {
     // Ghost exists: recursively propagate the insert down the chain
@@ -82,11 +85,11 @@ void GraphProtocol::handle_insert(rt::Context& ctx, const rt::Action& a) {
     fwd.target = ghost.value();
     if (fwd.target.is_null()) {
       // A previous allocation failed terminally; surface and drop.
-      ++stats_.bad_targets;
+      ++ps.bad_targets;
       return;
     }
     ctx.propagate(fwd);
-    ++stats_.inserts_forwarded;
+    ++ps.inserts_forwarded;
     ctx.charge(1);
   }
 }
@@ -95,15 +98,16 @@ void GraphProtocol::handle_insert(rt::Context& ctx, const rt::Action& a) {
 // Figure 4 states 3-4. args: w0 = new fragment address (null on failure),
 // w1 = ghost slot index.
 void GraphProtocol::handle_ghost_reply(rt::Context& ctx, const rt::Action& a) {
+  ProtocolStats& ps = shard_stats(ctx);
   auto* frag = ctx.as<VertexFragment>(a.target);
   if (frag == nullptr) {
-    ++stats_.bad_targets;
+    ++ps.bad_targets;
     return;
   }
   const rt::GlobalAddress ghost_addr = rt::GlobalAddress::unpack(a.args[0]);
   const auto slot = static_cast<std::size_t>(a.args[1]);
   if (slot >= frag->ghosts.size()) {
-    ++stats_.bad_targets;
+    ++ps.bad_targets;
     return;
   }
   ctx.charge(2);
@@ -112,10 +116,10 @@ void GraphProtocol::handle_ghost_reply(rt::Context& ctx, const rt::Action& a) {
     // The allocator exhausted its forwarding budget: every scratchpad it
     // probed was full. Fulfil with null — parked inserts are dropped at
     // dispatch and counted as faults, and the failure is visible here.
-    ++stats_.ghost_alloc_failures;
+    ++ps.ghost_alloc_failures;
   } else {
-    ++stats_.ghost_links_made;
-    chip_.stats().futures_fulfilled += 1;
+    ++ps.ghost_links_made;
+    ctx.count(rt::SimCounter::kFuturesFulfilled, 1);
     // Teach the new ghost its identity (vertex id + root address) so
     // chain-walking applications can orient themselves.
     ctx.propagate(rt::make_action(h_init_ghost_, ghost_addr,
@@ -125,7 +129,8 @@ void GraphProtocol::handle_ghost_reply(rt::Context& ctx, const rt::Action& a) {
 
   const int drained = frag->ghosts[slot].fulfil(ghost_addr, ctx);
   if (drained > 0) {
-    chip_.stats().future_waiters_drained += static_cast<std::uint64_t>(drained);
+    ctx.count(rt::SimCounter::kFutureWaitersDrained,
+              static_cast<std::uint64_t>(drained));
   }
   if (!ghost_addr.is_null() && hooks_.on_ghost_linked) {
     hooks_.on_ghost_linked(ctx, *frag, ghost_addr);
@@ -136,12 +141,26 @@ void GraphProtocol::handle_ghost_reply(rt::Context& ctx, const rt::Action& a) {
 void GraphProtocol::handle_init_ghost(rt::Context& ctx, const rt::Action& a) {
   auto* frag = ctx.as<VertexFragment>(a.target);
   if (frag == nullptr) {
-    ++stats_.bad_targets;
+    ++shard_stats(ctx).bad_targets;
     return;
   }
   frag->vid = a.args[0];
   frag->root = rt::GlobalAddress::unpack(a.args[1]);
   ctx.charge(1);
+}
+
+ProtocolStats GraphProtocol::stats() const noexcept {
+  ProtocolStats total;
+  for (const StatsShard& sh : shards_) {
+    total.edges_inserted += sh.s.edges_inserted;
+    total.inserts_forwarded += sh.s.inserts_forwarded;
+    total.inserts_deferred += sh.s.inserts_deferred;
+    total.ghost_allocs_started += sh.s.ghost_allocs_started;
+    total.ghost_links_made += sh.s.ghost_links_made;
+    total.ghost_alloc_failures += sh.s.ghost_alloc_failures;
+    total.bad_targets += sh.s.bad_targets;
+  }
+  return total;
 }
 
 }  // namespace ccastream::graph

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "graph/fragment.hpp"
 #include "runtime/action.hpp"
@@ -39,7 +40,11 @@ struct AppHooks {
 };
 
 /// Counters specific to the graph protocol (chip-wide counters live in
-/// sim::ChipStats).
+/// sim::ChipStats). The protocol accumulates one block per engine shard
+/// (mesh stripe) — handlers bump only their own shard's plain counters, the
+/// same contention-free pattern the chip uses for ChipStats — and
+/// GraphProtocol::stats() sums the shards on demand. Every field is a pure
+/// sum, so the totals are deterministic for any thread count.
 struct ProtocolStats {
   std::uint64_t edges_inserted = 0;    ///< Edge records physically appended.
   std::uint64_t inserts_forwarded = 0; ///< Inserts sent down a ready ghost link.
@@ -67,7 +72,9 @@ class GraphProtocol {
 
   [[nodiscard]] const RpvoConfig& rpvo_config() const noexcept { return cfg_; }
   [[nodiscard]] rt::HandlerId insert_handler() const noexcept { return h_insert_; }
-  [[nodiscard]] const ProtocolStats& stats() const noexcept { return stats_; }
+  /// Aggregated protocol counters (sum over the per-shard blocks). Call
+  /// host-side, between runs.
+  [[nodiscard]] ProtocolStats stats() const noexcept;
   [[nodiscard]] sim::Chip& chip() noexcept { return chip_; }
 
   /// Builds the insert-edge-action for an edge whose endpoints have been
@@ -84,10 +91,19 @@ class GraphProtocol {
   void handle_ghost_reply(rt::Context& ctx, const rt::Action& a);
   void handle_init_ghost(rt::Context& ctx, const rt::Action& a);
 
+  /// One per engine shard, cache-line separated so concurrent handlers on
+  /// different stripes never share a written line.
+  struct alignas(64) StatsShard {
+    ProtocolStats s;
+  };
+  [[nodiscard]] ProtocolStats& shard_stats(const rt::Context& ctx) {
+    return shards_[ctx.shard() % shards_.size()].s;
+  }
+
   sim::Chip& chip_;
   RpvoConfig cfg_;
   AppHooks hooks_;
-  ProtocolStats stats_;
+  std::vector<StatsShard> shards_;
   rt::HandlerId h_insert_ = 0;
   rt::HandlerId h_ghost_reply_ = 0;
   rt::HandlerId h_init_ghost_ = 0;

@@ -44,11 +44,24 @@ std::uint32_t RandomAllocator::choose(std::uint32_t /*origin_cc*/,
   return static_cast<std::uint32_t>(rng.below(mesh.cell_count()));
 }
 
-std::uint32_t RoundRobinAllocator::choose(std::uint32_t /*origin_cc*/,
+void RoundRobinAllocator::prepare(const MeshGeometry& mesh) {
+  cursors_.assign(mesh.cell_count(), 0);
+}
+
+std::uint32_t RoundRobinAllocator::choose(std::uint32_t origin_cc,
                                           const MeshGeometry& mesh,
                                           Xoshiro256& /*rng*/) {
-  const std::uint32_t cc = next_ % mesh.cell_count();
-  ++next_;
+  // Unprepared standalone use (unit tests, host-side experiments) grows the
+  // cursor table lazily; the chip always calls prepare() first, so choose()
+  // never reallocates while handlers run concurrently.
+  if (cursors_.size() < mesh.cell_count()) cursors_.resize(mesh.cell_count(), 0);
+  std::uint32_t& cursor = cursors_[origin_cc % cursors_.size()];
+  // Anchoring each origin's walk at its own cell keeps concurrent early
+  // allocations spread across the whole chip (cursor-from-zero would point
+  // every origin's first ghost at cell 0, piling load onto low indices).
+  const std::uint32_t cc =
+      static_cast<std::uint32_t>((origin_cc + cursor) % mesh.cell_count());
+  ++cursor;
   return cc;
 }
 

@@ -15,6 +15,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "runtime/geometry.hpp"
 #include "runtime/rng.hpp"
@@ -40,6 +41,11 @@ class AllocationPolicy {
                                              const MeshGeometry& mesh,
                                              Xoshiro256& rng) = 0;
   [[nodiscard]] virtual AllocPolicyKind kind() const noexcept = 0;
+
+  /// Called once by the chip before simulation starts. Policies that keep
+  /// per-origin state size it here so concurrent choose() calls from
+  /// different cells never reallocate shared storage.
+  virtual void prepare(const MeshGeometry& /*mesh*/) {}
 };
 
 /// Vicinity allocator: cells with 1..radius hop distance from the origin.
@@ -67,7 +73,11 @@ class RandomAllocator final : public AllocationPolicy {
   }
 };
 
-/// Chip-wide round-robin rotation.
+/// Chip-wide rotation, keyed per originating cell: each origin walks the
+/// whole chip in index order with its own cursor. Keying by cell (instead
+/// of one global call-order cursor) keeps the sequence deterministic under
+/// the parallel engine, where the interleaving of choose() calls from
+/// different cells depends on thread scheduling.
 class RoundRobinAllocator final : public AllocationPolicy {
  public:
   [[nodiscard]] std::uint32_t choose(std::uint32_t origin_cc, const MeshGeometry& mesh,
@@ -75,9 +85,10 @@ class RoundRobinAllocator final : public AllocationPolicy {
   [[nodiscard]] AllocPolicyKind kind() const noexcept override {
     return AllocPolicyKind::kRoundRobin;
   }
+  void prepare(const MeshGeometry& mesh) override;
 
  private:
-  std::uint32_t next_ = 0;
+  std::vector<std::uint32_t> cursors_;  // per-origin rotation state
 };
 
 /// Always the originating cell.

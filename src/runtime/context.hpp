@@ -24,6 +24,18 @@ namespace ccastream::rt {
 /// Object factories are registered per kind with the chip.
 using ObjectKind = std::uint16_t;
 
+/// Simulator statistic channels a handler (or the protocol library) may
+/// bump from inside an action. The simulator routes them to the executing
+/// stripe's private accumulator and merges at the end-of-cycle barrier, so
+/// handlers never write shared chip state — the invariant that makes the
+/// parallel engine race-free and deterministic.
+enum class SimCounter : std::uint8_t {
+  kFuturesFulfilled,
+  kFutureWaitersDrained,
+  kAllocForwards,
+  kAllocFailures,
+};
+
 /// Abstract handler execution context. The simulator provides the concrete
 /// implementation; tests may provide mocks.
 class Context {
@@ -67,6 +79,16 @@ class Context {
 
   /// Per-cell deterministic RNG.
   [[nodiscard]] virtual Xoshiro256& rng() = 0;
+
+  /// Bumps a simulator statistic from handler code. Mock contexts may keep
+  /// the default no-op.
+  virtual void count(SimCounter /*counter*/, std::uint64_t /*n*/) {}
+
+  /// Index of the engine shard (mesh stripe) executing this handler —
+  /// always 0 on mocks and the serial engine. Handler libraries that keep
+  /// their own counters shard them by this index so concurrent handlers
+  /// never write shared memory (see graph::GraphProtocol::stats()).
+  [[nodiscard]] virtual std::uint32_t shard() const { return 0; }
 
   /// Typed local dereference helper. T must derive from ArenaObject.
   template <typename T>

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
 
 namespace ccastream::sim {
 
@@ -21,10 +22,25 @@ rt::Action make_allocate_action(std::uint32_t target_cc, rt::ObjectKind kind,
 
 }  // namespace
 
+std::uint32_t resolve_threads(std::uint32_t requested) noexcept {
+  if (requested != 0) return requested;
+  if (const char* env = std::getenv("CCASTREAM_THREADS")) {
+    // strtol (not strtoul) so a negative value falls through to serial
+    // instead of wrapping to a huge unsigned count.
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) return static_cast<std::uint32_t>(std::min(v, 4096l));
+  }
+  return 1;
+}
+
 /// Concrete handler execution context bound to one cell for one dispatch.
+/// All mutations land in the cell itself or in the executing stripe's
+/// private accumulators — never in shared chip state — which is what makes
+/// handler execution safe and deterministic under the parallel engine.
 class CellContext final : public rt::Context {
  public:
-  CellContext(Chip& chip, ComputeCell& cell) : chip_(chip), cell_(cell) {}
+  CellContext(Chip& chip, Chip::StripeState& st, ComputeCell& cell)
+      : chip_(chip), st_(st), cell_(cell) {}
 
   [[nodiscard]] std::uint32_t cc() const override { return cell_.index(); }
 
@@ -38,14 +54,14 @@ class CellContext final : public rt::Context {
     m.src_cc = cell_.index();
     m.birth_cycle = chip_.cycle_;
     cell_.staged.push_back(m);
-    ++chip_.outstanding_;
-    ++chip_.stats_.actions_created;
+    ++st_.outstanding;
+    ++st_.stats.actions_created;
   }
 
   void schedule_local(const rt::Action& action) override {
     cell_.task_queue.push_back(action);
-    ++chip_.outstanding_;
-    ++chip_.stats_.tasks_scheduled;
+    ++st_.outstanding;
+    ++st_.stats.tasks_scheduled;
   }
 
   void charge(std::uint32_t instructions) override { charged_ += instructions; }
@@ -56,7 +72,7 @@ class CellContext final : public rt::Context {
   }
 
   std::optional<rt::GlobalAddress> allocate_local(rt::ObjectKind kind) override {
-    return chip_.allocate_on(cell_.index(), kind);
+    return chip_.allocate_on(st_.stats, cell_.index(), kind);
   }
 
   void call_cc_allocate(rt::ObjectKind kind, rt::GlobalAddress reply_to,
@@ -69,10 +85,24 @@ class CellContext final : public rt::Context {
 
   [[nodiscard]] rt::Xoshiro256& rng() override { return cell_.rng; }
 
+  [[nodiscard]] std::uint32_t shard() const override { return st_.index; }
+
+  void count(rt::SimCounter counter, std::uint64_t n) override {
+    switch (counter) {
+      case rt::SimCounter::kFuturesFulfilled: st_.stats.futures_fulfilled += n; break;
+      case rt::SimCounter::kFutureWaitersDrained:
+        st_.stats.future_waiters_drained += n;
+        break;
+      case rt::SimCounter::kAllocForwards: st_.stats.alloc_forwards += n; break;
+      case rt::SimCounter::kAllocFailures: st_.stats.alloc_failures += n; break;
+    }
+  }
+
   [[nodiscard]] std::uint32_t charged() const noexcept { return charged_; }
 
  private:
   Chip& chip_;
+  Chip::StripeState& st_;
   ComputeCell& cell_;
   std::uint32_t charged_ = 0;
 };
@@ -90,9 +120,34 @@ Chip::Chip(ChipConfig cfg)
   }
   trace_.set_enabled(cfg.record_activation);
   cell_load_.assign(mesh_.cell_count(), 0);
+  alloc_policy_->prepare(mesh_);
   registry_.register_system_handler(
       rt::kHandlerAllocate, "sys.allocate",
       [this](rt::Context& ctx, const rt::Action& a) { handle_allocate(ctx, a); });
+
+  // Stripe partition: contiguous horizontal row bands, one per worker.
+  num_stripes_ = std::min(resolve_threads(cfg_.threads), cfg_.height);
+  stripes_.resize(num_stripes_);
+  for (std::uint32_t s = 0; s < num_stripes_; ++s) {
+    StripeState& st = stripes_[s];
+    st.index = s;
+    st.row_begin = static_cast<std::uint32_t>(
+        (static_cast<std::uint64_t>(cfg_.height) * s) / num_stripes_);
+    st.row_end = static_cast<std::uint32_t>(
+        (static_cast<std::uint64_t>(cfg_.height) * (s + 1)) / num_stripes_);
+    st.cell_begin = st.row_begin * cfg_.width;
+    st.cell_end = st.row_end * cfg_.width;
+  }
+  for (std::size_t i = 0; i < io_.cell_count(); ++i) {
+    const std::uint32_t row = mesh_.coord_of(io_.cell(i).attached_cc).y;
+    for (auto& st : stripes_) {
+      if (row >= st.row_begin && row < st.row_end) {
+        st.io_cells.push_back(i);
+        break;
+      }
+    }
+  }
+  if (num_stripes_ > 1) pool_ = std::make_unique<StripePool>(num_stripes_);
 }
 
 void Chip::register_object_kind(rt::ObjectKind kind, ObjectFactory factory) {
@@ -113,7 +168,10 @@ rt::ArenaObject* Chip::deref(rt::GlobalAddress addr) {
 }
 
 void Chip::set_alloc_policy(std::unique_ptr<rt::AllocationPolicy> policy) {
-  if (policy) alloc_policy_ = std::move(policy);
+  if (policy) {
+    alloc_policy_ = std::move(policy);
+    alloc_policy_->prepare(mesh_);
+  }
 }
 
 void Chip::io_enqueue(const rt::Action& action) {
@@ -148,41 +206,110 @@ bool Chip::quiescent() const {
   return true;
 }
 
-std::uint64_t Chip::run_until_quiescent(std::uint64_t max_cycles) {
-  std::uint64_t ran = 0;
-  while (ran < max_cycles && !quiescent()) {
-    step();
-    ++ran;
+bool Chip::stripes_quiescent() const noexcept {
+  if (outstanding_ != 0) return false;
+  for (const auto& st : stripes_) {
+    if (!st.idle) return false;
   }
+  return true;
+}
+
+std::uint64_t Chip::run_until_quiescent(std::uint64_t max_cycles) {
+  return run_cycles(max_cycles, /*until_quiescent=*/true);
+}
+
+void Chip::step() { run_cycles(1, /*until_quiescent=*/false); }
+
+std::uint64_t Chip::run_cycles(std::uint64_t max_cycles, bool until_quiescent) {
+  if (max_cycles == 0) return 0;
+  if (until_quiescent && quiescent()) return 0;
+
+  std::uint64_t ran = 0;
+  if (num_stripes_ == 1) {
+    StripeState& st = stripes_[0];
+    while (ran < max_cycles) {
+      cycle_snapshot(st);
+      cycle_route(st);
+      cycle_apply(st);
+      cycle_io(st);
+      cycle_compute(st);
+      merge_stripes();
+      ++ran;
+      if (until_quiescent && stripes_quiescent()) break;
+    }
+    return ran;
+  }
+
+  // Parallel engine: one dispatch for the whole run; the cycle loop lives
+  // inside the job and synchronises on the pool's phase barrier. Stripe 0
+  // (the calling thread) performs the merge and the stop decision between
+  // the third and fourth barriers of each cycle; the barriers provide the
+  // happens-before edges, so `stop` and `ran` need no atomics.
+  bool stop = false;
+  pool_->run([&](std::uint32_t s) {
+    StripeState& st = stripes_[s];
+    for (;;) {
+      cycle_snapshot(st);
+      pool_->sync();  // snapshots visible to neighbouring stripes
+      cycle_route(st);
+      pool_->sync();  // all routing decisions made; outboxes final
+      cycle_apply(st);
+      cycle_io(st);
+      cycle_compute(st);
+      pool_->sync();  // all cell state settled for this cycle
+      if (s == 0) {
+        merge_stripes();
+        ++ran;
+        stop = ran >= max_cycles || (until_quiescent && stripes_quiescent());
+      }
+      pool_->sync();  // merge + stop decision visible to all stripes
+      if (stop) break;
+    }
+  });
   return ran;
 }
 
-void Chip::step() {
-  network_phase();
-  io_phase();
-  compute_phase();
-  ++cycle_;
-  ++stats_.cycles;
+void Chip::cycle_snapshot(StripeState& st) {
+  for (std::uint32_t i = st.cell_begin; i < st.cell_end; ++i) {
+    ComputeCell& cell = cells_[i];
+    for (std::size_t d = 0; d < kMeshDirections; ++d) {
+      cell.in_size_snapshot[d] = static_cast<std::uint32_t>(cell.router_in[d].size());
+    }
+  }
 }
 
-void Chip::deliver(ComputeCell& cell, const Message& msg) {
+void Chip::deliver(StripeState& st, ComputeCell& cell, const Message& msg) {
   cell.action_queue.push_back(msg.action);
-  ++stats_.deliveries;
-  stats_.total_delivery_latency += cycle_ - msg.birth_cycle;
+  ++st.stats.deliveries;
+  st.stats.total_delivery_latency += cycle_ - msg.birth_cycle;
 }
 
-void Chip::network_phase() {
+void Chip::cycle_route(StripeState& st) {
   const bool adaptive = cfg_.routing == RoutingPolicyKind::kWestFirst ||
                         cfg_.routing == RoutingPolicyKind::kOddEven;
 
-  for (auto& cell : cells_) {
-    if (cell.router_occupancy() == 0) continue;
-    const rt::Coord cur = mesh_.coord_of(cell.index());
+  for (std::uint32_t idx = st.cell_begin; idx < st.cell_end; ++idx) {
+    ComputeCell& cell = cells_[idx];
+    // Skip (freezing the arbitration pointer) based on the router state at
+    // phase start. Live occupancy would count messages pushed by earlier
+    // cells *this* phase, making the skip — and thus arb_next's advance —
+    // depend on cell visit order and stripe partitioning. io_in and
+    // local_out are only written in later phases, so their live sizes are
+    // their phase-start sizes.
+    std::uint32_t start_occupancy = static_cast<std::uint32_t>(
+        cell.io_in.size() + cell.local_out.size());
+    for (std::size_t d = 0; d < kMeshDirections; ++d) {
+      start_occupancy += cell.in_size_snapshot[d];
+    }
+    if (start_occupancy == 0) continue;
+    const rt::Coord cur = mesh_.coord_of(idx);
 
     std::uint32_t ejections_left = cfg_.ejections_per_cycle;
     bool used_out[kMeshDirections] = {false, false, false, false};
 
-    // Downstream buffer occupancy, used only by adaptive routing. Off-mesh
+    // Downstream buffer occupancy, used only by adaptive routing, read from
+    // the phase-start snapshots (deterministic regardless of the order the
+    // stripes — or the cells within a stripe — are visited). Off-mesh
     // directions read as "full" so they are never preferred.
     DownstreamOccupancy occ{};
     if (adaptive) {
@@ -191,10 +318,8 @@ void Chip::network_phase() {
         const rt::Coord n = ccastream::sim::step(cur, dir);
         occ[d] = mesh_.contains(n) && !(dir == Direction::kNorth && cur.y == 0) &&
                          !(dir == Direction::kWest && cur.x == 0)
-                     ? static_cast<std::uint32_t>(
-                           cells_[mesh_.index_of(n)]
-                               .router_in[static_cast<std::size_t>(opposite(dir))]
-                               .size())
+                     ? cells_[mesh_.index_of(n)]
+                           .in_size_snapshot[static_cast<std::size_t>(opposite(dir))]
                      : ~0u;
       }
     }
@@ -220,7 +345,7 @@ void Chip::network_phase() {
       const rt::Coord dst = mesh_.coord_of(m.action.target.cc);
       if (dst == cur) {
         if (ejections_left == 0) continue;
-        deliver(cell, m);
+        deliver(st, cell, m);
         src->pop();
         --ejections_left;
         continue;
@@ -233,23 +358,58 @@ void Chip::network_phase() {
 
       const rt::Coord next = ccastream::sim::step(cur, dir);
       assert(mesh_.contains(next));
-      ComputeCell& neighbour = cells_[mesh_.index_of(next)];
-      Fifo<Message>& in = neighbour.router_in[static_cast<std::size_t>(opposite(dir))];
-      if (!in.has_room()) continue;
+      const std::uint32_t next_idx = mesh_.index_of(next);
+      ComputeCell& neighbour = cells_[next_idx];
+      const auto port = static_cast<std::size_t>(opposite(dir));
+      // Room check against the neighbour's phase-start snapshot. This cell
+      // is the only writer of that port FIFO and used_out caps it at one
+      // push per cycle, so snapshot-room guarantees real room; pops by the
+      // owner during this phase only free additional space.
+      if (neighbour.in_size_snapshot[port] >= neighbour.router_in[port].capacity()) {
+        continue;
+      }
 
       m.last_move_cycle = cycle_;
       ++m.hops;
-      in.push(m);
+      if (next.y < st.row_begin) {
+        st.outbox_up.push_back({next_idx, static_cast<std::uint8_t>(port), m});
+      } else if (next.y >= st.row_end) {
+        st.outbox_down.push_back({next_idx, static_cast<std::uint8_t>(port), m});
+      } else {
+        neighbour.router_in[port].push(m);
+      }
       src->pop();
       used_out[d] = true;
-      ++stats_.hops;
+      ++st.stats.hops;
     }
     cell.arb_next = static_cast<std::uint8_t>((cell.arb_next + 1) % kSources);
   }
 }
 
-void Chip::io_phase() {
-  for (std::size_t i = 0; i < io_.cell_count(); ++i) {
+void Chip::cycle_apply(StripeState& st) {
+  // Inbound cross-stripe pushes: the stripe above's south-bound traffic and
+  // the stripe below's north-bound traffic, each targeting only this
+  // stripe's cells. Every port FIFO receives at most one message per cycle
+  // (single writer + used_out), so application order cannot matter; this
+  // consumer clears the producer's outbox behind the phase barrier.
+  if (st.index > 0) {
+    auto& inbox = stripes_[st.index - 1].outbox_down;
+    for (const PendingPush& p : inbox) {
+      cells_[p.target_cc].router_in[p.port].push(p.msg);
+    }
+    inbox.clear();
+  }
+  if (st.index + 1 < num_stripes_) {
+    auto& inbox = stripes_[st.index + 1].outbox_up;
+    for (const PendingPush& p : inbox) {
+      cells_[p.target_cc].router_in[p.port].push(p.msg);
+    }
+    inbox.clear();
+  }
+}
+
+void Chip::cycle_io(StripeState& st) {
+  for (const std::size_t i : st.io_cells) {
     IoCell& ioc = io_.cell(i);
     if (ioc.pending.empty()) continue;
     ComputeCell& cc = cells_[ioc.attached_cc];
@@ -261,16 +421,16 @@ void Chip::io_phase() {
     m.last_move_cycle = cycle_;  // injection consumes this cycle's movement
     cc.io_in.push(m);
     ioc.pending.pop_front();
-    ++stats_.io_injections;
+    ++st.stats.io_injections;
   }
 }
 
-void Chip::compute_phase() {
-  std::uint32_t active = 0;
-  std::uint32_t live = 0;
+void Chip::cycle_compute(StripeState& st) {
   const bool tracing = trace_.enabled();
+  st.idle = true;
 
-  for (auto& cell : cells_) {
+  for (std::uint32_t idx = st.cell_begin; idx < st.cell_end; ++idx) {
+    ComputeCell& cell = cells_[idx];
     bool did_op = false;
     if (cell.busy > 0) {
       // Finishing the instruction cycles of the current action.
@@ -281,10 +441,10 @@ void Chip::compute_phase() {
       if (cell.local_out.has_room()) {
         cell.local_out.push(cell.staged.front());
         cell.staged.pop_front();
-        ++stats_.messages_staged;
+        ++st.stats.messages_staged;
         did_op = true;
       } else {
-        ++stats_.stage_stalls;  // backpressure: network outport full
+        ++st.stats.stage_stalls;  // backpressure: network outport full
       }
     } else if (!cell.task_queue.empty()) {
       const rt::Action a = cell.task_queue.front();
@@ -299,59 +459,92 @@ void Chip::compute_phase() {
         m.birth_cycle = cycle_;
         cell.staged.push_back(m);  // stays outstanding as a message
       } else {
-        execute_action(cell, a);
+        execute_action(st, cell, a);
       }
       did_op = true;
     } else if (!cell.action_queue.empty()) {
       const rt::Action a = cell.action_queue.front();
       cell.action_queue.pop_front();
-      execute_action(cell, a);
+      execute_action(st, cell, a);
       did_op = true;
     }
 
-    if (did_op) ++cell_load_[cell.index()];
+    if (did_op) ++cell_load_[idx];
+    if (!cell.idle()) st.idle = false;
     if (tracing) {
-      if (did_op) ++active;
-      if (did_op || !cell.idle()) ++live;
+      if (did_op) ++st.trace_active;
+      if (did_op || !cell.idle()) ++st.trace_live;
     }
   }
-  if (tracing) trace_.record(active, live);
 }
 
-void Chip::execute_action(ComputeCell& cell, const rt::Action& action) {
-  assert(outstanding_ > 0);
-  --outstanding_;
+void Chip::merge_stripes() {
+  std::uint32_t active = 0;
+  std::uint32_t live = 0;
+  std::int64_t outstanding_delta = 0;
+  for (StripeState& st : stripes_) {
+    stats_.add(st.stats);
+    st.stats = ChipStats{};
+    outstanding_delta += st.outstanding;
+    st.outstanding = 0;
+    active += st.trace_active;
+    live += st.trace_live;
+    st.trace_active = st.trace_live = 0;
+    if (cfg_.profile_handlers && !st.profile.empty()) {
+      if (handler_profile_.size() < st.profile.size()) {
+        handler_profile_.resize(st.profile.size());
+      }
+      for (std::size_t h = 0; h < st.profile.size(); ++h) {
+        handler_profile_[h].executions += st.profile[h].executions;
+        handler_profile_[h].instructions += st.profile[h].instructions;
+        st.profile[h] = HandlerProfile{};
+      }
+    }
+  }
+  assert(static_cast<std::int64_t>(outstanding_) + outstanding_delta >= 0);
+  outstanding_ =
+      static_cast<std::uint64_t>(static_cast<std::int64_t>(outstanding_) +
+                                 outstanding_delta);
+  ++cycle_;
+  ++stats_.cycles;
+  if (trace_.enabled()) trace_.record(active, live);
+}
+
+void Chip::execute_action(StripeState& st, ComputeCell& cell,
+                          const rt::Action& action) {
+  --st.outstanding;  // global non-negativity asserted at the merge
 
   const rt::Handler* handler = registry_.find(action.handler);
   if (handler == nullptr) {
-    ++stats_.faults;
+    ++st.stats.faults;
     return;
   }
-  CellContext ctx(*this, cell);
+  CellContext ctx(*this, st, cell);
   (*handler)(ctx, action);
-  ++stats_.actions_executed;
+  ++st.stats.actions_executed;
   const std::uint32_t cost = cfg_.action_base_cost + ctx.charged();
-  stats_.instructions += cost;
+  st.stats.instructions += cost;
   if (cfg_.profile_handlers) {
-    if (handler_profile_.size() <= action.handler) {
-      handler_profile_.resize(action.handler + 1);
+    if (st.profile.size() <= action.handler) {
+      st.profile.resize(action.handler + 1);
     }
-    ++handler_profile_[action.handler].executions;
-    handler_profile_[action.handler].instructions += cost;
+    ++st.profile[action.handler].executions;
+    st.profile[action.handler].instructions += cost;
   }
   cell.busy = cost > 0 ? cost - 1 : 0;  // this cycle was the first
 }
 
-std::optional<rt::GlobalAddress> Chip::allocate_on(std::uint32_t cc,
+std::optional<rt::GlobalAddress> Chip::allocate_on(ChipStats& stats,
+                                                   std::uint32_t cc,
                                                    rt::ObjectKind kind) {
   const auto it = factories_.find(kind);
   if (it == factories_.end()) {
-    ++stats_.faults;
+    ++stats.faults;
     return std::nullopt;
   }
   const auto slot = cells_[cc].arena.insert(it->second());
   if (!slot) return std::nullopt;
-  ++stats_.allocations;
+  ++stats.allocations;
   return rt::GlobalAddress{cc, *slot};
 }
 
@@ -373,7 +566,7 @@ void Chip::handle_allocate(rt::Context& ctx, const rt::Action& action) {
   if (budget > 0) {
     // Scratchpad full here — bounce the request to the next cell on the
     // chip (linear probe) with a decremented hop budget.
-    ++stats_.alloc_forwards;
+    ctx.count(rt::SimCounter::kAllocForwards, 1);
     const std::uint32_t next_cc = (ctx.cc() + 1) % mesh_.cell_count();
     ctx.propagate(make_allocate_action(next_cc, kind, budget - 1, reply_handler,
                                        reply_to, tag));
@@ -381,7 +574,7 @@ void Chip::handle_allocate(rt::Context& ctx, const rt::Action& action) {
   }
   // Budget exhausted: report failure with a null address so the requester's
   // future is fulfilled with null and the application can surface the error.
-  ++stats_.alloc_failures;
+  ctx.count(rt::SimCounter::kAllocFailures, 1);
   ctx.propagate(rt::make_action(reply_handler, reply_to, rt::kNullAddress.pack(), tag));
 }
 

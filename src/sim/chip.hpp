@@ -31,6 +31,7 @@
 #include "sim/energy.hpp"
 #include "sim/io_channel.hpp"
 #include "sim/message.hpp"
+#include "sim/parallel.hpp"
 #include "sim/routing.hpp"
 #include "sim/stats.hpp"
 #include "sim/trace.hpp"
@@ -59,7 +60,15 @@ struct ChipConfig {
   std::uint64_t seed = 0xC0FFEEull;
   bool record_activation = false;      ///< Record Figure 6/7 activation trace.
   bool profile_handlers = false;       ///< Per-handler execution/instruction counts.
+  /// Worker threads for the striped parallel engine. 0 resolves from the
+  /// CCASTREAM_THREADS environment variable (defaulting to 1 = serial);
+  /// always clamped to `height` (each stripe owns at least one mesh row).
+  /// Results are cycle-for-cycle identical for every thread count.
+  std::uint32_t threads = 0;
 };
+
+/// Resolves a requested thread count: 0 reads CCASTREAM_THREADS (default 1).
+[[nodiscard]] std::uint32_t resolve_threads(std::uint32_t requested) noexcept;
 
 /// Per-handler profile entry (enabled via ChipConfig::profile_handlers).
 struct HandlerProfile {
@@ -169,17 +178,60 @@ class Chip {
     return handler_profile_;
   }
 
+  /// Resolved stripe/worker count of this chip instance.
+  [[nodiscard]] std::uint32_t threads() const noexcept { return num_stripes_; }
+
  private:
   friend class CellContext;
 
-  void network_phase();
-  void io_phase();
-  void compute_phase();
-  void execute_action(ComputeCell& cell, const rt::Action& action);
-  void deliver(ComputeCell& cell, const Message& msg);
+  /// One deferred cross-stripe router push (applied behind a barrier so no
+  /// FIFO is ever touched by two threads in the same phase).
+  struct PendingPush {
+    std::uint32_t target_cc = 0;
+    std::uint8_t port = 0;  ///< Index into ComputeCell::router_in.
+    Message msg;
+  };
+
+  /// One horizontal mesh stripe plus every accumulator its worker thread
+  /// writes during a cycle. Accumulators are merged into the chip-global
+  /// counters, in stripe order, at the end-of-cycle barrier; all of them
+  /// are sums, so the merged totals are independent of the stripe count.
+  struct alignas(64) StripeState {
+    std::uint32_t index = 0;
+    std::uint32_t row_begin = 0, row_end = 0;
+    std::uint32_t cell_begin = 0, cell_end = 0;
+    std::vector<std::size_t> io_cells;  ///< IO cells attached to these rows.
+    ChipStats stats;                    ///< This cycle's counter deltas.
+    std::int64_t outstanding = 0;       ///< This cycle's outstanding delta.
+    std::vector<HandlerProfile> profile;
+    std::uint32_t trace_active = 0, trace_live = 0;
+    bool idle = true;                   ///< All stripe cells idle after compute.
+    /// Router pushes crossing into the stripe above / below.
+    std::vector<PendingPush> outbox_up, outbox_down;
+  };
+
+  /// The cycle engine: runs up to `max_cycles` cycles (optionally stopping
+  /// at global quiescence) and returns how many were executed. Serial and
+  /// parallel paths run the same per-stripe phase functions.
+  std::uint64_t run_cycles(std::uint64_t max_cycles, bool until_quiescent);
+
+  // Per-stripe cycle phases (worker-thread side).
+  void cycle_snapshot(StripeState& st);
+  void cycle_route(StripeState& st);
+  void cycle_apply(StripeState& st);
+  void cycle_io(StripeState& st);
+  void cycle_compute(StripeState& st);
+  /// End-of-cycle merge (single-threaded, behind the barrier).
+  void merge_stripes();
+  /// Quiescence from the stripe idle flags of the cycle just merged.
+  [[nodiscard]] bool stripes_quiescent() const noexcept;
+
+  void execute_action(StripeState& st, ComputeCell& cell, const rt::Action& action);
+  void deliver(StripeState& st, ComputeCell& cell, const Message& msg);
   /// Handler body of the allocate system action.
   void handle_allocate(rt::Context& ctx, const rt::Action& action);
-  std::optional<rt::GlobalAddress> allocate_on(std::uint32_t cc, rt::ObjectKind kind);
+  std::optional<rt::GlobalAddress> allocate_on(ChipStats& stats, std::uint32_t cc,
+                                               rt::ObjectKind kind);
 
   ChipConfig cfg_;
   rt::MeshGeometry mesh_;
@@ -197,6 +249,9 @@ class Chip {
   /// Includes actions still queued in IO cells. Zero is necessary (not
   /// sufficient — cells may still be in busy residue) for quiescence.
   std::uint64_t outstanding_ = 0;
+  std::uint32_t num_stripes_ = 1;
+  std::vector<StripeState> stripes_;
+  std::unique_ptr<StripePool> pool_;  ///< Created only when num_stripes_ > 1.
 };
 
 }  // namespace ccastream::sim

@@ -70,6 +70,13 @@ class ComputeCell {
   /// Locally staged messages entering the network.
   Fifo<Message> local_out;
 
+  /// Router input sizes latched at the start of each network phase. All
+  /// room/occupancy decisions made *about* this cell by its neighbours this
+  /// cycle read these latched values (never the live FIFOs), which is what
+  /// makes the network phase independent of cell visit order — and hence of
+  /// the stripe partitioning of the parallel engine.
+  std::uint32_t in_size_snapshot[kMeshDirections] = {0, 0, 0, 0};
+
   // --- Misc ---------------------------------------------------------------
   rt::Xoshiro256 rng;
   /// Round-robin pointer for router input arbitration fairness.

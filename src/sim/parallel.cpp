@@ -1,0 +1,60 @@
+#include "sim/parallel.hpp"
+
+namespace ccastream::sim {
+
+StripePool::StripePool(std::uint32_t stripes)
+    : stripes_(stripes), barrier_(static_cast<std::ptrdiff_t>(stripes)) {
+  workers_.reserve(stripes_ > 0 ? stripes_ - 1 : 0);
+  for (std::uint32_t s = 1; s < stripes_; ++s) {
+    workers_.emplace_back([this, s] { worker_loop(s); });
+  }
+}
+
+StripePool::~StripePool() {
+  {
+    const std::lock_guard<std::mutex> lk(m_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void StripePool::run(const std::function<void(std::uint32_t)>& job) {
+  if (stripes_ <= 1) {
+    job(0);
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lk(m_);
+    job_ = &job;
+    ++generation_;
+    running_ = stripes_ - 1;
+  }
+  cv_start_.notify_all();
+  job(0);  // the caller is stripe 0
+  std::unique_lock<std::mutex> lk(m_);
+  cv_done_.wait(lk, [this] { return running_ == 0; });
+  job_ = nullptr;
+}
+
+void StripePool::worker_loop(std::uint32_t stripe) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(std::uint32_t)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lk(m_);
+      cv_start_.wait(lk, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      job = job_;
+    }
+    (*job)(stripe);
+    {
+      const std::lock_guard<std::mutex> lk(m_);
+      --running_;
+    }
+    cv_done_.notify_one();
+  }
+}
+
+}  // namespace ccastream::sim

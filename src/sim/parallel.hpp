@@ -1,0 +1,54 @@
+// Persistent worker pool for the striped chip engine.
+//
+// One pool drives `stripes` logical mesh stripes: the calling thread
+// executes stripe 0 and `stripes - 1` resident workers execute the rest.
+// A job is dispatched once per run() and typically loops over many cycles
+// internally, using sync() as the phase barrier shared by all stripe
+// threads — dispatching once per run (instead of once per phase) keeps the
+// per-cycle synchronisation down to futex-backed barrier waits.
+#pragma once
+
+#include <barrier>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ccastream::sim {
+
+class StripePool {
+ public:
+  explicit StripePool(std::uint32_t stripes);
+  ~StripePool();
+
+  StripePool(const StripePool&) = delete;
+  StripePool& operator=(const StripePool&) = delete;
+
+  [[nodiscard]] std::uint32_t stripes() const noexcept { return stripes_; }
+
+  /// Runs job(stripe) on every stripe concurrently; returns when all have
+  /// finished. The job must call sync() an identical number of times from
+  /// every stripe (the barrier counts all of them).
+  void run(const std::function<void(std::uint32_t)>& job);
+
+  /// Phase barrier: blocks until every stripe thread has arrived.
+  void sync() { barrier_.arrive_and_wait(); }
+
+ private:
+  void worker_loop(std::uint32_t stripe);
+
+  std::uint32_t stripes_;
+  std::barrier<> barrier_;
+  std::mutex m_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  const std::function<void(std::uint32_t)>* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  std::uint32_t running_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace ccastream::sim

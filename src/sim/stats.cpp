@@ -26,6 +26,26 @@ ChipStats ChipStats::delta_since(const ChipStats& earlier) const noexcept {
   return d;
 }
 
+void ChipStats::add(const ChipStats& other) noexcept {
+  cycles += other.cycles;
+  actions_created += other.actions_created;
+  actions_executed += other.actions_executed;
+  tasks_scheduled += other.tasks_scheduled;
+  instructions += other.instructions;
+  stage_stalls += other.stage_stalls;
+  messages_staged += other.messages_staged;
+  hops += other.hops;
+  deliveries += other.deliveries;
+  total_delivery_latency += other.total_delivery_latency;
+  io_injections += other.io_injections;
+  allocations += other.allocations;
+  alloc_forwards += other.alloc_forwards;
+  alloc_failures += other.alloc_failures;
+  futures_fulfilled += other.futures_fulfilled;
+  future_waiters_drained += other.future_waiters_drained;
+  faults += other.faults;
+}
+
 std::ostream& operator<<(std::ostream& os, const ChipStats& s) {
   os << "cycles=" << s.cycles << " actions(created=" << s.actions_created
      << ", executed=" << s.actions_executed << ", tasks=" << s.tasks_scheduled

@@ -67,6 +67,12 @@ struct ChipStats {
 
   /// Difference between two snapshots (for per-increment reporting).
   [[nodiscard]] ChipStats delta_since(const ChipStats& earlier) const noexcept;
+
+  /// Adds every counter of `other` into this one (the per-stripe merge of
+  /// the parallel engine; all fields are sums, so merging is commutative).
+  void add(const ChipStats& other) noexcept;
+
+  friend bool operator==(const ChipStats&, const ChipStats&) = default;
 };
 
 std::ostream& operator<<(std::ostream& os, const ChipStats& s);

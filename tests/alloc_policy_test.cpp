@@ -89,15 +89,32 @@ TEST(RandomAllocator, UniformOverChip) {
   EXPECT_EQ(seen.size(), 64u);  // every cell eventually chosen
 }
 
-TEST(RoundRobinAllocator, CyclesThroughAllCells) {
+TEST(RoundRobinAllocator, CyclesThroughAllCellsFromOrigin) {
+  // Per-origin rotation, anchored at the origin cell: origin 5 walks
+  // 5, 6, ..., 15, 0, ..., 4 and wraps. (Keyed per cell — not one global
+  // call-order cursor — so the parallel engine's scheduling cannot perturb
+  // the sequence; anchoring spreads concurrent origins over the chip.)
   const MeshGeometry mesh(4, 4);
   RoundRobinAllocator policy;
   Xoshiro256 rng(3);
   for (std::uint32_t round = 0; round < 3; ++round) {
     for (std::uint32_t i = 0; i < 16; ++i) {
-      EXPECT_EQ(policy.choose(5, mesh, rng), i);
+      EXPECT_EQ(policy.choose(5, mesh, rng), (5 + i) % 16);
     }
   }
+}
+
+TEST(RoundRobinAllocator, OriginsRotateIndependently) {
+  const MeshGeometry mesh(4, 4);
+  RoundRobinAllocator policy;
+  policy.prepare(mesh);
+  Xoshiro256 rng(3);
+  // Interleaved calls from two origins never disturb each other's walk,
+  // and distinct origins start at distinct cells.
+  EXPECT_EQ(policy.choose(3, mesh, rng), 3u);
+  EXPECT_EQ(policy.choose(9, mesh, rng), 9u);
+  EXPECT_EQ(policy.choose(3, mesh, rng), 4u);
+  EXPECT_EQ(policy.choose(9, mesh, rng), 10u);
 }
 
 TEST(LocalAllocator, AlwaysOrigin) {

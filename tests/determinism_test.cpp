@@ -1,0 +1,190 @@
+// The parallel engine's headline guarantee: a run is cycle-for-cycle
+// identical for every thread count. BFS and SSSP stream an SBM graph in
+// increments on 1-, 2-, and 4-thread chips; final cycle count, the full
+// ChipStats counter block, total energy, and every per-vertex result must
+// match the serial engine exactly.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "test_util.hpp"
+
+namespace ccastream {
+namespace {
+
+/// Minimal arena object used as a diffusion target.
+class Blob final : public rt::ArenaObject {
+ public:
+  [[nodiscard]] std::size_t logical_bytes() const noexcept override { return 16; }
+};
+
+constexpr std::uint64_t kVertices = 800;
+constexpr std::uint64_t kEdges = 12'000;
+constexpr std::uint64_t kSeed = 2024;
+
+struct RunResult {
+  std::uint64_t cycles = 0;
+  sim::ChipStats stats;
+  double energy_pj = 0.0;
+  std::vector<rt::Word> results;  ///< Per-vertex app output.
+
+  friend bool operator==(const RunResult&, const RunResult&) = default;
+};
+
+enum class App { kBfs, kSssp };
+
+RunResult run_app(App app, std::uint32_t threads) {
+  sim::ChipConfig cfg;
+  cfg.width = 16;
+  cfg.height = 16;
+  cfg.threads = threads;
+  cfg.seed = kSeed;
+  sim::Chip chip(cfg);
+  EXPECT_EQ(chip.threads(), threads);
+
+  graph::GraphProtocol proto(chip);
+  apps::StreamingBfs bfs(proto);
+  apps::StreamingSssp sssp(proto);
+  graph::GraphConfig gc;
+  gc.num_vertices = kVertices;
+  if (app == App::kBfs) {
+    bfs.install();
+    gc.root_init = apps::StreamingBfs::initial_state();
+  } else {
+    sssp.install();
+    gc.root_init = apps::StreamingSssp::initial_state();
+  }
+  graph::StreamingGraph g(proto, gc);
+  if (app == App::kBfs) {
+    bfs.set_source(g, 0);
+  } else {
+    sssp.set_source(g, 0);
+  }
+
+  const auto sched = wl::make_graphchallenge_like(kVertices, kEdges,
+                                                  wl::SamplingKind::kEdge,
+                                                  /*increments=*/4, kSeed);
+  for (const auto& inc : sched.increments) {
+    g.stream_increment(inc);
+  }
+  EXPECT_TRUE(chip.quiescent());
+
+  RunResult r;
+  r.cycles = chip.stats().cycles;
+  r.stats = chip.stats();
+  r.energy_pj = chip.energy_pj();
+  r.results.reserve(kVertices);
+  for (std::uint64_t v = 0; v < kVertices; ++v) {
+    r.results.push_back(app == App::kBfs ? bfs.level_of(g, v)
+                                         : sssp.distance_of(g, v));
+  }
+  return r;
+}
+
+class Determinism : public ::testing::TestWithParam<App> {};
+
+TEST_P(Determinism, ParallelRunsAreCycleIdenticalToSerial) {
+  const RunResult serial = run_app(GetParam(), 1);
+  // The serial run did real work (the comparison is not vacuous).
+  ASSERT_GT(serial.cycles, 0u);
+  ASSERT_GT(serial.stats.hops, 0u);
+  ASSERT_GT(serial.energy_pj, 0.0);
+
+  for (const std::uint32_t threads : {2u, 4u}) {
+    SCOPED_TRACE("threads = " + std::to_string(threads));
+    const RunResult parallel = run_app(GetParam(), threads);
+    EXPECT_EQ(parallel.cycles, serial.cycles);
+    EXPECT_EQ(parallel.stats, serial.stats);  // every ChipStats counter
+    EXPECT_EQ(parallel.energy_pj, serial.energy_pj);
+    EXPECT_EQ(parallel.results, serial.results);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BfsAndSssp, Determinism,
+                         ::testing::Values(App::kBfs, App::kSssp),
+                         [](const auto& info) {
+                           return info.param == App::kBfs ? "Bfs" : "Sssp";
+                         });
+
+// Congestion is where order-dependence would hide: shallow FIFOs and a
+// single ejection per cycle force sustained backpressure (stage stalls,
+// full router ports), yet the snapshot protocol must still be exact.
+TEST(Determinism, HeavyCongestionIsCycleIdenticalAcrossThreadCounts) {
+  auto run = [](std::uint32_t threads) {
+    sim::ChipConfig cfg;
+    cfg.width = 8;
+    cfg.height = 8;
+    cfg.fifo_depth = 2;
+    cfg.ejections_per_cycle = 1;
+    cfg.threads = threads;
+    cfg.seed = 77;
+    sim::Chip chip(cfg);
+    graph::GraphProtocol proto(chip);
+    apps::StreamingBfs bfs(proto);
+    bfs.install();
+    graph::GraphConfig gc;
+    gc.num_vertices = 300;
+    gc.root_init = apps::StreamingBfs::initial_state();
+    graph::StreamingGraph g(proto, gc);
+    bfs.set_source(g, 0);
+    const auto sched = wl::make_graphchallenge_like(300, 6'000,
+                                                    wl::SamplingKind::kEdge,
+                                                    /*increments=*/3, 77);
+    for (const auto& inc : sched.increments) g.stream_increment(inc);
+    return chip.stats();
+  };
+  const sim::ChipStats serial = run(1);
+  EXPECT_GT(serial.stage_stalls, 0u) << "config failed to congest the mesh";
+  for (const std::uint32_t threads : {2u, 4u, 7u}) {
+    SCOPED_TRACE("threads = " + std::to_string(threads));
+    EXPECT_EQ(run(threads), serial);
+  }
+}
+
+// Repeated runs at the same thread count are identical too (no hidden
+// dependence on scheduling or wall-clock).
+TEST(Determinism, RepeatedParallelRunsAreIdentical) {
+  const RunResult a = run_app(App::kBfs, 4);
+  const RunResult b = run_app(App::kBfs, 4);
+  EXPECT_EQ(a, b);
+}
+
+// step()-wise execution matches run_until_quiescent: the engine has no
+// batching artefacts across dispatch granularity.
+TEST(Determinism, SingleSteppingMatchesBatchedRun) {
+  auto make_chip = [](std::uint32_t threads) {
+    sim::ChipConfig cfg = test::small_chip_config();
+    cfg.threads = threads;
+    return cfg;
+  };
+  auto seed_work = [](sim::Chip& chip) {
+    const auto tgt = *chip.host_allocate(17, std::make_unique<Blob>());
+    const rt::HandlerId fan = chip.handlers().register_handler(
+        "fan", [tgt](rt::Context& ctx, const rt::Action& a) {
+          if (a.args[0] > 0) {
+            for (int i = 0; i < 3; ++i) {
+              ctx.propagate(rt::make_action(a.handler, tgt, a.args[0] - 1));
+            }
+          }
+        });
+    chip.inject_local(rt::make_action(fan, tgt, rt::Word{5}));
+  };
+
+  sim::Chip batched(make_chip(2));
+  seed_work(batched);
+  const std::uint64_t cycles = batched.run_until_quiescent();
+
+  sim::Chip stepped(make_chip(2));
+  seed_work(stepped);
+  std::uint64_t stepped_cycles = 0;
+  while (!stepped.quiescent()) {
+    stepped.step();
+    ++stepped_cycles;
+  }
+  EXPECT_EQ(stepped_cycles, cycles);
+  EXPECT_EQ(stepped.stats(), batched.stats());
+}
+
+}  // namespace
+}  // namespace ccastream

@@ -162,6 +162,44 @@ TEST(JsonRecord, ParseRejectsGarbage) {
       bench::parse_record("{\"bench\":\"unterminated").has_value());
 }
 
+TEST(JsonRecord, ThreadsFieldRoundTrips) {
+  const bench::BenchRecord r{"b", "64x64", 100, 2.5, "tiny", /*threads=*/4};
+  const std::string line = bench::format_record(r);
+  EXPECT_NE(line.find("\"threads\":4"), std::string::npos);
+  const auto parsed = bench::parse_record(line);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->threads, 4u);
+  EXPECT_EQ(*parsed, r);
+}
+
+TEST(JsonRecord, WallMsRoundTripsAndIsOmittedWhenUnmeasured) {
+  const bench::BenchRecord measured{"b", "64x64", 100, 2.5, "tiny",
+                                    /*threads=*/4, /*wall_ms=*/123.456};
+  const std::string line = bench::format_record(measured);
+  EXPECT_NE(line.find("\"wall_ms\":"), std::string::npos);
+  const auto parsed = bench::parse_record(line);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, measured);  // %.17g keeps the double bit-exact
+
+  const bench::BenchRecord unmeasured{"b", "d", 1, 1.0, "tiny"};
+  const std::string bare = bench::format_record(unmeasured);
+  EXPECT_EQ(bare.find("wall_ms"), std::string::npos);
+  const auto reparsed = bench::parse_record(bare);
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_EQ(reparsed->wall_ms, 0.0);
+}
+
+TEST(JsonRecord, LegacyRecordWithoutThreadsDefaultsToSerial) {
+  // Records written before the parallel backend existed carry no threads
+  // field; they were all measured on the serial engine.
+  const std::string line =
+      "{\"bench\":\"b\",\"dataset\":\"d\",\"cycles\":5,"
+      "\"energy_uj\":1.0,\"scale\":\"tiny\"}";
+  const auto parsed = bench::parse_record(line);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->threads, 1u);
+}
+
 TEST(JsonRecord, ParseRejectsNegativeCycles) {
   const std::string line =
       "{\"bench\":\"b\",\"dataset\":\"d\",\"cycles\":-1,"
@@ -219,10 +257,14 @@ TEST(JsonReporter, AppendsParseableRecordsToEnvNamedFile) {
     records.push_back(*r);
   }
   ASSERT_EQ(records.size(), 2u);
-  EXPECT_EQ(records[0],
-            (bench::BenchRecord{"bench_alpha", "2K(tiny)", 1000, 1.5, "tiny"}));
-  EXPECT_EQ(records[1],
-            (bench::BenchRecord{"bench_beta", "8K(tiny)", 2000, 2.5, "tiny"}));
+  // The reporter tags every record with the env-resolved backend thread
+  // count, so the expectation must match whatever CCASTREAM_THREADS the
+  // suite itself runs under (e.g. CI's thread matrix).
+  const std::uint64_t backend = ccastream::sim::resolve_threads(0);
+  EXPECT_EQ(records[0], (bench::BenchRecord{"bench_alpha", "2K(tiny)", 1000,
+                                            1.5, "tiny", backend}));
+  EXPECT_EQ(records[1], (bench::BenchRecord{"bench_beta", "8K(tiny)", 2000,
+                                            2.5, "tiny", backend}));
   std::remove(path.c_str());
 }
 

@@ -1,0 +1,101 @@
+// Stress/scale sweep: mesh sizes {8x8, 32x32, 64x64} crossed with IO-side
+// configurations, each streaming an SBM workload through BFS and verifying
+// against the sequential oracle. Heavyweight by design: the suite is
+// registered with ctest label `slow` and every test GTEST_SKIPs unless
+// CCASTREAM_STRESS=1, so the default `ctest` run stays fast while CI's
+// stress step (and `ctest -L slow` locally) exercises the full sweep.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <tuple>
+
+#include "test_util.hpp"
+
+namespace ccastream {
+namespace {
+
+bool stress_enabled() {
+  const char* v = std::getenv("CCASTREAM_STRESS");
+  return v != nullptr && *v != '\0' && *v != '0';
+}
+
+using Case = std::tuple<std::uint32_t /*mesh*/, std::uint8_t /*io_sides*/>;
+
+class StressScale : public ::testing::TestWithParam<Case> {};
+
+TEST_P(StressScale, StreamingBfsSettlesAndMatchesOracle) {
+  if (!stress_enabled()) {
+    GTEST_SKIP() << "set CCASTREAM_STRESS=1 to run the stress/scale sweep";
+  }
+  const auto [dim, io_sides] = GetParam();
+
+  sim::ChipConfig cfg;
+  cfg.width = dim;
+  cfg.height = dim;
+  cfg.io_sides = io_sides;
+  cfg.seed = 0x57AE55ull + dim;
+  // threads left at 0: honours CCASTREAM_THREADS, so the CI thread matrix
+  // stresses both engines with the same sweep.
+  sim::Chip chip(cfg);
+  graph::GraphProtocol proto(chip);
+  apps::StreamingBfs bfs(proto);
+  bfs.install();
+
+  // Scale the workload with the mesh so big chips do proportionally big
+  // work: ~2 vertices per cell, average degree 6.
+  const std::uint64_t n = 2ull * dim * dim;
+  const std::uint64_t m = 6 * n;
+  graph::GraphConfig gc;
+  gc.num_vertices = n;
+  gc.root_init = apps::StreamingBfs::initial_state();
+  graph::StreamingGraph g(proto, gc);
+  bfs.set_source(g, 0);
+
+  const auto sched = wl::make_graphchallenge_like(n, m, wl::SamplingKind::kEdge,
+                                                  /*increments=*/3, cfg.seed);
+  for (const auto& inc : sched.increments) {
+    g.stream_increment(inc, /*max_cycles=*/200'000'000);
+    ASSERT_TRUE(chip.quiescent()) << "increment failed to settle on " << dim
+                                  << "x" << dim;
+  }
+
+  base::RefGraph ref(n);
+  for (const auto& inc : sched.increments) ref.add_edges(inc);
+  const auto want = base::bfs_levels(ref, 0);
+  std::uint64_t mismatches = 0;
+  for (std::uint64_t v = 0; v < n; ++v) {
+    const rt::Word w = want[v] == base::kUnreached
+                           ? apps::StreamingBfs::kUnreached
+                           : want[v];
+    if (bfs.level_of(g, v) != w) ++mismatches;
+  }
+  EXPECT_EQ(mismatches, 0u);
+  EXPECT_GT(chip.stats().io_injections, 0u);
+}
+
+std::string case_name(const ::testing::TestParamInfo<Case>& info) {
+  const auto [dim, io_sides] = info.param;
+  std::string name = "Mesh" + std::to_string(dim) + "x" + std::to_string(dim);
+  name += "_Io";
+  if (io_sides & sim::kIoNorth) name += "N";
+  if (io_sides & sim::kIoSouth) name += "S";
+  if (io_sides & sim::kIoWest) name += "W";
+  if (io_sides & sim::kIoEast) name += "E";
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, StressScale,
+    ::testing::Combine(
+        ::testing::Values(8u, 32u, 64u),
+        ::testing::Values(
+            static_cast<std::uint8_t>(sim::kIoNorth | sim::kIoSouth),
+            static_cast<std::uint8_t>(sim::kIoWest | sim::kIoEast),
+            static_cast<std::uint8_t>(sim::kIoNorth | sim::kIoSouth |
+                                      sim::kIoWest | sim::kIoEast))),
+    case_name);
+
+}  // namespace
+}  // namespace ccastream

@@ -28,6 +28,7 @@ struct Options {
   wl::SamplingKind sampling = wl::SamplingKind::kEdge;
   std::uint32_t increments = 10;
   std::uint32_t width = 16, height = 16;
+  std::uint32_t threads = 0;  // 0 = CCASTREAM_THREADS env, else serial
   sim::RoutingPolicyKind routing = sim::RoutingPolicyKind::kYX;
   rt::AllocPolicyKind alloc = rt::AllocPolicyKind::kVicinity;
   std::uint32_t vicinity_radius = 2;
@@ -52,6 +53,9 @@ void usage() {
       "  --sampling edge|snowball      streaming order (default edge)\n"
       "  --increments K                number of increments (default 10)\n"
       "  --width W --height H          chip mesh (default 16x16)\n"
+      "  --threads N                   simulator worker threads (default:\n"
+      "                                CCASTREAM_THREADS or 1; results are\n"
+      "                                identical for every N)\n"
       "  --routing yx|xy|west-first|odd-even\n"
       "  --alloc vicinity|random|round-robin|local\n"
       "  --radius R                    vicinity radius (default 2)\n"
@@ -95,6 +99,8 @@ bool parse(int argc, char** argv, Options& o) {
       o.width = static_cast<std::uint32_t>(std::strtoul(need(i), nullptr, 10));
     } else if (a == "--height") {
       o.height = static_cast<std::uint32_t>(std::strtoul(need(i), nullptr, 10));
+    } else if (a == "--threads") {
+      o.threads = static_cast<std::uint32_t>(std::strtoul(need(i), nullptr, 10));
     } else if (a == "--routing") {
       const std::string v = need(i);
       if (v == "xy") o.routing = sim::RoutingPolicyKind::kXY;
@@ -173,6 +179,7 @@ int main(int argc, char** argv) {
   cfg.alloc_policy = o.alloc;
   cfg.vicinity_radius = o.vicinity_radius;
   cfg.seed = o.seed;
+  cfg.threads = o.threads;
   cfg.record_activation = !o.activation_path.empty();
   sim::Chip chip(cfg);
 
@@ -204,11 +211,11 @@ int main(int argc, char** argv) {
   if (o.app == "components") comps.seed_labels(g);
 
   // --- Stream ------------------------------------------------------------------
-  std::printf("chip %ux%u  routing %s  alloc %s  rhizomes %u  app %s\n",
+  std::printf("chip %ux%u  routing %s  alloc %s  rhizomes %u  app %s  threads %u\n",
               o.width, o.height,
               std::string(sim::to_string(o.routing)).c_str(),
               std::string(rt::to_string(o.alloc)).c_str(), o.rhizomes,
-              o.app.c_str());
+              o.app.c_str(), chip.threads());
   std::printf("%lu vertices, %lu edges, %s sampling, %u increments, source %lu\n",
               o.vertices, sched.total_edges(),
               std::string(wl::to_string(sched.kind)).c_str(), o.increments,

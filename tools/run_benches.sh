@@ -6,10 +6,18 @@
 # Usage: tools/run_benches.sh [BUILD_DIR] [OUTPUT_JSON]
 #   BUILD_DIR    defaults to build
 #   OUTPUT_JSON  defaults to BENCH_seed.json (in the current directory)
+#
+# CCASTREAM_THREADS selects the simulator backend for the whole sweep
+# (default 1 = serial engine); every emitted record carries a matching
+# "threads" field, so sweeps from different backends can be aggregated and
+# compared side by side, e.g.:
+#   tools/run_benches.sh build BENCH_seed.json
+#   CCASTREAM_THREADS=4 tools/run_benches.sh build BENCH_parallel.json
 set -euo pipefail
 
 BUILD_DIR=${1:-build}
 OUTPUT=${2:-BENCH_seed.json}
+export CCASTREAM_THREADS=${CCASTREAM_THREADS:-1}
 
 if [[ ! -d "$BUILD_DIR/bench" ]]; then
   echo "error: $BUILD_DIR/bench not found — build first:" >&2
@@ -46,7 +54,7 @@ for bench in "${BENCHES[@]}"; do
   # Keep the google-benchmark binary quick: the headline record comes from
   # its one-shot ingest, not from long calibration runs.
   [[ "$name" == bench_micro ]] && args=(--benchmark_min_time=0.01)
-  echo "=== running $name (CCASTREAM_SCALE=tiny) ==="
+  echo "=== running $name (CCASTREAM_SCALE=tiny, CCASTREAM_THREADS=$CCASTREAM_THREADS) ==="
   bench_abs=$(cd "$(dirname "$bench")" && pwd)/$name
   (cd "$SCRATCH_ABS" && "$bench_abs" "${args[@]}")
 done
