@@ -142,12 +142,14 @@ inline const char* to_string(Scale scale) {
 // tools/run_benches.sh).
 
 /// One measurement record: `{"bench":...,"dataset":...,"cycles":N,
-/// "energy_uj":X,"scale":...,"threads":T[,"wall_ms":W]}`. `threads` is the
-/// simulator backend the record was measured on (1 = serial engine), making
-/// records comparable across backends in aggregated BENCH_*.json files.
-/// `wall_ms` is host wall-clock — the only number that *should* differ
-/// across backends (simulated cycles are backend-invariant by the
-/// determinism guarantee); 0 means unmeasured and the field is omitted.
+/// "energy_uj":X,"scale":...,"threads":T,"partition":P[,"wall_ms":W]}`.
+/// `threads` and `partition` identify the simulator backend the record was
+/// measured on (1 = serial engine; partition spec as in CCASTREAM_PARTITION,
+/// e.g. "rows" or "tiles+rebalance"), making records comparable across
+/// backends in aggregated BENCH_*.json files. `wall_ms` is host wall-clock
+/// — the only number that *should* differ across backends (simulated cycles
+/// are backend-invariant by the determinism guarantee); 0 means unmeasured
+/// and the field is omitted.
 struct BenchRecord {
   std::string bench;
   std::string dataset;
@@ -156,6 +158,7 @@ struct BenchRecord {
   std::string scale;
   std::uint64_t threads = 1;
   double wall_ms = 0.0;
+  std::string partition = "rows";
 
   friend bool operator==(const BenchRecord&, const BenchRecord&) = default;
 };
@@ -209,6 +212,7 @@ inline std::string format_record(const BenchRecord& r) {
   std::snprintf(num, sizeof num, "%llu",
                 static_cast<unsigned long long>(r.threads));
   out += std::string(",\"threads\":") + num;
+  out += ",\"partition\":\"" + json_escape(r.partition) + "\"";
   if (r.wall_ms != 0.0) {
     std::snprintf(num, sizeof num, "%.17g", r.wall_ms);
     out += std::string(",\"wall_ms\":") + num;
@@ -306,6 +310,9 @@ inline std::optional<BenchRecord> parse_record(const std::string& line) {
   // were all measured on the serial engine (and did not record wall time).
   r.threads = detail::parse_uint_field(line, "threads").value_or(1);
   r.wall_ms = detail::parse_number_field(line, "wall_ms").value_or(0.0);
+  // Absent before the partition layer existed: row stripes were the only
+  // decomposition.
+  r.partition = detail::parse_string_field(line, "partition").value_or("rows");
   return r;
 }
 
@@ -319,7 +326,8 @@ class JsonReporter {
       : bench_(std::move(bench)),
         scale_(fixed_scale != nullptr ? fixed_scale
                                       : to_string(scale_from_env())),
-        threads_(sim::resolve_threads(0)) {
+        threads_(sim::resolve_threads(0)),
+        partition_(sim::resolve_partition({}).to_string()) {
     const char* path = std::getenv("CCASTREAM_BENCH_JSON");
     if (path != nullptr && *path != '\0') path_ = path;
   }
@@ -327,24 +335,32 @@ class JsonReporter {
   [[nodiscard]] bool enabled() const { return !path_.empty(); }
 
   /// Appends one record. `threads` should be the *measured* backend — pass
-  /// `chip.threads()` (the resolved stripe count, which clamps the env
-  /// request to the mesh height) rather than the raw env value; 0 falls
-  /// back to the env-resolved default for chip-less measurements.
-  /// `wall_ms`, when nonzero, persists host wall-clock so backend speedup
-  /// is trackable from the aggregated BENCH_*.json files.
+  /// `chip.threads()` (the resolved worker count, which clamps the env
+  /// request to the partition shape's capacity) rather than the raw env
+  /// value; 0 falls back to the env-resolved default for chip-less
+  /// measurements. `partition` likewise should be the measured spec
+  /// (`chip.partition_spec().to_string()`); empty falls back to the
+  /// env-resolved default. `wall_ms`, when nonzero, persists host
+  /// wall-clock so backend speedup is trackable from the aggregated
+  /// BENCH_*.json files.
   void record(const std::string& dataset, std::uint64_t cycles,
               double energy_uj, std::uint64_t threads = 0,
-              double wall_ms = 0.0) const {
+              double wall_ms = 0.0, const std::string& partition = {}) const {
     if (path_.empty()) return;
     std::FILE* f = std::fopen(path_.c_str(), "a");
     if (f == nullptr) {
       std::fprintf(stderr, "JsonReporter: cannot open %s\n", path_.c_str());
       return;
     }
-    const BenchRecord r{bench_,      dataset,
-                        cycles,      energy_uj,
-                        scale_,      threads == 0 ? threads_ : threads,
-                        wall_ms};
+    BenchRecord r;
+    r.bench = bench_;
+    r.dataset = dataset;
+    r.cycles = cycles;
+    r.energy_uj = energy_uj;
+    r.scale = scale_;
+    r.threads = threads == 0 ? threads_ : threads;
+    r.wall_ms = wall_ms;
+    r.partition = partition.empty() ? partition_ : partition;
     std::fprintf(f, "%s\n", format_record(r).c_str());
     std::fclose(f);
   }
@@ -354,6 +370,7 @@ class JsonReporter {
   std::string scale_;
   std::string path_;
   std::uint64_t threads_ = 1;
+  std::string partition_ = "rows";
 };
 
 }  // namespace ccastream::bench

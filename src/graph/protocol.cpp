@@ -7,7 +7,7 @@ namespace ccastream::graph {
 
 GraphProtocol::GraphProtocol(sim::Chip& chip, RpvoConfig cfg)
     : chip_(chip), cfg_(cfg) {
-  shards_.resize(std::max<std::uint32_t>(1, chip.threads()));
+  blocks_.resize(std::max<std::uint32_t>(1, chip.partitions()));
   // A fragment must hold at least one edge (capacity 0 would grow an
   // infinite ghost chain) and have at least one ghost slot.
   if (cfg_.edge_capacity == 0) cfg_.edge_capacity = 1;
@@ -33,7 +33,7 @@ GraphProtocol::GraphProtocol(sim::Chip& chip, RpvoConfig cfg)
 // insert-edge-action — paper Listing 6.
 // args: w0 = dst root address, w1 = weight.
 void GraphProtocol::handle_insert(rt::Context& ctx, const rt::Action& a) {
-  ProtocolStats& ps = shard_stats(ctx);
+  ProtocolStats& ps = partition_stats(ctx);
   auto* frag = ctx.as<VertexFragment>(a.target);
   if (frag == nullptr) {
     ++ps.bad_targets;
@@ -98,7 +98,7 @@ void GraphProtocol::handle_insert(rt::Context& ctx, const rt::Action& a) {
 // Figure 4 states 3-4. args: w0 = new fragment address (null on failure),
 // w1 = ghost slot index.
 void GraphProtocol::handle_ghost_reply(rt::Context& ctx, const rt::Action& a) {
-  ProtocolStats& ps = shard_stats(ctx);
+  ProtocolStats& ps = partition_stats(ctx);
   auto* frag = ctx.as<VertexFragment>(a.target);
   if (frag == nullptr) {
     ++ps.bad_targets;
@@ -141,7 +141,7 @@ void GraphProtocol::handle_ghost_reply(rt::Context& ctx, const rt::Action& a) {
 void GraphProtocol::handle_init_ghost(rt::Context& ctx, const rt::Action& a) {
   auto* frag = ctx.as<VertexFragment>(a.target);
   if (frag == nullptr) {
-    ++shard_stats(ctx).bad_targets;
+    ++partition_stats(ctx).bad_targets;
     return;
   }
   frag->vid = a.args[0];
@@ -151,7 +151,7 @@ void GraphProtocol::handle_init_ghost(rt::Context& ctx, const rt::Action& a) {
 
 ProtocolStats GraphProtocol::stats() const noexcept {
   ProtocolStats total;
-  for (const StatsShard& sh : shards_) {
+  for (const StatsBlock& sh : blocks_) {
     total.edges_inserted += sh.s.edges_inserted;
     total.inserts_forwarded += sh.s.inserts_forwarded;
     total.inserts_deferred += sh.s.inserts_deferred;

@@ -40,11 +40,12 @@ struct AppHooks {
 };
 
 /// Counters specific to the graph protocol (chip-wide counters live in
-/// sim::ChipStats). The protocol accumulates one block per engine shard
-/// (mesh stripe) — handlers bump only their own shard's plain counters, the
-/// same contention-free pattern the chip uses for ChipStats — and
-/// GraphProtocol::stats() sums the shards on demand. Every field is a pure
-/// sum, so the totals are deterministic for any thread count.
+/// sim::ChipStats). The protocol accumulates one block per engine
+/// partition (stripe or tile) — handlers bump only their own partition's
+/// plain counters, the same contention-free pattern the chip uses for
+/// ChipStats — and GraphProtocol::stats() sums the blocks on demand. Every
+/// field is a pure sum, so the totals are deterministic for any thread
+/// count, partition shape, and rebalance schedule.
 struct ProtocolStats {
   std::uint64_t edges_inserted = 0;    ///< Edge records physically appended.
   std::uint64_t inserts_forwarded = 0; ///< Inserts sent down a ready ghost link.
@@ -72,8 +73,8 @@ class GraphProtocol {
 
   [[nodiscard]] const RpvoConfig& rpvo_config() const noexcept { return cfg_; }
   [[nodiscard]] rt::HandlerId insert_handler() const noexcept { return h_insert_; }
-  /// Aggregated protocol counters (sum over the per-shard blocks). Call
-  /// host-side, between runs.
+  /// Aggregated protocol counters (sum over the per-partition blocks).
+  /// Call host-side, between runs.
   [[nodiscard]] ProtocolStats stats() const noexcept;
   [[nodiscard]] sim::Chip& chip() noexcept { return chip_; }
 
@@ -91,19 +92,19 @@ class GraphProtocol {
   void handle_ghost_reply(rt::Context& ctx, const rt::Action& a);
   void handle_init_ghost(rt::Context& ctx, const rt::Action& a);
 
-  /// One per engine shard, cache-line separated so concurrent handlers on
-  /// different stripes never share a written line.
-  struct alignas(64) StatsShard {
+  /// One per engine partition, cache-line separated so concurrent handlers
+  /// on different partitions never share a written line.
+  struct alignas(64) StatsBlock {
     ProtocolStats s;
   };
-  [[nodiscard]] ProtocolStats& shard_stats(const rt::Context& ctx) {
-    return shards_[ctx.shard() % shards_.size()].s;
+  [[nodiscard]] ProtocolStats& partition_stats(const rt::Context& ctx) {
+    return blocks_[ctx.partition() % blocks_.size()].s;
   }
 
   sim::Chip& chip_;
   RpvoConfig cfg_;
   AppHooks hooks_;
-  std::vector<StatsShard> shards_;
+  std::vector<StatsBlock> blocks_;
   rt::HandlerId h_insert_ = 0;
   rt::HandlerId h_ghost_reply_ = 0;
   rt::HandlerId h_init_ghost_ = 0;

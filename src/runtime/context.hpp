@@ -26,8 +26,8 @@ using ObjectKind = std::uint16_t;
 
 /// Simulator statistic channels a handler (or the protocol library) may
 /// bump from inside an action. The simulator routes them to the executing
-/// stripe's private accumulator and merges at the end-of-cycle barrier, so
-/// handlers never write shared chip state — the invariant that makes the
+/// partition's private accumulator and merges at the end-of-cycle barrier,
+/// so handlers never write shared chip state — the invariant that makes the
 /// parallel engine race-free and deterministic.
 enum class SimCounter : std::uint8_t {
   kFuturesFulfilled,
@@ -84,11 +84,14 @@ class Context {
   /// the default no-op.
   virtual void count(SimCounter /*counter*/, std::uint64_t /*n*/) {}
 
-  /// Index of the engine shard (mesh stripe) executing this handler —
-  /// always 0 on mocks and the serial engine. Handler libraries that keep
-  /// their own counters shard them by this index so concurrent handlers
-  /// never write shared memory (see graph::GraphProtocol::stats()).
-  [[nodiscard]] virtual std::uint32_t shard() const { return 0; }
+  /// Index of the engine partition (row stripe, column stripe, or 2-D
+  /// tile — see sim/partition.hpp) executing this handler — always 0 on
+  /// mocks and the serial engine. Handler libraries that keep their own
+  /// counters key them by this index so concurrent handlers never write
+  /// shared memory (see graph::GraphProtocol::stats()). Ids are stable
+  /// 0..partitions-1 even when boundaries rebalance, and every keyed
+  /// counter must be a pure sum so totals stay partition-invariant.
+  [[nodiscard]] virtual std::uint32_t partition() const { return 0; }
 
   /// Typed local dereference helper. T must derive from ArenaObject.
   template <typename T>

@@ -1,8 +1,11 @@
 #include "sim/chip.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
+#include <cstdio>
 #include <cstdlib>
+#include <exception>
 
 namespace ccastream::sim {
 
@@ -34,12 +37,12 @@ std::uint32_t resolve_threads(std::uint32_t requested) noexcept {
 }
 
 /// Concrete handler execution context bound to one cell for one dispatch.
-/// All mutations land in the cell itself or in the executing stripe's
+/// All mutations land in the cell itself or in the executing partition's
 /// private accumulators — never in shared chip state — which is what makes
 /// handler execution safe and deterministic under the parallel engine.
 class CellContext final : public rt::Context {
  public:
-  CellContext(Chip& chip, Chip::StripeState& st, ComputeCell& cell)
+  CellContext(Chip& chip, Chip::PartitionState& st, ComputeCell& cell)
       : chip_(chip), st_(st), cell_(cell) {}
 
   [[nodiscard]] std::uint32_t cc() const override { return cell_.index(); }
@@ -85,7 +88,7 @@ class CellContext final : public rt::Context {
 
   [[nodiscard]] rt::Xoshiro256& rng() override { return cell_.rng; }
 
-  [[nodiscard]] std::uint32_t shard() const override { return st_.index; }
+  [[nodiscard]] std::uint32_t partition() const override { return st_.index; }
 
   void count(rt::SimCounter counter, std::uint64_t n) override {
     switch (counter) {
@@ -102,7 +105,7 @@ class CellContext final : public rt::Context {
 
  private:
   Chip& chip_;
-  Chip::StripeState& st_;
+  Chip::PartitionState& st_;
   ComputeCell& cell_;
   std::uint32_t charged_ = 0;
 };
@@ -125,29 +128,38 @@ Chip::Chip(ChipConfig cfg)
       rt::kHandlerAllocate, "sys.allocate",
       [this](rt::Context& ctx, const rt::Action& a) { handle_allocate(ctx, a); });
 
-  // Stripe partition: contiguous horizontal row bands, one per worker.
-  num_stripes_ = std::min(resolve_threads(cfg_.threads), cfg_.height);
-  stripes_.resize(num_stripes_);
-  for (std::uint32_t s = 0; s < num_stripes_; ++s) {
-    StripeState& st = stripes_[s];
-    st.index = s;
-    st.row_begin = static_cast<std::uint32_t>(
-        (static_cast<std::uint64_t>(cfg_.height) * s) / num_stripes_);
-    st.row_end = static_cast<std::uint32_t>(
-        (static_cast<std::uint64_t>(cfg_.height) * (s + 1)) / num_stripes_);
-    st.cell_begin = st.row_begin * cfg_.width;
-    st.cell_end = st.row_end * cfg_.width;
+  // Mesh partition: one worker per partition. The layout starts uniform;
+  // rebalancing (when enabled) moves the boundaries between increments.
+  partition_spec_ = resolve_partition(cfg_.partition);
+  layout_ = PartitionLayout::build(partition_spec_, cfg_.width, cfg_.height,
+                                   resolve_threads(cfg_.threads));
+  num_parts_ = layout_.parts();
+  parts_.resize(num_parts_);
+  for (std::uint32_t p = 0; p < num_parts_; ++p) {
+    parts_[p].index = p;
+    parts_[p].outbox.resize(num_parts_);
+  }
+  apply_layout();
+  if (num_parts_ > 1) pool_ = std::make_unique<PartitionPool>(num_parts_);
+}
+
+void Chip::apply_layout() {
+  for (std::uint32_t p = 0; p < num_parts_; ++p) {
+    parts_[p].rect = layout_.rect(p);
+    parts_[p].io_cells.clear();
   }
   for (std::size_t i = 0; i < io_.cell_count(); ++i) {
-    const std::uint32_t row = mesh_.coord_of(io_.cell(i).attached_cc).y;
-    for (auto& st : stripes_) {
-      if (row >= st.row_begin && row < st.row_end) {
-        st.io_cells.push_back(i);
-        break;
-      }
-    }
+    parts_[layout_.owner(io_.cell(i).attached_cc)].io_cells.push_back(i);
   }
-  if (num_stripes_ > 1) pool_ = std::make_unique<StripePool>(num_stripes_);
+}
+
+void Chip::rebalance_partitions() {
+  if (num_parts_ <= 1) return;
+  PartitionLayout next = layout_.rebalanced(cell_load_);
+  if (next == layout_) return;
+  layout_ = std::move(next);
+  apply_layout();
+  ++rebalances_;
 }
 
 void Chip::register_object_kind(rt::ObjectKind kind, ObjectFactory factory) {
@@ -206,9 +218,9 @@ bool Chip::quiescent() const {
   return true;
 }
 
-bool Chip::stripes_quiescent() const noexcept {
+bool Chip::partitions_quiescent() const noexcept {
   if (outstanding_ != 0) return false;
-  for (const auto& st : stripes_) {
+  for (const auto& st : parts_) {
     if (!st.idle) return false;
   }
   return true;
@@ -224,76 +236,87 @@ std::uint64_t Chip::run_cycles(std::uint64_t max_cycles, bool until_quiescent) {
   if (max_cycles == 0) return 0;
   if (until_quiescent && quiescent()) return 0;
 
+  // Load-adaptive rebalancing fires only here — between public run/step
+  // calls (i.e. between increments), never inside the cycle loop, where
+  // outboxes and per-cycle accumulators are guaranteed drained. Results
+  // are partition-invariant, so the schedule cannot change them.
+  if (partition_spec_.rebalance) rebalance_partitions();
+
   std::uint64_t ran = 0;
-  if (num_stripes_ == 1) {
-    StripeState& st = stripes_[0];
+  if (num_parts_ == 1) {
+    PartitionState& st = parts_[0];
     while (ran < max_cycles) {
       cycle_snapshot(st);
       cycle_route(st);
       cycle_apply(st);
       cycle_io(st);
       cycle_compute(st);
-      merge_stripes();
+      merge_partitions();
       ++ran;
-      if (until_quiescent && stripes_quiescent()) break;
+      if (until_quiescent && partitions_quiescent()) break;
     }
     return ran;
   }
 
   // Parallel engine: one dispatch for the whole run; the cycle loop lives
-  // inside the job and synchronises on the pool's phase barrier. Stripe 0
-  // (the calling thread) performs the merge and the stop decision between
+  // inside the job and synchronises on the pool's phase barrier. Partition
+  // 0 (the calling thread) performs the merge and the stop decision between
   // the third and fourth barriers of each cycle; the barriers provide the
   // happens-before edges, so `stop` and `ran` need no atomics.
   bool stop = false;
-  pool_->run([&](std::uint32_t s) {
-    StripeState& st = stripes_[s];
+  pool_->run([&](std::uint32_t p) {
+    PartitionState& st = parts_[p];
     for (;;) {
       cycle_snapshot(st);
-      pool_->sync();  // snapshots visible to neighbouring stripes
+      pool_->sync();  // snapshots visible to neighbouring partitions
       cycle_route(st);
       pool_->sync();  // all routing decisions made; outboxes final
       cycle_apply(st);
       cycle_io(st);
       cycle_compute(st);
       pool_->sync();  // all cell state settled for this cycle
-      if (s == 0) {
-        merge_stripes();
+      if (p == 0) {
+        merge_partitions();
         ++ran;
-        stop = ran >= max_cycles || (until_quiescent && stripes_quiescent());
+        stop = ran >= max_cycles || (until_quiescent && partitions_quiescent());
       }
-      pool_->sync();  // merge + stop decision visible to all stripes
+      pool_->sync();  // merge + stop decision visible to all partitions
       if (stop) break;
     }
   });
   return ran;
 }
 
-void Chip::cycle_snapshot(StripeState& st) {
-  for (std::uint32_t i = st.cell_begin; i < st.cell_end; ++i) {
-    ComputeCell& cell = cells_[i];
-    for (std::size_t d = 0; d < kMeshDirections; ++d) {
-      cell.in_size_snapshot[d] = static_cast<std::uint32_t>(cell.router_in[d].size());
+void Chip::cycle_snapshot(PartitionState& st) {
+  for (std::uint32_t y = st.rect.y0; y < st.rect.y1; ++y) {
+    for (std::uint32_t x = st.rect.x0; x < st.rect.x1; ++x) {
+      ComputeCell& cell = cells_[static_cast<std::size_t>(y) * cfg_.width + x];
+      for (std::size_t d = 0; d < kMeshDirections; ++d) {
+        cell.in_size_snapshot[d] =
+            static_cast<std::uint32_t>(cell.router_in[d].size());
+      }
     }
   }
 }
 
-void Chip::deliver(StripeState& st, ComputeCell& cell, const Message& msg) {
+void Chip::deliver(PartitionState& st, ComputeCell& cell, const Message& msg) {
   cell.action_queue.push_back(msg.action);
   ++st.stats.deliveries;
   st.stats.total_delivery_latency += cycle_ - msg.birth_cycle;
 }
 
-void Chip::cycle_route(StripeState& st) {
+void Chip::cycle_route(PartitionState& st) {
   const bool adaptive = cfg_.routing == RoutingPolicyKind::kWestFirst ||
                         cfg_.routing == RoutingPolicyKind::kOddEven;
 
-  for (std::uint32_t idx = st.cell_begin; idx < st.cell_end; ++idx) {
+  for (std::uint32_t cy = st.rect.y0; cy < st.rect.y1; ++cy) {
+  for (std::uint32_t cx = st.rect.x0; cx < st.rect.x1; ++cx) {
+    const std::uint32_t idx = cy * cfg_.width + cx;
     ComputeCell& cell = cells_[idx];
     // Skip (freezing the arbitration pointer) based on the router state at
     // phase start. Live occupancy would count messages pushed by earlier
     // cells *this* phase, making the skip — and thus arb_next's advance —
-    // depend on cell visit order and stripe partitioning. io_in and
+    // depend on cell visit order and the mesh partitioning. io_in and
     // local_out are only written in later phases, so their live sizes are
     // their phase-start sizes.
     std::uint32_t start_occupancy = static_cast<std::uint32_t>(
@@ -371,10 +394,10 @@ void Chip::cycle_route(StripeState& st) {
 
       m.last_move_cycle = cycle_;
       ++m.hops;
-      if (next.y < st.row_begin) {
-        st.outbox_up.push_back({next_idx, static_cast<std::uint8_t>(port), m});
-      } else if (next.y >= st.row_end) {
-        st.outbox_down.push_back({next_idx, static_cast<std::uint8_t>(port), m});
+      if (const std::uint32_t owner = layout_.owner(next_idx);
+          owner != st.index) {
+        st.outbox[owner].pushes.push_back(
+            {next_idx, static_cast<std::uint8_t>(port), m});
       } else {
         neighbour.router_in[port].push(m);
       }
@@ -384,23 +407,18 @@ void Chip::cycle_route(StripeState& st) {
     }
     cell.arb_next = static_cast<std::uint8_t>((cell.arb_next + 1) % kSources);
   }
+  }
 }
 
-void Chip::cycle_apply(StripeState& st) {
-  // Inbound cross-stripe pushes: the stripe above's south-bound traffic and
-  // the stripe below's north-bound traffic, each targeting only this
-  // stripe's cells. Every port FIFO receives at most one message per cycle
-  // (single writer + used_out), so application order cannot matter; this
-  // consumer clears the producer's outbox behind the phase barrier.
-  if (st.index > 0) {
-    auto& inbox = stripes_[st.index - 1].outbox_down;
-    for (const PendingPush& p : inbox) {
-      cells_[p.target_cc].router_in[p.port].push(p.msg);
-    }
-    inbox.clear();
-  }
-  if (st.index + 1 < num_stripes_) {
-    auto& inbox = stripes_[st.index + 1].outbox_up;
+void Chip::cycle_apply(PartitionState& st) {
+  // Inbound cross-partition pushes: every other partition's traffic that
+  // targets this partition's cells. Every port FIFO receives at most one
+  // message per cycle (single writer + used_out), so application order
+  // cannot matter; this consumer clears the producers' outboxes behind the
+  // phase barrier.
+  for (PartitionState& producer : parts_) {
+    if (producer.index == st.index) continue;
+    auto& inbox = producer.outbox[st.index].pushes;
     for (const PendingPush& p : inbox) {
       cells_[p.target_cc].router_in[p.port].push(p.msg);
     }
@@ -408,7 +426,7 @@ void Chip::cycle_apply(StripeState& st) {
   }
 }
 
-void Chip::cycle_io(StripeState& st) {
+void Chip::cycle_io(PartitionState& st) {
   for (const std::size_t i : st.io_cells) {
     IoCell& ioc = io_.cell(i);
     if (ioc.pending.empty()) continue;
@@ -425,11 +443,13 @@ void Chip::cycle_io(StripeState& st) {
   }
 }
 
-void Chip::cycle_compute(StripeState& st) {
+void Chip::cycle_compute(PartitionState& st) {
   const bool tracing = trace_.enabled();
   st.idle = true;
 
-  for (std::uint32_t idx = st.cell_begin; idx < st.cell_end; ++idx) {
+  for (std::uint32_t cy = st.rect.y0; cy < st.rect.y1; ++cy) {
+  for (std::uint32_t cx = st.rect.x0; cx < st.rect.x1; ++cx) {
+    const std::uint32_t idx = cy * cfg_.width + cx;
     ComputeCell& cell = cells_[idx];
     bool did_op = false;
     if (cell.busy > 0) {
@@ -476,13 +496,14 @@ void Chip::cycle_compute(StripeState& st) {
       if (did_op || !cell.idle()) ++st.trace_live;
     }
   }
+  }
 }
 
-void Chip::merge_stripes() {
+void Chip::merge_partitions() {
   std::uint32_t active = 0;
   std::uint32_t live = 0;
   std::int64_t outstanding_delta = 0;
-  for (StripeState& st : stripes_) {
+  for (PartitionState& st : parts_) {
     stats_.add(st.stats);
     st.stats = ChipStats{};
     outstanding_delta += st.outstanding;
@@ -510,7 +531,7 @@ void Chip::merge_stripes() {
   if (trace_.enabled()) trace_.record(active, live);
 }
 
-void Chip::execute_action(StripeState& st, ComputeCell& cell,
+void Chip::execute_action(PartitionState& st, ComputeCell& cell,
                           const rt::Action& action) {
   --st.outstanding;  // global non-negativity asserted at the merge
 
@@ -520,7 +541,29 @@ void Chip::execute_action(StripeState& st, ComputeCell& cell,
     return;
   }
   CellContext ctx(*this, st, cell);
-  (*handler)(ctx, action);
+  try {
+    (*handler)(ctx, action);
+  } catch (const std::exception& e) {
+    // A throwing handler is a fault, not a crash: letting the exception
+    // escape the cycle loop would strand the other partition workers at
+    // the phase barrier (and ~PartitionPool in join) — a deadlock instead
+    // of an error. The same action throws identically under every
+    // partitioning, so the fault count stays deterministic.
+    ++st.stats.faults;
+    // atomic: handlers on different partition workers may throw in the
+    // same compute phase.
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true, std::memory_order_relaxed)) {
+      std::fprintf(stderr,
+                   "ccastream: handler '%.*s' threw (%s); counted as fault\n",
+                   static_cast<int>(registry_.name(action.handler).size()),
+                   registry_.name(action.handler).data(), e.what());
+    }
+    return;
+  } catch (...) {
+    ++st.stats.faults;
+    return;
+  }
   ++st.stats.actions_executed;
   const std::uint32_t cost = cfg_.action_base_cost + ctx.charged();
   st.stats.instructions += cost;

@@ -32,6 +32,7 @@
 #include "sim/io_channel.hpp"
 #include "sim/message.hpp"
 #include "sim/parallel.hpp"
+#include "sim/partition.hpp"
 #include "sim/routing.hpp"
 #include "sim/stats.hpp"
 #include "sim/trace.hpp"
@@ -60,11 +61,21 @@ struct ChipConfig {
   std::uint64_t seed = 0xC0FFEEull;
   bool record_activation = false;      ///< Record Figure 6/7 activation trace.
   bool profile_handlers = false;       ///< Per-handler execution/instruction counts.
-  /// Worker threads for the striped parallel engine. 0 resolves from the
-  /// CCASTREAM_THREADS environment variable (defaulting to 1 = serial);
-  /// always clamped to `height` (each stripe owns at least one mesh row).
-  /// Results are cycle-for-cycle identical for every thread count.
+  /// Worker threads for the partitioned parallel engine. 0 resolves from
+  /// the CCASTREAM_THREADS environment variable (defaulting to 1 = serial);
+  /// always clamped to the partition shape's capacity (each worker owns at
+  /// least one row, column, or tile). Results are cycle-for-cycle
+  /// identical for every thread count.
   std::uint32_t threads = 0;
+  /// Mesh partition driving the parallel engine: row stripes (default),
+  /// column stripes, or 2-D tiles, each optionally with load-adaptive
+  /// boundary rebalancing (see sim/partition.hpp). nullopt resolves from
+  /// the CCASTREAM_PARTITION environment variable, defaulting to row
+  /// stripes. An explicit tile grid (`tiles:GXxGY`) pins the partition —
+  /// and therefore worker — count, overriding `threads`. Partitioning is
+  /// a performance knob only: results are identical for every shape and
+  /// rebalance schedule.
+  std::optional<PartitionSpec> partition;
 };
 
 /// Resolves a requested thread count: 0 reads CCASTREAM_THREADS (default 1).
@@ -167,7 +178,9 @@ class Chip {
 
   /// Cumulative operations performed by each cell (compute-phase ops:
   /// instruction cycles, stagings, dispatches). The spatial load histogram
-  /// behind congestion heatmaps.
+  /// behind congestion heatmaps — and the input to load-adaptive partition
+  /// rebalancing. Identical for every partitioning (it counts simulated
+  /// work), which is what makes the rebalance schedule deterministic.
   [[nodiscard]] const std::vector<std::uint64_t>& cell_load() const noexcept {
     return cell_load_;
   }
@@ -178,56 +191,98 @@ class Chip {
     return handler_profile_;
   }
 
-  /// Resolved stripe/worker count of this chip instance.
-  [[nodiscard]] std::uint32_t threads() const noexcept { return num_stripes_; }
+  /// Resolved worker count of this chip instance (one worker per
+  /// partition).
+  [[nodiscard]] std::uint32_t threads() const noexcept { return num_parts_; }
+
+  /// Resolved partition count (== threads(): one worker per partition).
+  [[nodiscard]] std::uint32_t partitions() const noexcept { return num_parts_; }
+
+  /// The resolved partition request (config, else env, else row stripes).
+  [[nodiscard]] const PartitionSpec& partition_spec() const noexcept {
+    return partition_spec_;
+  }
+
+  /// The current concrete decomposition (moves when rebalancing fires).
+  [[nodiscard]] const PartitionLayout& partition_layout() const noexcept {
+    return layout_;
+  }
+
+  /// Re-splits the partition boundaries from the cumulative cell_load()
+  /// histogram (see PartitionLayout::rebalanced). Called automatically at
+  /// the start of every step()/run_until_quiescent() when the spec enables
+  /// rebalancing — i.e. between increments, never mid-cycle — and callable
+  /// explicitly. A no-op on single-partition chips or when the balanced
+  /// boundaries equal the current ones. Never changes results.
+  void rebalance_partitions();
+
+  /// How many times rebalance_partitions() actually moved a boundary.
+  [[nodiscard]] std::uint64_t partition_rebalances() const noexcept {
+    return rebalances_;
+  }
 
  private:
   friend class CellContext;
 
-  /// One deferred cross-stripe router push (applied behind a barrier so no
-  /// FIFO is ever touched by two threads in the same phase).
+  /// One deferred cross-partition router push (applied behind a barrier so
+  /// no FIFO is ever touched by two threads in the same phase).
   struct PendingPush {
     std::uint32_t target_cc = 0;
     std::uint8_t port = 0;  ///< Index into ComputeCell::router_in.
     Message msg;
   };
 
-  /// One horizontal mesh stripe plus every accumulator its worker thread
-  /// writes during a cycle. Accumulators are merged into the chip-global
-  /// counters, in stripe order, at the end-of-cycle barrier; all of them
-  /// are sums, so the merged totals are independent of the stripe count.
-  struct alignas(64) StripeState {
+  /// One mesh partition (an axis-aligned cell rectangle) plus every
+  /// accumulator its worker thread writes during a cycle. Accumulators are
+  /// merged into the chip-global counters, in partition order, at the
+  /// end-of-cycle barrier; all of them are sums, so the merged totals are
+  /// independent of the partition count and shape.
+  struct alignas(64) PartitionState {
     std::uint32_t index = 0;
-    std::uint32_t row_begin = 0, row_end = 0;
-    std::uint32_t cell_begin = 0, cell_end = 0;
-    std::vector<std::size_t> io_cells;  ///< IO cells attached to these rows.
+    PartRect rect;                      ///< Cells this worker owns.
+    std::vector<std::size_t> io_cells;  ///< IO cells attached to these cells.
     ChipStats stats;                    ///< This cycle's counter deltas.
     std::int64_t outstanding = 0;       ///< This cycle's outstanding delta.
     std::vector<HandlerProfile> profile;
     std::uint32_t trace_active = 0, trace_live = 0;
-    bool idle = true;                   ///< All stripe cells idle after compute.
-    /// Router pushes crossing into the stripe above / below.
-    std::vector<PendingPush> outbox_up, outbox_down;
+    bool idle = true;                   ///< All owned cells idle after compute.
+    /// Router pushes crossing into another partition, keyed by destination
+    /// partition id; the destination drains its inbox behind the route
+    /// barrier. (With one-hop-per-cycle routing only edge-adjacent
+    /// partitions ever receive traffic, but keying by destination keeps
+    /// the scheme shape-agnostic.) Each slot is cache-line padded: during
+    /// the apply phase every *other* partition clears its own slot of this
+    /// array concurrently, so unpadded vector headers would false-share.
+    struct alignas(64) Outbox {
+      std::vector<PendingPush> pushes;
+    };
+    std::vector<Outbox> outbox;
   };
 
   /// The cycle engine: runs up to `max_cycles` cycles (optionally stopping
   /// at global quiescence) and returns how many were executed. Serial and
-  /// parallel paths run the same per-stripe phase functions.
+  /// parallel paths run the same per-partition phase functions.
   std::uint64_t run_cycles(std::uint64_t max_cycles, bool until_quiescent);
 
-  // Per-stripe cycle phases (worker-thread side).
-  void cycle_snapshot(StripeState& st);
-  void cycle_route(StripeState& st);
-  void cycle_apply(StripeState& st);
-  void cycle_io(StripeState& st);
-  void cycle_compute(StripeState& st);
-  /// End-of-cycle merge (single-threaded, behind the barrier).
-  void merge_stripes();
-  /// Quiescence from the stripe idle flags of the cycle just merged.
-  [[nodiscard]] bool stripes_quiescent() const noexcept;
+  /// Points every PartitionState at its layout_ rectangle and reassigns IO
+  /// cells to the partition owning their attached cell. Only called
+  /// between cycles (construction and rebalancing), when every outbox and
+  /// per-cycle accumulator is drained.
+  void apply_layout();
 
-  void execute_action(StripeState& st, ComputeCell& cell, const rt::Action& action);
-  void deliver(StripeState& st, ComputeCell& cell, const Message& msg);
+  // Per-partition cycle phases (worker-thread side).
+  void cycle_snapshot(PartitionState& st);
+  void cycle_route(PartitionState& st);
+  void cycle_apply(PartitionState& st);
+  void cycle_io(PartitionState& st);
+  void cycle_compute(PartitionState& st);
+  /// End-of-cycle merge (single-threaded, behind the barrier).
+  void merge_partitions();
+  /// Quiescence from the partition idle flags of the cycle just merged.
+  [[nodiscard]] bool partitions_quiescent() const noexcept;
+
+  void execute_action(PartitionState& st, ComputeCell& cell, const rt::Action& action);
+  void deliver(PartitionState& st, ComputeCell& cell, const Message& msg);
   /// Handler body of the allocate system action.
   void handle_allocate(rt::Context& ctx, const rt::Action& action);
   std::optional<rt::GlobalAddress> allocate_on(ChipStats& stats, std::uint32_t cc,
@@ -249,9 +304,12 @@ class Chip {
   /// Includes actions still queued in IO cells. Zero is necessary (not
   /// sufficient — cells may still be in busy residue) for quiescence.
   std::uint64_t outstanding_ = 0;
-  std::uint32_t num_stripes_ = 1;
-  std::vector<StripeState> stripes_;
-  std::unique_ptr<StripePool> pool_;  ///< Created only when num_stripes_ > 1.
+  PartitionSpec partition_spec_;
+  PartitionLayout layout_;
+  std::uint32_t num_parts_ = 1;
+  std::uint64_t rebalances_ = 0;
+  std::vector<PartitionState> parts_;
+  std::unique_ptr<PartitionPool> pool_;  ///< Created only when num_parts_ > 1.
 };
 
 }  // namespace ccastream::sim

@@ -74,7 +74,7 @@ class ComputeCell {
   /// room/occupancy decisions made *about* this cell by its neighbours this
   /// cycle read these latched values (never the live FIFOs), which is what
   /// makes the network phase independent of cell visit order — and hence of
-  /// the stripe partitioning of the parallel engine.
+  /// the mesh partitioning (stripes or tiles) of the parallel engine.
   std::uint32_t in_size_snapshot[kMeshDirections] = {0, 0, 0, 0};
 
   // --- Misc ---------------------------------------------------------------

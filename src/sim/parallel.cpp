@@ -2,25 +2,25 @@
 
 namespace ccastream::sim {
 
-StripePool::StripePool(std::uint32_t stripes)
-    : stripes_(stripes), barrier_(static_cast<std::ptrdiff_t>(stripes)) {
-  workers_.reserve(stripes_ > 0 ? stripes_ - 1 : 0);
-  for (std::uint32_t s = 1; s < stripes_; ++s) {
-    workers_.emplace_back([this, s] { worker_loop(s); });
+PartitionPool::PartitionPool(std::uint32_t workers)
+    : workers_(workers), barrier_(static_cast<std::ptrdiff_t>(workers)) {
+  workers_threads_.reserve(workers_ > 0 ? workers_ - 1 : 0);
+  for (std::uint32_t p = 1; p < workers_; ++p) {
+    workers_threads_.emplace_back([this, p] { worker_loop(p); });
   }
 }
 
-StripePool::~StripePool() {
+PartitionPool::~PartitionPool() {
   {
     const std::lock_guard<std::mutex> lk(m_);
     stop_ = true;
   }
   cv_start_.notify_all();
-  for (auto& w : workers_) w.join();
+  for (auto& w : workers_threads_) w.join();
 }
 
-void StripePool::run(const std::function<void(std::uint32_t)>& job) {
-  if (stripes_ <= 1) {
+void PartitionPool::run(const std::function<void(std::uint32_t)>& job) {
+  if (workers_ <= 1) {
     job(0);
     return;
   }
@@ -28,16 +28,16 @@ void StripePool::run(const std::function<void(std::uint32_t)>& job) {
     const std::lock_guard<std::mutex> lk(m_);
     job_ = &job;
     ++generation_;
-    running_ = stripes_ - 1;
+    running_ = workers_ - 1;
   }
   cv_start_.notify_all();
-  job(0);  // the caller is stripe 0
+  job(0);  // the caller is partition 0
   std::unique_lock<std::mutex> lk(m_);
   cv_done_.wait(lk, [this] { return running_ == 0; });
   job_ = nullptr;
 }
 
-void StripePool::worker_loop(std::uint32_t stripe) {
+void PartitionPool::worker_loop(std::uint32_t partition) {
   std::uint64_t seen = 0;
   for (;;) {
     const std::function<void(std::uint32_t)>* job = nullptr;
@@ -48,7 +48,7 @@ void StripePool::worker_loop(std::uint32_t stripe) {
       seen = generation_;
       job = job_;
     }
-    (*job)(stripe);
+    (*job)(partition);
     {
       const std::lock_guard<std::mutex> lk(m_);
       --running_;

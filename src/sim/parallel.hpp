@@ -1,9 +1,10 @@
-// Persistent worker pool for the striped chip engine.
+// Persistent worker pool for the partitioned chip engine.
 //
-// One pool drives `stripes` logical mesh stripes: the calling thread
-// executes stripe 0 and `stripes - 1` resident workers execute the rest.
+// One pool drives `workers` logical mesh partitions (row stripes, column
+// stripes, or 2-D tiles — see sim/partition.hpp): the calling thread
+// executes partition 0 and `workers - 1` resident threads execute the rest.
 // A job is dispatched once per run() and typically loops over many cycles
-// internally, using sync() as the phase barrier shared by all stripe
+// internally, using sync() as the phase barrier shared by all partition
 // threads — dispatching once per run (instead of once per phase) keeps the
 // per-cycle synchronisation down to futex-backed barrier waits.
 #pragma once
@@ -18,28 +19,28 @@
 
 namespace ccastream::sim {
 
-class StripePool {
+class PartitionPool {
  public:
-  explicit StripePool(std::uint32_t stripes);
-  ~StripePool();
+  explicit PartitionPool(std::uint32_t workers);
+  ~PartitionPool();
 
-  StripePool(const StripePool&) = delete;
-  StripePool& operator=(const StripePool&) = delete;
+  PartitionPool(const PartitionPool&) = delete;
+  PartitionPool& operator=(const PartitionPool&) = delete;
 
-  [[nodiscard]] std::uint32_t stripes() const noexcept { return stripes_; }
+  [[nodiscard]] std::uint32_t workers() const noexcept { return workers_; }
 
-  /// Runs job(stripe) on every stripe concurrently; returns when all have
-  /// finished. The job must call sync() an identical number of times from
-  /// every stripe (the barrier counts all of them).
+  /// Runs job(partition) on every partition concurrently; returns when all
+  /// have finished. The job must call sync() an identical number of times
+  /// from every partition (the barrier counts all of them).
   void run(const std::function<void(std::uint32_t)>& job);
 
-  /// Phase barrier: blocks until every stripe thread has arrived.
+  /// Phase barrier: blocks until every partition thread has arrived.
   void sync() { barrier_.arrive_and_wait(); }
 
  private:
-  void worker_loop(std::uint32_t stripe);
+  void worker_loop(std::uint32_t partition);
 
-  std::uint32_t stripes_;
+  std::uint32_t workers_;
   std::barrier<> barrier_;
   std::mutex m_;
   std::condition_variable cv_start_;
@@ -48,7 +49,7 @@ class StripePool {
   std::uint64_t generation_ = 0;
   std::uint32_t running_ = 0;
   bool stop_ = false;
-  std::vector<std::thread> workers_;
+  std::vector<std::thread> workers_threads_;
 };
 
 }  // namespace ccastream::sim

@@ -1,11 +1,13 @@
 // The parallel engine's headline guarantee: a run is cycle-for-cycle
-// identical for every thread count. BFS and SSSP stream an SBM graph in
-// increments on 1-, 2-, and 4-thread chips; final cycle count, the full
-// ChipStats counter block, total energy, and every per-vertex result must
-// match the serial engine exactly.
+// identical for every thread count AND every mesh partition (row stripes,
+// column stripes, 2-D tiles; with or without load-adaptive rebalancing).
+// BFS and SSSP stream an SBM graph in increments on 1-, 2-, and 4-thread
+// chips; final cycle count, the full ChipStats counter block, total energy,
+// and every per-vertex result must match the serial engine exactly.
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "test_util.hpp"
@@ -34,12 +36,16 @@ struct RunResult {
 
 enum class App { kBfs, kSssp };
 
-RunResult run_app(App app, std::uint32_t threads) {
+RunResult run_app(App app, std::uint32_t threads,
+                  const char* partition = nullptr) {
   sim::ChipConfig cfg;
   cfg.width = 16;
   cfg.height = 16;
   cfg.threads = threads;
   cfg.seed = kSeed;
+  if (partition != nullptr) {
+    cfg.partition = *sim::PartitionSpec::parse(partition);
+  }
   sim::Chip chip(cfg);
   EXPECT_EQ(chip.threads(), threads);
 
@@ -106,6 +112,79 @@ INSTANTIATE_TEST_SUITE_P(BfsAndSssp, Determinism,
                          [](const auto& info) {
                            return info.param == App::kBfs ? "Bfs" : "Sssp";
                          });
+
+// The partition-shape × thread-count matrix: every shape, with and without
+// load-adaptive rebalancing, at 2 and 4 workers, against the serial run. A
+// west/east-IO configuration rides along because it is the motivating case
+// for column partitions (row stripes put every IO cell into two stripes)
+// and exercises cross-partition traffic on the orthogonal axis. Shallow
+// FIFOs + single ejection keep the mesh congested, where order-dependence
+// would hide.
+struct MatrixResult {
+  sim::ChipStats stats;
+  double energy_pj = 0.0;
+  std::vector<rt::Word> levels;
+  friend bool operator==(const MatrixResult&, const MatrixResult&) = default;
+};
+
+TEST(Determinism, PartitionShapeMatrixIsCycleIdenticalToSerial) {
+  auto run = [](std::uint8_t io_sides, const char* partition,
+                std::uint32_t threads) {
+    sim::ChipConfig cfg;
+    cfg.width = 12;
+    cfg.height = 12;
+    cfg.fifo_depth = 2;
+    cfg.ejections_per_cycle = 1;
+    cfg.io_sides = io_sides;
+    cfg.threads = threads;
+    cfg.partition = *sim::PartitionSpec::parse(partition);
+    cfg.seed = 99;
+    sim::Chip chip(cfg);
+    graph::GraphProtocol proto(chip);
+    apps::StreamingBfs bfs(proto);
+    bfs.install();
+    graph::GraphConfig gc;
+    gc.num_vertices = 240;
+    gc.root_init = apps::StreamingBfs::initial_state();
+    graph::StreamingGraph g(proto, gc);
+    bfs.set_source(g, 0);
+    const auto sched = wl::make_graphchallenge_like(240, 4'000,
+                                                    wl::SamplingKind::kEdge,
+                                                    /*increments=*/3, 99);
+    for (const auto& inc : sched.increments) g.stream_increment(inc);
+    EXPECT_TRUE(chip.quiescent());
+    MatrixResult r;
+    r.stats = chip.stats();
+    r.energy_pj = chip.energy_pj();
+    for (std::uint64_t v = 0; v < 240; ++v) r.levels.push_back(bfs.level_of(g, v));
+    return r;
+  };
+
+  for (const std::uint8_t io_sides :
+       {static_cast<std::uint8_t>(sim::kIoNorth | sim::kIoSouth),
+        static_cast<std::uint8_t>(sim::kIoWest | sim::kIoEast)}) {
+    SCOPED_TRACE("io_sides = " + std::to_string(io_sides));
+    const MatrixResult serial = run(io_sides, "rows", 1);
+    ASSERT_GT(serial.stats.stage_stalls, 0u) << "config failed to congest";
+    for (const char* partition :
+         {"rows", "cols", "tiles", "rows+rebalance", "cols+rebalance",
+          "tiles+rebalance"}) {
+      for (const std::uint32_t threads : {2u, 4u}) {
+        SCOPED_TRACE(std::string("partition = ") + partition +
+                     ", threads = " + std::to_string(threads));
+        EXPECT_EQ(run(io_sides, partition, threads), serial);
+      }
+    }
+  }
+}
+
+// An explicit tile grid pins the partition count independently of the
+// worker request — and still changes nothing.
+TEST(Determinism, ExplicitTileGridIsCycleIdenticalToSerial) {
+  const RunResult serial = run_app(App::kBfs, 1);
+  const RunResult tiled = run_app(App::kBfs, 4, "tiles:2x2+rebalance");
+  EXPECT_EQ(tiled, serial);
+}
 
 // Congestion is where order-dependence would hide: shallow FIFOs and a
 // single ejection per cycle force sustained backpressure (stage stalls,

@@ -189,15 +189,29 @@ TEST(JsonRecord, WallMsRoundTripsAndIsOmittedWhenUnmeasured) {
   EXPECT_EQ(reparsed->wall_ms, 0.0);
 }
 
+TEST(JsonRecord, PartitionFieldRoundTrips) {
+  bench::BenchRecord r{"b", "64x64", 100, 2.5, "tiny", /*threads=*/4};
+  r.partition = "tiles:2x2+rebalance";
+  const std::string line = bench::format_record(r);
+  EXPECT_NE(line.find("\"partition\":\"tiles:2x2+rebalance\""),
+            std::string::npos);
+  const auto parsed = bench::parse_record(line);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->partition, "tiles:2x2+rebalance");
+  EXPECT_EQ(*parsed, r);
+}
+
 TEST(JsonRecord, LegacyRecordWithoutThreadsDefaultsToSerial) {
   // Records written before the parallel backend existed carry no threads
-  // field; they were all measured on the serial engine.
+  // field; they were all measured on the serial engine — and records from
+  // before the partition layer were all row stripes.
   const std::string line =
       "{\"bench\":\"b\",\"dataset\":\"d\",\"cycles\":5,"
       "\"energy_uj\":1.0,\"scale\":\"tiny\"}";
   const auto parsed = bench::parse_record(line);
   ASSERT_TRUE(parsed.has_value());
   EXPECT_EQ(parsed->threads, 1u);
+  EXPECT_EQ(parsed->partition, "rows");
 }
 
 TEST(JsonRecord, ParseRejectsNegativeCycles) {
@@ -257,14 +271,18 @@ TEST(JsonReporter, AppendsParseableRecordsToEnvNamedFile) {
     records.push_back(*r);
   }
   ASSERT_EQ(records.size(), 2u);
-  // The reporter tags every record with the env-resolved backend thread
-  // count, so the expectation must match whatever CCASTREAM_THREADS the
-  // suite itself runs under (e.g. CI's thread matrix).
+  // The reporter tags every record with the env-resolved backend (thread
+  // count and partition spec), so the expectations must match whatever
+  // CCASTREAM_THREADS / CCASTREAM_PARTITION the suite itself runs under
+  // (e.g. CI's thread and partition matrices).
   const std::uint64_t backend = ccastream::sim::resolve_threads(0);
+  const std::string partition = ccastream::sim::resolve_partition({}).to_string();
   EXPECT_EQ(records[0], (bench::BenchRecord{"bench_alpha", "2K(tiny)", 1000,
-                                            1.5, "tiny", backend}));
+                                            1.5, "tiny", backend, 0.0,
+                                            partition}));
   EXPECT_EQ(records[1], (bench::BenchRecord{"bench_beta", "8K(tiny)", 2000,
-                                            2.5, "tiny", backend}));
+                                            2.5, "tiny", backend, 0.0,
+                                            partition}));
   std::remove(path.c_str());
 }
 

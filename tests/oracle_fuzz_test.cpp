@@ -1,5 +1,6 @@
 // Randomized oracle cross-checks: ~20 seeded random instances mixing
-// R-MAT and SBM workloads, mesh shapes, thread counts, apps, and streaming
+// R-MAT and SBM workloads, mesh shapes, thread counts, partition shapes
+// (rows/cols/tiles, with and without rebalancing), apps, and streaming
 // orders, each streamed as interleaved edge increments and verified
 // vertex-by-vertex against the `base::` sequential oracles. Every instance
 // derives from a printed seed so any failure replays exactly.
@@ -26,6 +27,7 @@ struct Instance {
   std::uint32_t edge_capacity = 16;
   wl::SamplingKind sampling = wl::SamplingKind::kEdge;
   int app = 0;  // 0 = bfs, 1 = sssp, 2 = components
+  sim::PartitionSpec partition;
 
   [[nodiscard]] std::string describe() const {
     return "replay seed=" + std::to_string(seed) +
@@ -37,7 +39,8 @@ struct Instance {
            " increments=" + std::to_string(increments) +
            " edge_capacity=" + std::to_string(edge_capacity) +
            " sampling=" + std::string(wl::to_string(sampling)) +
-           " app=" + (app == 0 ? "bfs" : app == 1 ? "sssp" : "components");
+           " app=" + (app == 0 ? "bfs" : app == 1 ? "sssp" : "components") +
+           " partition=" + partition.to_string();
   }
 };
 
@@ -57,6 +60,10 @@ Instance make_instance(std::uint64_t seed) {
   in.sampling = rng.bernoulli(0.5) ? wl::SamplingKind::kSnowball
                                    : wl::SamplingKind::kEdge;
   in.app = static_cast<int>(rng.below(3));
+  // Partition draws come last so older replay seeds keep their meaning for
+  // every field above.
+  in.partition.shape = static_cast<sim::PartitionShape>(rng.below(3));
+  in.partition.rebalance = rng.bernoulli(0.5);
   return in;
 }
 
@@ -97,6 +104,7 @@ void run_instance(const Instance& in) {
   cfg.width = in.mesh_dim;
   cfg.height = in.mesh_dim;
   cfg.threads = in.threads;
+  cfg.partition = in.partition;
   cfg.seed = in.seed;
   sim::Chip chip(cfg);
   graph::RpvoConfig rc;

@@ -1,0 +1,328 @@
+// Property tests for the mesh partition layer (sim/partition.hpp): every
+// shape must cover each cell exactly once with contiguous rectangles, the
+// spec grammar must round-trip, and load-adaptive rebalancing must produce
+// valid, balanced splits from skewed histograms — all invariants the
+// parallel engine's correctness (and the determinism suite) rests on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "test_util.hpp"
+
+namespace ccastream {
+namespace {
+
+using sim::PartitionLayout;
+using sim::PartitionShape;
+using sim::PartitionSpec;
+using sim::PartRect;
+
+/// The structural invariant behind everything: rectangles are in-bounds,
+/// non-empty, and their disjoint union covers the mesh; the O(1) owner
+/// table agrees with rectangle membership.
+void expect_valid(const PartitionLayout& layout) {
+  const std::uint32_t w = layout.mesh_width();
+  const std::uint32_t h = layout.mesh_height();
+  ASSERT_GE(layout.parts(), 1u);
+  EXPECT_EQ(layout.parts(), layout.grid_x() * layout.grid_y());
+
+  std::vector<std::uint32_t> covered(static_cast<std::size_t>(w) * h, 0);
+  for (std::uint32_t p = 0; p < layout.parts(); ++p) {
+    const PartRect& r = layout.rect(p);
+    ASSERT_LT(r.x0, r.x1) << "empty rect in partition " << p;
+    ASSERT_LT(r.y0, r.y1) << "empty rect in partition " << p;
+    ASSERT_LE(r.x1, w);
+    ASSERT_LE(r.y1, h);
+    for (std::uint32_t y = r.y0; y < r.y1; ++y) {
+      for (std::uint32_t x = r.x0; x < r.x1; ++x) {
+        const std::uint32_t cell = y * w + x;
+        ++covered[cell];
+        EXPECT_EQ(layout.owner(cell), p)
+            << "owner table disagrees with rect membership at (" << x << ","
+            << y << ")";
+      }
+    }
+  }
+  for (std::uint32_t cell = 0; cell < w * h; ++cell) {
+    EXPECT_EQ(covered[cell], 1u) << "cell " << cell << " covered "
+                                 << covered[cell] << " times";
+  }
+}
+
+TEST(PartitionSpec, ParsesEveryGrammarForm) {
+  struct Case {
+    const char* text;
+    PartitionShape shape;
+    bool rebalance;
+    std::uint32_t gx, gy;
+  };
+  const Case cases[] = {
+      {"rows", PartitionShape::kRows, false, 0, 0},
+      {"cols", PartitionShape::kCols, false, 0, 0},
+      {"tiles", PartitionShape::kTiles, false, 0, 0},
+      {"tiles:4x2", PartitionShape::kTiles, false, 4, 2},
+      {"rows+rebalance", PartitionShape::kRows, true, 0, 0},
+      {"cols+rebalance", PartitionShape::kCols, true, 0, 0},
+      {"tiles:1x8+rebalance", PartitionShape::kTiles, true, 1, 8},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.text);
+    const auto spec = PartitionSpec::parse(c.text);
+    ASSERT_TRUE(spec.has_value());
+    EXPECT_EQ(spec->shape, c.shape);
+    EXPECT_EQ(spec->rebalance, c.rebalance);
+    EXPECT_EQ(spec->tiles_x, c.gx);
+    EXPECT_EQ(spec->tiles_y, c.gy);
+    // to_string round-trips the canonical spelling.
+    EXPECT_EQ(spec->to_string(), c.text);
+    EXPECT_EQ(PartitionSpec::parse(spec->to_string()), *spec);
+  }
+}
+
+TEST(PartitionSpec, RejectsGarbage) {
+  for (const char* bad :
+       {"", "stripes", "row", "tiles:", "tiles:4", "tiles:x2", "tiles:4x",
+        "tiles:0x2", "tiles:2x0", "tiles:2x2x2", "tiles:axb",
+        "rows+rebalanced", "rows+", "+rebalance", "rows +rebalance"}) {
+    EXPECT_FALSE(PartitionSpec::parse(bad).has_value()) << bad;
+  }
+}
+
+TEST(PartitionLayout, RowStripesCoverEveryCellOnce) {
+  for (const auto& [w, h] : {std::pair{8u, 8u}, {16u, 4u}, {5u, 7u}, {1u, 9u},
+                            {32u, 32u}}) {
+    for (const std::uint32_t parts : {1u, 2u, 3u, 4u, 7u, 16u}) {
+      SCOPED_TRACE(std::to_string(w) + "x" + std::to_string(h) + " parts=" +
+                   std::to_string(parts));
+      const auto layout = PartitionLayout::build({}, w, h, parts);
+      expect_valid(layout);
+      EXPECT_EQ(layout.parts(), std::min(parts, h));  // clamped by rows
+      for (std::uint32_t p = 0; p < layout.parts(); ++p) {
+        EXPECT_EQ(layout.rect(p).width(), w) << "row stripes span the width";
+      }
+    }
+  }
+}
+
+TEST(PartitionLayout, ColumnStripesCoverEveryCellOnce) {
+  PartitionSpec spec;
+  spec.shape = PartitionShape::kCols;
+  for (const auto& [w, h] : {std::pair{8u, 8u}, {4u, 16u}, {7u, 5u}, {9u, 1u}}) {
+    for (const std::uint32_t parts : {1u, 2u, 3u, 4u, 7u, 16u}) {
+      SCOPED_TRACE(std::to_string(w) + "x" + std::to_string(h) + " parts=" +
+                   std::to_string(parts));
+      const auto layout = PartitionLayout::build(spec, w, h, parts);
+      expect_valid(layout);
+      EXPECT_EQ(layout.parts(), std::min(parts, w));  // clamped by columns
+      for (std::uint32_t p = 0; p < layout.parts(); ++p) {
+        EXPECT_EQ(layout.rect(p).height(), h) << "col stripes span the height";
+      }
+    }
+  }
+}
+
+TEST(PartitionLayout, AutoTileGridsFactorTheWorkerCount) {
+  PartitionSpec spec;
+  spec.shape = PartitionShape::kTiles;
+  for (std::uint32_t parts = 1; parts <= 8; ++parts) {
+    SCOPED_TRACE("parts=" + std::to_string(parts));
+    const auto layout = PartitionLayout::build(spec, 8, 8, parts);
+    expect_valid(layout);
+    EXPECT_EQ(layout.parts(), parts);  // 8x8 fits every factorisation to 8
+  }
+  // 4 workers on 8x8 should pick the square 2x2 grid, not a 1x4 stripe.
+  const auto square = PartitionLayout::build(spec, 8, 8, 4);
+  EXPECT_EQ(square.grid_x(), 2u);
+  EXPECT_EQ(square.grid_y(), 2u);
+  // A mesh too narrow for the square grid falls back to a fitting shape.
+  const auto narrow = PartitionLayout::build(spec, 1, 8, 4);
+  expect_valid(narrow);
+  EXPECT_EQ(narrow.grid_x(), 1u);
+  EXPECT_EQ(narrow.grid_y(), 4u);
+}
+
+TEST(PartitionLayout, ExplicitTileGridPinsThePartitionCount) {
+  PartitionSpec spec = *PartitionSpec::parse("tiles:3x2");
+  const auto layout = PartitionLayout::build(spec, 9, 8, /*target_parts=*/1);
+  expect_valid(layout);
+  EXPECT_EQ(layout.parts(), 6u);  // grid wins over the worker request
+  EXPECT_EQ(layout.grid_x(), 3u);
+  EXPECT_EQ(layout.grid_y(), 2u);
+  // Oversized grids clamp to the mesh.
+  const auto clamped = PartitionLayout::build(*PartitionSpec::parse("tiles:16x16"),
+                                              4, 4, 1);
+  expect_valid(clamped);
+  EXPECT_EQ(clamped.parts(), 16u);  // 4x4 grid of single cells
+}
+
+TEST(PartitionLayout, HugeTileRequestClampsInsteadOfStalling) {
+  // choose_tile_grid's divisor search is quadratic in the part count; an
+  // unclamped worker request must degrade to the mesh capacity, not stall.
+  const auto layout = PartitionLayout::build(*PartitionSpec::parse("tiles"),
+                                             16, 16, 100'000'000);
+  expect_valid(layout);
+  EXPECT_EQ(layout.parts(), 256u);  // every cell its own tile
+}
+
+TEST(BalancedBoundaries, SkewedHistogramMovesTheBoundaries) {
+  // All load in bin 0 of 8 bins, 4 parts: the first band collapses to the
+  // single hot bin and the rest split the idle tail.
+  std::vector<std::uint64_t> bins(8, 0);
+  bins[0] = 1000;
+  const auto b = sim::balanced_boundaries(bins, 4);
+  ASSERT_EQ(b.size(), 5u);
+  EXPECT_EQ(b[0], 0u);
+  EXPECT_EQ(b[1], 1u) << "hot bin isolated in its own band";
+  EXPECT_EQ(b[4], 8u);
+  for (std::size_t s = 1; s < b.size(); ++s) {
+    EXPECT_GT(b[s], b[s - 1]) << "every band keeps at least one bin";
+  }
+}
+
+TEST(BalancedBoundaries, QuantileSplitIsBalanced) {
+  // A spiky but clamp-free histogram: every band's load stays below the
+  // ideal share plus one bin — the standard quantile-split bound.
+  std::vector<std::uint64_t> bins = {1, 1, 100, 1, 1,  40, 1, 1,
+                                     1, 9, 1,   1, 60, 1,  1, 30};
+  const std::uint64_t total = std::accumulate(bins.begin(), bins.end(), 0ull);
+  const std::uint64_t max_bin = *std::max_element(bins.begin(), bins.end());
+  for (const std::uint32_t parts : {2u, 3u, 4u}) {
+    SCOPED_TRACE("parts=" + std::to_string(parts));
+    const auto b = sim::balanced_boundaries(bins, parts);
+    for (std::uint32_t s = 0; s < parts; ++s) {
+      const std::uint64_t band = std::accumulate(
+          bins.begin() + b[s], bins.begin() + b[s + 1], 0ull);
+      EXPECT_LE(band, total / parts + max_bin + 1);
+    }
+  }
+}
+
+TEST(BalancedBoundaries, ZeroLoadDegradesToUniform) {
+  const std::vector<std::uint64_t> bins(12, 0);
+  const auto b = sim::balanced_boundaries(bins, 4);
+  EXPECT_EQ(b, (std::vector<std::uint32_t>{0, 3, 6, 9, 12}));
+}
+
+TEST(PartitionLayout, RebalanceIsValidDeterministicAndLoadAware) {
+  for (const char* text : {"rows", "cols", "tiles"}) {
+    SCOPED_TRACE(text);
+    const auto spec = *PartitionSpec::parse(text);
+    const auto uniform = PartitionLayout::build(spec, 8, 8, 4);
+    // Synthetic skew: the north-west corner is hot (as under north IO with
+    // a west-heavy workload).
+    std::vector<std::uint64_t> load(64, 1);
+    for (std::uint32_t y = 0; y < 2; ++y) {
+      for (std::uint32_t x = 0; x < 2; ++x) load[y * 8 + x] = 500;
+    }
+    const auto balanced = uniform.rebalanced(load);
+    expect_valid(balanced);
+    EXPECT_EQ(balanced.parts(), uniform.parts());
+    EXPECT_EQ(balanced.grid_x(), uniform.grid_x());
+    EXPECT_EQ(balanced.grid_y(), uniform.grid_y());
+    EXPECT_NE(balanced.rects(), uniform.rects())
+        << "skewed load must move a boundary";
+    // Same histogram, same split: the rebalance schedule is a pure
+    // function of the load (what keeps parallel runs deterministic).
+    EXPECT_EQ(uniform.rebalanced(load), balanced);
+    // Zero load snaps back to the uniform layout.
+    EXPECT_EQ(balanced.rebalanced(std::vector<std::uint64_t>(64, 0)), uniform);
+  }
+}
+
+TEST(PartitionLayout, TileRebalanceBalancesBothAxesIndependently) {
+  const auto spec = *PartitionSpec::parse("tiles");
+  const auto uniform = PartitionLayout::build(spec, 8, 8, 4);  // 2x2 grid
+  std::vector<std::uint64_t> load(64, 0);
+  for (std::uint32_t x = 0; x < 8; ++x) load[0 * 8 + x] += 800;  // hot row 0
+  for (std::uint32_t y = 0; y < 8; ++y) load[y * 8 + 0] += 800;  // hot col 0
+  const auto balanced = uniform.rebalanced(load);
+  expect_valid(balanced);
+  EXPECT_EQ(balanced.grid_x(), 2u);
+  EXPECT_EQ(balanced.grid_y(), 2u);
+  // The hot row and column each land alone in the first band of their axis.
+  EXPECT_EQ(balanced.rect(0), (PartRect{0, 1, 0, 1}));
+}
+
+// The chip end of the contract: partition counts resolve per shape, an
+// explicit grid overrides the thread request, and rebalancing relayouts
+// between increments without changing any result.
+TEST(ChipPartition, ShapeResolutionAndRebalanceAreResultInvariant) {
+  sim::ChipConfig cfg = test::small_chip_config();  // 8x8 mesh
+  cfg.threads = 3;
+  cfg.partition = *PartitionSpec::parse("cols");
+  sim::Chip cols(cfg);
+  EXPECT_EQ(cols.partitions(), 3u);
+  EXPECT_EQ(cols.partition_layout().grid_x(), 3u);
+
+  cfg.threads = 1;
+  cfg.partition = *PartitionSpec::parse("tiles:2x2");
+  sim::Chip tiles(cfg);
+  EXPECT_EQ(tiles.partitions(), 4u) << "explicit grid pins the worker count";
+
+  // Identical skewed diffusions on rebalancing and non-rebalancing chips:
+  // boundaries must move, results must not.
+  auto run = [](bool rebalance) {
+    sim::ChipConfig c = test::small_chip_config();
+    c.threads = 4;
+    c.partition = *PartitionSpec::parse(rebalance ? "rows+rebalance" : "rows");
+    sim::Chip chip(c);
+    const rt::HandlerId fan = chip.handlers().register_handler(
+        "fan", [](rt::Context& ctx, const rt::Action& a) {
+          ctx.charge(3);
+          if (a.args[0] == 0) return;
+          // Skew the diffusion into the top-left quadrant.
+          const std::uint32_t cc = ctx.cc();
+          const auto c0 = ctx.geometry().coord_of(cc);
+          const rt::Coord next{c0.x / 2, c0.y / 2};
+          ctx.propagate(rt::make_action(
+              a.handler,
+              rt::GlobalAddress{ctx.geometry().index_of(next), 0},
+              a.args[0] - 1));
+        });
+    for (std::uint32_t burst = 0; burst < 4; ++burst) {
+      for (std::uint32_t cc = 0; cc < chip.geometry().cell_count(); cc += 3) {
+        chip.inject_local(rt::make_action(fan, rt::GlobalAddress{cc, 0},
+                                          rt::Word{6}));
+      }
+      chip.run_until_quiescent(200'000);  // one "increment"
+    }
+    return std::pair{chip.stats(), chip.partition_rebalances()};
+  };
+  const auto [stats_plain, rebal_plain] = run(false);
+  const auto [stats_rebal, rebal_count] = run(true);
+  EXPECT_EQ(rebal_plain, 0u);
+  EXPECT_GT(rebal_count, 0u) << "skewed load should trigger a re-split";
+  EXPECT_EQ(stats_rebal, stats_plain)
+      << "rebalancing must be cycle-for-cycle invisible in results";
+}
+
+// A throwing handler must surface as a fault on every engine — under the
+// worker pool an escaping exception would strand the other partitions at
+// the phase barrier (deadlock), and the fault count must stay identical to
+// serial.
+TEST(ChipPartition, ThrowingHandlerIsAFaultNotADeadlock) {
+  auto run = [](std::uint32_t threads) {
+    sim::ChipConfig cfg = test::small_chip_config();
+    cfg.threads = threads;
+    sim::Chip chip(cfg);
+    const rt::HandlerId boom = chip.handlers().register_handler(
+        "boom", [](rt::Context&, const rt::Action&) {
+          throw std::runtime_error("boom");
+        });
+    chip.inject_local(rt::make_action(boom, rt::GlobalAddress{5, 0}));
+    chip.run_until_quiescent(10'000);
+    return chip.stats();
+  };
+  const sim::ChipStats serial = run(1);
+  EXPECT_EQ(serial.faults, 1u);
+  EXPECT_EQ(run(4), serial);
+}
+
+}  // namespace
+}  // namespace ccastream

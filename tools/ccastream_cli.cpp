@@ -29,6 +29,7 @@ struct Options {
   std::uint32_t increments = 10;
   std::uint32_t width = 16, height = 16;
   std::uint32_t threads = 0;  // 0 = CCASTREAM_THREADS env, else serial
+  std::optional<sim::PartitionSpec> partition;  // unset = env, else rows
   sim::RoutingPolicyKind routing = sim::RoutingPolicyKind::kYX;
   rt::AllocPolicyKind alloc = rt::AllocPolicyKind::kVicinity;
   std::uint32_t vicinity_radius = 2;
@@ -56,6 +57,11 @@ void usage() {
       "  --threads N                   simulator worker threads (default:\n"
       "                                CCASTREAM_THREADS or 1; results are\n"
       "                                identical for every N)\n"
+      "  --partition SPEC              mesh partition for the parallel engine:\n"
+      "                                rows|cols|tiles[:GXxGY], optionally\n"
+      "                                +rebalance for load-adaptive boundaries\n"
+      "                                (default: CCASTREAM_PARTITION or rows;\n"
+      "                                results are identical for every SPEC)\n"
       "  --routing yx|xy|west-first|odd-even\n"
       "  --alloc vicinity|random|round-robin|local\n"
       "  --radius R                    vicinity radius (default 2)\n"
@@ -101,6 +107,13 @@ bool parse(int argc, char** argv, Options& o) {
       o.height = static_cast<std::uint32_t>(std::strtoul(need(i), nullptr, 10));
     } else if (a == "--threads") {
       o.threads = static_cast<std::uint32_t>(std::strtoul(need(i), nullptr, 10));
+    } else if (a == "--partition") {
+      const char* v = need(i);
+      o.partition = sim::PartitionSpec::parse(v);
+      if (!o.partition) {
+        std::fprintf(stderr, "invalid --partition '%s'\n", v);
+        return false;
+      }
     } else if (a == "--routing") {
       const std::string v = need(i);
       if (v == "xy") o.routing = sim::RoutingPolicyKind::kXY;
@@ -180,6 +193,7 @@ int main(int argc, char** argv) {
   cfg.vicinity_radius = o.vicinity_radius;
   cfg.seed = o.seed;
   cfg.threads = o.threads;
+  cfg.partition = o.partition;
   cfg.record_activation = !o.activation_path.empty();
   sim::Chip chip(cfg);
 
@@ -211,11 +225,12 @@ int main(int argc, char** argv) {
   if (o.app == "components") comps.seed_labels(g);
 
   // --- Stream ------------------------------------------------------------------
-  std::printf("chip %ux%u  routing %s  alloc %s  rhizomes %u  app %s  threads %u\n",
-              o.width, o.height,
-              std::string(sim::to_string(o.routing)).c_str(),
-              std::string(rt::to_string(o.alloc)).c_str(), o.rhizomes,
-              o.app.c_str(), chip.threads());
+  std::printf(
+      "chip %ux%u  routing %s  alloc %s  rhizomes %u  app %s  threads %u  "
+      "partition %s\n",
+      o.width, o.height, std::string(sim::to_string(o.routing)).c_str(),
+      std::string(rt::to_string(o.alloc)).c_str(), o.rhizomes, o.app.c_str(),
+      chip.threads(), chip.partition_spec().to_string().c_str());
   std::printf("%lu vertices, %lu edges, %s sampling, %u increments, source %lu\n",
               o.vertices, sched.total_edges(),
               std::string(wl::to_string(sched.kind)).c_str(), o.increments,
