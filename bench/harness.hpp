@@ -142,14 +142,17 @@ inline const char* to_string(Scale scale) {
 // tools/run_benches.sh).
 
 /// One measurement record: `{"bench":...,"dataset":...,"cycles":N,
-/// "energy_uj":X,"scale":...,"threads":T,"partition":P[,"wall_ms":W]}`.
-/// `threads` and `partition` identify the simulator backend the record was
-/// measured on (1 = serial engine; partition spec as in CCASTREAM_PARTITION,
-/// e.g. "rows" or "tiles+rebalance"), making records comparable across
+/// "energy_uj":X,"scale":...,"threads":T,"partition":P,"engine":E
+/// [,"wall_ms":W][,"cell_visits":V]}`.
+/// `threads`, `partition`, and `engine` identify the simulator backend the
+/// record was measured on (1 = serial; partition spec as in
+/// CCASTREAM_PARTITION, e.g. "rows" or "tiles+rebalance"; engine as in
+/// CCASTREAM_ENGINE, "scan" or "active"), making records comparable across
 /// backends in aggregated BENCH_*.json files. `wall_ms` is host wall-clock
-/// — the only number that *should* differ across backends (simulated cycles
-/// are backend-invariant by the determinism guarantee); 0 means unmeasured
-/// and the field is omitted.
+/// and `cell_visits` the per-cell phase-loop visit total — the only numbers
+/// that *should* differ across backends (simulated cycles are
+/// backend-invariant by the determinism guarantee); 0 means unmeasured and
+/// the field is omitted.
 struct BenchRecord {
   std::string bench;
   std::string dataset;
@@ -159,6 +162,8 @@ struct BenchRecord {
   std::uint64_t threads = 1;
   double wall_ms = 0.0;
   std::string partition = "rows";
+  std::string engine = "scan";
+  std::uint64_t cell_visits = 0;
 
   friend bool operator==(const BenchRecord&, const BenchRecord&) = default;
 };
@@ -213,9 +218,15 @@ inline std::string format_record(const BenchRecord& r) {
                 static_cast<unsigned long long>(r.threads));
   out += std::string(",\"threads\":") + num;
   out += ",\"partition\":\"" + json_escape(r.partition) + "\"";
+  out += ",\"engine\":\"" + json_escape(r.engine) + "\"";
   if (r.wall_ms != 0.0) {
     std::snprintf(num, sizeof num, "%.17g", r.wall_ms);
     out += std::string(",\"wall_ms\":") + num;
+  }
+  if (r.cell_visits != 0) {
+    std::snprintf(num, sizeof num, "%llu",
+                  static_cast<unsigned long long>(r.cell_visits));
+    out += std::string(",\"cell_visits\":") + num;
   }
   out += "}";
   return out;
@@ -313,6 +324,10 @@ inline std::optional<BenchRecord> parse_record(const std::string& line) {
   // Absent before the partition layer existed: row stripes were the only
   // decomposition.
   r.partition = detail::parse_string_field(line, "partition").value_or("rows");
+  // Absent before the active-set engine existed: everything was measured
+  // on the full-scan engine, and cell visits were not counted.
+  r.engine = detail::parse_string_field(line, "engine").value_or("scan");
+  r.cell_visits = detail::parse_uint_field(line, "cell_visits").value_or(0);
   return r;
 }
 
@@ -327,7 +342,8 @@ class JsonReporter {
         scale_(fixed_scale != nullptr ? fixed_scale
                                       : to_string(scale_from_env())),
         threads_(sim::resolve_threads(0)),
-        partition_(sim::resolve_partition({}).to_string()) {
+        partition_(sim::resolve_partition({}).to_string()),
+        engine_(sim::to_string(sim::resolve_engine({}))) {
     const char* path = std::getenv("CCASTREAM_BENCH_JSON");
     if (path != nullptr && *path != '\0') path_ = path;
   }
@@ -339,13 +355,16 @@ class JsonReporter {
   /// request to the partition shape's capacity) rather than the raw env
   /// value; 0 falls back to the env-resolved default for chip-less
   /// measurements. `partition` likewise should be the measured spec
-  /// (`chip.partition_spec().to_string()`); empty falls back to the
-  /// env-resolved default. `wall_ms`, when nonzero, persists host
-  /// wall-clock so backend speedup is trackable from the aggregated
-  /// BENCH_*.json files.
+  /// (`chip.partition_spec().to_string()`) and `engine` the measured
+  /// engine (`to_string(chip.engine())`); empty falls back to the
+  /// env-resolved default. `wall_ms` and `cell_visits`, when nonzero,
+  /// persist host wall-clock and the phase-loop visit total so backend
+  /// speedup is trackable from the aggregated BENCH_*.json files.
   void record(const std::string& dataset, std::uint64_t cycles,
               double energy_uj, std::uint64_t threads = 0,
-              double wall_ms = 0.0, const std::string& partition = {}) const {
+              double wall_ms = 0.0, const std::string& partition = {},
+              const std::string& engine = {},
+              std::uint64_t cell_visits = 0) const {
     if (path_.empty()) return;
     std::FILE* f = std::fopen(path_.c_str(), "a");
     if (f == nullptr) {
@@ -361,6 +380,8 @@ class JsonReporter {
     r.threads = threads == 0 ? threads_ : threads;
     r.wall_ms = wall_ms;
     r.partition = partition.empty() ? partition_ : partition;
+    r.engine = engine.empty() ? engine_ : engine;
+    r.cell_visits = cell_visits;
     std::fprintf(f, "%s\n", format_record(r).c_str());
     std::fclose(f);
   }
@@ -371,6 +392,7 @@ class JsonReporter {
   std::string path_;
   std::uint64_t threads_ = 1;
   std::string partition_ = "rows";
+  std::string engine_ = "scan";
 };
 
 }  // namespace ccastream::bench

@@ -23,7 +23,48 @@ rt::Action make_allocate_action(std::uint32_t target_cc, rt::ObjectKind kind,
                          rt::GlobalAddress{target_cc, 0}, w0, reply_to.pack(), tag);
 }
 
+/// Sparse fast-path trigger of the parallel active-set engine: when the
+/// whole chip holds at most this many live cells *per partition*, a cycle's
+/// useful work (a few hundred cell visits) is dwarfed by its four barrier
+/// waits, so run_cycles executes the cycle phase-major on the calling
+/// thread instead of dispatching the pool. Purely a host-performance knob:
+/// the serial schedule is the barrier schedule minus the barriers, so
+/// results are identical either way.
+constexpr std::uint64_t kSparseSerialThreshold = 32;
+
 }  // namespace
+
+std::string_view to_string(EngineKind engine) noexcept {
+  switch (engine) {
+    case EngineKind::kScan: return "scan";
+    case EngineKind::kActive: return "active";
+  }
+  return "scan";
+}
+
+std::optional<EngineKind> parse_engine(std::string_view text) {
+  if (text == "scan") return EngineKind::kScan;
+  if (text == "active") return EngineKind::kActive;
+  return std::nullopt;
+}
+
+EngineKind resolve_engine(const std::optional<EngineKind>& requested) {
+  if (requested) return *requested;
+  if (const char* env = std::getenv("CCASTREAM_ENGINE")) {
+    if (const auto engine = parse_engine(env)) return *engine;
+    // Warn (once) instead of failing, mirroring CCASTREAM_PARTITION: a typo
+    // would otherwise silently fall back to the scan engine — e.g. a CI
+    // matrix job or a bench sweep measuring the wrong engine.
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true, std::memory_order_relaxed)) {
+      std::fprintf(stderr,
+                   "ccastream: ignoring unparsable CCASTREAM_ENGINE '%s' "
+                   "(using scan)\n",
+                   env);
+    }
+  }
+  return EngineKind::kScan;
+}
 
 std::uint32_t resolve_threads(std::uint32_t requested) noexcept {
   if (requested != 0) return requested;
@@ -39,7 +80,10 @@ std::uint32_t resolve_threads(std::uint32_t requested) noexcept {
 /// Concrete handler execution context bound to one cell for one dispatch.
 /// All mutations land in the cell itself or in the executing partition's
 /// private accumulators — never in shared chip state — which is what makes
-/// handler execution safe and deterministic under the parallel engine.
+/// handler execution safe and deterministic under the parallel engine (and
+/// what keeps the active-set invariant local: a handler can only create
+/// work on the cell that is already executing, which is active by
+/// definition).
 class CellContext final : public rt::Context {
  public:
   CellContext(Chip& chip, Chip::PartitionState& st, ComputeCell& cell)
@@ -123,10 +167,15 @@ Chip::Chip(ChipConfig cfg)
   }
   trace_.set_enabled(cfg.record_activation);
   cell_load_.assign(mesh_.cell_count(), 0);
+  load_at_rebalance_.assign(mesh_.cell_count(), 0);
+  load_window_.assign(mesh_.cell_count(), 0);
   alloc_policy_->prepare(mesh_);
   registry_.register_system_handler(
       rt::kHandlerAllocate, "sys.allocate",
       [this](rt::Context& ctx, const rt::Action& a) { handle_allocate(ctx, a); });
+
+  engine_ = resolve_engine(cfg_.engine);
+  engine_active_ = engine_ == EngineKind::kActive;
 
   // Mesh partition: one worker per partition. The layout starts uniform;
   // rebalancing (when enabled) moves the boundaries between increments.
@@ -138,6 +187,7 @@ Chip::Chip(ChipConfig cfg)
   for (std::uint32_t p = 0; p < num_parts_; ++p) {
     parts_[p].index = p;
     parts_[p].outbox.resize(num_parts_);
+    parts_[p].inbox_producers.assign(num_parts_, 0);
   }
   apply_layout();
   if (num_parts_ > 1) pool_ = std::make_unique<PartitionPool>(num_parts_);
@@ -151,11 +201,49 @@ void Chip::apply_layout() {
   for (std::size_t i = 0; i < io_.cell_count(); ++i) {
     parts_[layout_.owner(io_.cell(i).attached_cc)].io_cells.push_back(i);
   }
+  rebuild_active_sets();
+}
+
+void Chip::rebuild_active_sets() {
+  if (!engine_active_) return;
+  for (PartitionState& st : parts_) {
+    assert(st.incoming.empty());  // layout moves only between cycles
+    st.active.clear();
+    // Row-major over the rectangle == ascending cell index: the iteration
+    // order every phase relies on.
+    for (std::uint32_t y = st.rect.y0; y < st.rect.y1; ++y) {
+      for (std::uint32_t x = st.rect.x0; x < st.rect.x1; ++x) {
+        const std::uint32_t idx = y * cfg_.width + x;
+        if (cells_[idx].in_active_set) st.active.push_back(idx);
+      }
+    }
+  }
+}
+
+void Chip::activate_cell(std::uint32_t idx) {
+  if (!engine_active_) return;
+  ComputeCell& cell = cells_[idx];
+  if (cell.in_active_set) return;
+  cell.in_active_set = true;
+  std::vector<std::uint32_t>& active = parts_[layout_.owner(idx)].active;
+  active.insert(std::upper_bound(active.begin(), active.end(), idx), idx);
 }
 
 void Chip::rebalance_partitions() {
   if (num_parts_ <= 1) return;
-  PartitionLayout next = layout_.rebalanced(cell_load_);
+  // Decay half of the anti-ping-pong pair: the splitter sees an
+  // exponentially decayed window of cell_load_, so increments from the
+  // distant past stop dominating the quantiles (cell_load_ itself stays
+  // the pure cumulative histogram the public API documents).
+  for (std::size_t i = 0; i < cell_load_.size(); ++i) {
+    const std::uint64_t delta = cell_load_[i] - load_at_rebalance_[i];
+    load_window_[i] = load_window_[i] / 2 + delta;
+    load_at_rebalance_[i] = cell_load_[i];
+  }
+  // Hysteresis half: rebalanced() keeps the current boundaries unless the
+  // re-split improves the hottest band by the configured margin.
+  PartitionLayout next =
+      layout_.rebalanced(load_window_, cfg_.rebalance_min_gain_pct);
   if (next == layout_) return;
   layout_ = std::move(next);
   apply_layout();
@@ -190,6 +278,9 @@ void Chip::io_enqueue(const rt::Action& action) {
   io_.enqueue(action);
   ++outstanding_;
   ++stats_.actions_created;
+  // No cell is touched yet: the attached cell activates when cycle_io
+  // actually injects, and outstanding_ != 0 keeps the chip non-quiescent
+  // until then.
 }
 
 void Chip::inject_local(const rt::Action& action) {
@@ -197,6 +288,7 @@ void Chip::inject_local(const rt::Action& action) {
   cells_[action.target.cc].action_queue.push_back(action);
   ++outstanding_;
   ++stats_.actions_created;
+  activate_cell(action.target.cc);
 }
 
 void Chip::inject_via(std::uint32_t at_cc, const rt::Action& action) {
@@ -208,14 +300,37 @@ void Chip::inject_via(std::uint32_t at_cc, const rt::Action& action) {
   cells_[at_cc].staged.push_back(m);
   ++outstanding_;
   ++stats_.actions_created;
+  activate_cell(at_cc);
 }
 
 bool Chip::quiescent() const {
   if (outstanding_ != 0) return false;
+  if (engine_active_) {
+    // The active sets are exactly the cells with work (the post-cycle
+    // invariant), so quiescence is O(partitions) instead of O(mesh).
+    for (const PartitionState& st : parts_) {
+      if (!st.active.empty() || !st.incoming.empty()) return false;
+    }
+    return true;
+  }
   for (const auto& c : cells_) {
     if (!c.idle()) return false;
   }
   return true;
+}
+
+std::uint64_t Chip::active_cells() const noexcept {
+  std::uint64_t n = 0;
+  if (engine_active_) {
+    for (const PartitionState& st : parts_) {
+      n += st.active.size() + st.incoming.size();
+    }
+    return n;
+  }
+  for (const auto& c : cells_) {
+    if (c.has_work()) ++n;
+  }
+  return n;
 }
 
 bool Chip::partitions_quiescent() const noexcept {
@@ -242,52 +357,93 @@ std::uint64_t Chip::run_cycles(std::uint64_t max_cycles, bool until_quiescent) {
   // are partition-invariant, so the schedule cannot change them.
   if (partition_spec_.rebalance) rebalance_partitions();
 
+  // Serial whenever there is one partition — or the active engine reports
+  // so little live work that the four barrier waits of a pooled cycle
+  // would dwarf the cell visits (see kSparseSerialThreshold). The mode can
+  // flip per cycle as a frontier thins out or widens; the decision reads
+  // only simulated state, so it is deterministic, and either mode produces
+  // bit-identical results.
+  const auto serial_preferred = [this] {
+    return num_parts_ == 1 ||
+           (engine_active_ &&
+            active_cells() <= kSparseSerialThreshold * num_parts_);
+  };
+
   std::uint64_t ran = 0;
-  if (num_parts_ == 1) {
-    PartitionState& st = parts_[0];
-    while (ran < max_cycles) {
-      cycle_snapshot(st);
-      cycle_route(st);
-      cycle_apply(st);
-      cycle_io(st);
-      cycle_compute(st);
-      merge_partitions();
+  while (ran < max_cycles) {
+    if (serial_preferred()) {
+      serial_cycle();
       ++ran;
       if (until_quiescent && partitions_quiescent()) break;
+      continue;
     }
-    return ran;
-  }
 
-  // Parallel engine: one dispatch for the whole run; the cycle loop lives
-  // inside the job and synchronises on the pool's phase barrier. Partition
-  // 0 (the calling thread) performs the merge and the stop decision between
-  // the third and fourth barriers of each cycle; the barriers provide the
-  // happens-before edges, so `stop` and `ran` need no atomics.
-  bool stop = false;
-  pool_->run([&](std::uint32_t p) {
-    PartitionState& st = parts_[p];
-    for (;;) {
-      cycle_snapshot(st);
-      pool_->sync();  // snapshots visible to neighbouring partitions
-      cycle_route(st);
-      pool_->sync();  // all routing decisions made; outboxes final
-      cycle_apply(st);
-      cycle_io(st);
-      cycle_compute(st);
-      pool_->sync();  // all cell state settled for this cycle
-      if (p == 0) {
-        merge_partitions();
-        ++ran;
-        stop = ran >= max_cycles || (until_quiescent && partitions_quiescent());
+    // Parallel engine: one dispatch for a whole batch of cycles; the cycle
+    // loop lives inside the job and synchronises on the pool's phase
+    // barrier. Partition 0 (the calling thread) performs the merge and the
+    // stop decision between the third and fourth barriers of each cycle;
+    // the barriers provide the happens-before edges, so `stop` and `ran`
+    // need no atomics. The batch also ends when the mesh goes sparse, so
+    // the outer loop can continue on the serial fast path.
+    bool stop = false;
+    bool done = false;
+    pool_->run([&](std::uint32_t p) {
+      PartitionState& st = parts_[p];
+      for (;;) {
+        cycle_snapshot(st);
+        pool_->sync();  // snapshots visible to neighbouring partitions
+        cycle_route(st);
+        pool_->sync();  // all routing decisions made; outboxes final
+        cycle_apply(st);
+        cycle_io(st);
+        cycle_compute(st);
+        pool_->sync();  // all cell state settled for this cycle
+        if (p == 0) {
+          merge_partitions();
+          ++ran;
+          done = ran >= max_cycles ||
+                 (until_quiescent && partitions_quiescent());
+          stop = done || serial_preferred();
+        }
+        pool_->sync();  // merge + stop decision visible to all partitions
+        if (stop) break;
       }
-      pool_->sync();  // merge + stop decision visible to all partitions
-      if (stop) break;
-    }
-  });
+    });
+    if (done) break;
+  }
   return ran;
 }
 
+void Chip::serial_cycle() {
+  // Phase-major over all partitions — exactly the barrier schedule without
+  // the barriers: every snapshot lands before any route reads a
+  // neighbour's latch, every outbox is final before any apply drains it.
+  for (PartitionState& st : parts_) cycle_snapshot(st);
+  for (PartitionState& st : parts_) cycle_route(st);
+  for (PartitionState& st : parts_) {
+    cycle_apply(st);
+    cycle_io(st);
+    cycle_compute(st);
+  }
+  merge_partitions();
+}
+
 void Chip::cycle_snapshot(PartitionState& st) {
+  if (engine_active_) {
+    st.cell_visits += st.active.size();
+    for (const std::uint32_t idx : st.active) {
+      ComputeCell& cell = cells_[idx];
+      for (std::size_t d = 0; d < kMeshDirections; ++d) {
+        cell.in_size_snapshot[d] =
+            static_cast<std::uint32_t>(cell.router_in[d].size());
+      }
+    }
+    // Inactive cells need no latch: leaving the set zeroed their snapshot
+    // (cycle_compute), and an idle cell's live sizes are all zero, so the
+    // stored values already equal what a full scan would latch.
+    return;
+  }
+  st.cell_visits += st.rect.cells();
   for (std::uint32_t y = st.rect.y0; y < st.rect.y1; ++y) {
     for (std::uint32_t x = st.rect.x0; x < st.rect.x1; ++x) {
       ComputeCell& cell = cells_[static_cast<std::size_t>(y) * cfg_.width + x];
@@ -309,121 +465,159 @@ void Chip::cycle_route(PartitionState& st) {
   const bool adaptive = cfg_.routing == RoutingPolicyKind::kWestFirst ||
                         cfg_.routing == RoutingPolicyKind::kOddEven;
 
-  for (std::uint32_t cy = st.rect.y0; cy < st.rect.y1; ++cy) {
-  for (std::uint32_t cx = st.rect.x0; cx < st.rect.x1; ++cx) {
-    const std::uint32_t idx = cy * cfg_.width + cx;
-    ComputeCell& cell = cells_[idx];
-    // Skip (freezing the arbitration pointer) based on the router state at
-    // phase start. Live occupancy would count messages pushed by earlier
-    // cells *this* phase, making the skip — and thus arb_next's advance —
-    // depend on cell visit order and the mesh partitioning. io_in and
-    // local_out are only written in later phases, so their live sizes are
-    // their phase-start sizes.
-    std::uint32_t start_occupancy = static_cast<std::uint32_t>(
-        cell.io_in.size() + cell.local_out.size());
-    for (std::size_t d = 0; d < kMeshDirections; ++d) {
-      start_occupancy += cell.in_size_snapshot[d];
-    }
-    if (start_occupancy == 0) continue;
-    const rt::Coord cur = mesh_.coord_of(idx);
-
-    std::uint32_t ejections_left = cfg_.ejections_per_cycle;
-    bool used_out[kMeshDirections] = {false, false, false, false};
-
-    // Downstream buffer occupancy, used only by adaptive routing, read from
-    // the phase-start snapshots (deterministic regardless of the order the
-    // stripes — or the cells within a stripe — are visited). Off-mesh
-    // directions read as "full" so they are never preferred.
-    DownstreamOccupancy occ{};
-    if (adaptive) {
-      for (std::size_t d = 0; d < kMeshDirections; ++d) {
-        const auto dir = static_cast<Direction>(d);
-        const rt::Coord n = ccastream::sim::step(cur, dir);
-        occ[d] = mesh_.contains(n) && !(dir == Direction::kNorth && cur.y == 0) &&
-                         !(dir == Direction::kWest && cur.x == 0)
-                     ? cells_[mesh_.index_of(n)]
-                           .in_size_snapshot[static_cast<std::size_t>(opposite(dir))]
-                     : ~0u;
-      }
-    }
-
-    // Six input sources arbitrated round-robin: four neighbour ports, the
-    // IO port, and locally staged traffic.
-    constexpr std::size_t kSources = kMeshDirections + 2;
-    for (std::size_t s = 0; s < kSources; ++s) {
-      const std::size_t src_idx = (cell.arb_next + s) % kSources;
-      Fifo<Message>* src = nullptr;
-      if (src_idx < kMeshDirections) {
-        src = &cell.router_in[src_idx];
-      } else if (src_idx == kMeshDirections) {
-        src = &cell.io_in;
-      } else {
-        src = &cell.local_out;
-      }
-      if (src->empty()) continue;
-
-      Message& m = src->front();
-      if (m.last_move_cycle == cycle_ && m.hops > 0) continue;  // already hopped
-
-      const rt::Coord dst = mesh_.coord_of(m.action.target.cc);
-      if (dst == cur) {
-        if (ejections_left == 0) continue;
-        deliver(st, cell, m);
-        src->pop();
-        --ejections_left;
-        continue;
-      }
-
-      const Direction dir = route(cfg_.routing, cur, dst, occ);
-      assert(dir != Direction::kLocal);
-      const auto d = static_cast<std::size_t>(dir);
-      if (used_out[d]) continue;
-
-      const rt::Coord next = ccastream::sim::step(cur, dir);
-      assert(mesh_.contains(next));
-      const std::uint32_t next_idx = mesh_.index_of(next);
-      ComputeCell& neighbour = cells_[next_idx];
-      const auto port = static_cast<std::size_t>(opposite(dir));
-      // Room check against the neighbour's phase-start snapshot. This cell
-      // is the only writer of that port FIFO and used_out caps it at one
-      // push per cycle, so snapshot-room guarantees real room; pops by the
-      // owner during this phase only free additional space.
-      if (neighbour.in_size_snapshot[port] >= neighbour.router_in[port].capacity()) {
-        continue;
-      }
-
-      m.last_move_cycle = cycle_;
-      ++m.hops;
-      if (const std::uint32_t owner = layout_.owner(next_idx);
-          owner != st.index) {
-        st.outbox[owner].pushes.push_back(
-            {next_idx, static_cast<std::uint8_t>(port), m});
-      } else {
-        neighbour.router_in[port].push(m);
-      }
-      src->pop();
-      used_out[d] = true;
-      ++st.stats.hops;
-    }
-    cell.arb_next = static_cast<std::uint8_t>((cell.arb_next + 1) % kSources);
+  if (engine_active_) {
+    st.cell_visits += st.active.size();
+    // Iterating the phase-start set only is exact: a cell outside it has
+    // zero phase-start router occupancy, which is precisely the cells the
+    // scan loop skips (without advancing their arbitration pointer). Cells
+    // activated mid-phase by a neighbour's push join via st.incoming and
+    // are not visited until next cycle — again matching the scan engine,
+    // where their `last_move_cycle` guard makes the visit a no-op.
+    for (const std::uint32_t idx : st.active) route_cell(st, idx, adaptive);
+    return;
   }
+  st.cell_visits += st.rect.cells();
+  for (std::uint32_t cy = st.rect.y0; cy < st.rect.y1; ++cy) {
+    for (std::uint32_t cx = st.rect.x0; cx < st.rect.x1; ++cx) {
+      route_cell(st, cy * cfg_.width + cx, adaptive);
+    }
   }
 }
 
+void Chip::route_cell(PartitionState& st, std::uint32_t idx, bool adaptive) {
+  ComputeCell& cell = cells_[idx];
+  // Skip (freezing the arbitration pointer) based on the router state at
+  // phase start. Live occupancy would count messages pushed by earlier
+  // cells *this* phase, making the skip — and thus arb_next's advance —
+  // depend on cell visit order and the mesh partitioning. io_in and
+  // local_out are only written in later phases, so their live sizes are
+  // their phase-start sizes.
+  std::uint32_t start_occupancy = static_cast<std::uint32_t>(
+      cell.io_in.size() + cell.local_out.size());
+  for (std::size_t d = 0; d < kMeshDirections; ++d) {
+    start_occupancy += cell.in_size_snapshot[d];
+  }
+  if (start_occupancy == 0) return;
+  const rt::Coord cur = mesh_.coord_of(idx);
+
+  std::uint32_t ejections_left = cfg_.ejections_per_cycle;
+  bool used_out[kMeshDirections] = {false, false, false, false};
+
+  // Downstream buffer occupancy, used only by adaptive routing, read from
+  // the phase-start snapshots (deterministic regardless of the order the
+  // partitions — or the cells within a partition — are visited). Off-mesh
+  // directions read as "full" so they are never preferred. Inactive
+  // neighbours hold all-zero latches (see cycle_snapshot), identical to
+  // what a scan latch of their empty FIFOs would produce.
+  DownstreamOccupancy occ{};
+  if (adaptive) {
+    for (std::size_t d = 0; d < kMeshDirections; ++d) {
+      const auto dir = static_cast<Direction>(d);
+      const rt::Coord n = ccastream::sim::step(cur, dir);
+      occ[d] = mesh_.contains(n) && !(dir == Direction::kNorth && cur.y == 0) &&
+                       !(dir == Direction::kWest && cur.x == 0)
+                   ? cells_[mesh_.index_of(n)]
+                         .in_size_snapshot[static_cast<std::size_t>(opposite(dir))]
+                   : ~0u;
+    }
+  }
+
+  // Six input sources arbitrated round-robin: four neighbour ports, the
+  // IO port, and locally staged traffic.
+  constexpr std::size_t kSources = kMeshDirections + 2;
+  for (std::size_t s = 0; s < kSources; ++s) {
+    const std::size_t src_idx = (cell.arb_next + s) % kSources;
+    Fifo<Message>* src = nullptr;
+    if (src_idx < kMeshDirections) {
+      src = &cell.router_in[src_idx];
+    } else if (src_idx == kMeshDirections) {
+      src = &cell.io_in;
+    } else {
+      src = &cell.local_out;
+    }
+    if (src->empty()) continue;
+
+    Message& m = src->front();
+    if (m.last_move_cycle == cycle_ && m.hops > 0) continue;  // already hopped
+
+    const rt::Coord dst = mesh_.coord_of(m.action.target.cc);
+    if (dst == cur) {
+      if (ejections_left == 0) continue;
+      deliver(st, cell, m);
+      src->pop();
+      --cell.fifo_msgs;
+      --ejections_left;
+      continue;
+    }
+
+    const Direction dir = route(cfg_.routing, cur, dst, occ);
+    assert(dir != Direction::kLocal);
+    const auto d = static_cast<std::size_t>(dir);
+    if (used_out[d]) continue;
+
+    const rt::Coord next = ccastream::sim::step(cur, dir);
+    assert(mesh_.contains(next));
+    const std::uint32_t next_idx = mesh_.index_of(next);
+    ComputeCell& neighbour = cells_[next_idx];
+    const auto port = static_cast<std::size_t>(opposite(dir));
+    // Room check against the neighbour's phase-start snapshot. This cell
+    // is the only writer of that port FIFO and used_out caps it at one
+    // push per cycle, so snapshot-room guarantees real room; pops by the
+    // owner during this phase only free additional space.
+    if (neighbour.in_size_snapshot[port] >= neighbour.router_in[port].capacity()) {
+      continue;
+    }
+
+    m.last_move_cycle = cycle_;
+    ++m.hops;
+    if (const std::uint32_t owner = layout_.owner(next_idx);
+        owner != st.index) {
+      auto& box = st.outbox[owner];
+      if (box.pushes.empty()) {
+        // First push to this destination this cycle: register as a
+        // producer so the destination's apply phase drains exactly the
+        // partitions with traffic (see PartitionState::inbox_producers).
+        PartitionState& dst_part = parts_[owner];
+        const std::uint32_t slot =
+            dst_part.inbox_count.v.fetch_add(1, std::memory_order_relaxed);
+        dst_part.inbox_producers[slot] = st.index;
+      }
+      box.pushes.push_back(
+          {next_idx, static_cast<std::uint8_t>(port), m});
+    } else {
+      neighbour.router_in[port].push(m);
+      ++neighbour.fifo_msgs;
+      if (engine_active_) mark_active(st, next_idx);
+    }
+    src->pop();
+    --cell.fifo_msgs;
+    used_out[d] = true;
+    ++st.stats.hops;
+  }
+  cell.arb_next = static_cast<std::uint8_t>((cell.arb_next + 1) % kSources);
+}
+
 void Chip::cycle_apply(PartitionState& st) {
-  // Inbound cross-partition pushes: every other partition's traffic that
-  // targets this partition's cells. Every port FIFO receives at most one
-  // message per cycle (single writer + used_out), so application order
-  // cannot matter; this consumer clears the producers' outboxes behind the
-  // phase barrier.
-  for (PartitionState& producer : parts_) {
-    if (producer.index == st.index) continue;
-    auto& inbox = producer.outbox[st.index].pushes;
+  // Inbound cross-partition pushes: drain exactly the producers that
+  // registered during route instead of scanning every partition's (mostly
+  // empty) outboxes — O(actual traffic), not O(partitions). Every port
+  // FIFO receives at most one message per cycle (single writer + used_out)
+  // so application order cannot matter; the sort still pins a reproducible
+  // drain order, since registration order depends on thread timing.
+  const std::uint32_t n = st.inbox_count.v.load(std::memory_order_relaxed);
+  if (n == 0) return;
+  std::sort(st.inbox_producers.begin(), st.inbox_producers.begin() + n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    auto& inbox = parts_[st.inbox_producers[i]].outbox[st.index].pushes;
     for (const PendingPush& p : inbox) {
-      cells_[p.target_cc].router_in[p.port].push(p.msg);
+      ComputeCell& cell = cells_[p.target_cc];
+      cell.router_in[p.port].push(p.msg);
+      ++cell.fifo_msgs;
+      if (engine_active_) mark_active(st, p.target_cc);
     }
     inbox.clear();
   }
+  st.inbox_count.v.store(0, std::memory_order_relaxed);
 }
 
 void Chip::cycle_io(PartitionState& st) {
@@ -438,6 +632,8 @@ void Chip::cycle_io(PartitionState& st) {
     m.birth_cycle = cycle_;
     m.last_move_cycle = cycle_;  // injection consumes this cycle's movement
     cc.io_in.push(m);
+    ++cc.fifo_msgs;
+    if (engine_active_) mark_active(st, ioc.attached_cc);
     ioc.pending.pop_front();
     ++st.stats.io_injections;
   }
@@ -445,58 +641,99 @@ void Chip::cycle_io(PartitionState& st) {
 
 void Chip::cycle_compute(PartitionState& st) {
   const bool tracing = trace_.enabled();
+
+  if (engine_active_) {
+    // Fold in the cells activated since the route phase began (same-
+    // partition router pushes, inbound applies, IO injections): the
+    // compute phase is exactly when the scan engine first observes them
+    // as live, so they must be visited — and counted — this cycle.
+    if (!st.incoming.empty()) {
+      std::sort(st.incoming.begin(), st.incoming.end());
+      const auto mid = static_cast<std::ptrdiff_t>(st.active.size());
+      st.active.insert(st.active.end(), st.incoming.begin(), st.incoming.end());
+      std::inplace_merge(st.active.begin(), st.active.begin() + mid,
+                         st.active.end());
+      st.incoming.clear();
+    }
+    st.cell_visits += st.active.size();
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < st.active.size(); ++i) {
+      const std::uint32_t idx = st.active[i];
+      if (compute_one(st, idx, tracing)) {
+        st.active[keep++] = idx;
+      } else {
+        ComputeCell& cell = cells_[idx];
+        cell.in_active_set = false;
+        // Leaving the set re-establishes the inactive-cell invariant: a
+        // neighbour's room/occupancy read of this cell next cycle must see
+        // the zeros a fresh latch of its (now empty) FIFOs would produce.
+        for (std::size_t d = 0; d < kMeshDirections; ++d) {
+          cell.in_size_snapshot[d] = 0;
+        }
+      }
+    }
+    st.active.resize(keep);
+    st.idle = st.active.empty();
+    return;
+  }
+
   st.idle = true;
-
+  st.cell_visits += st.rect.cells();
   for (std::uint32_t cy = st.rect.y0; cy < st.rect.y1; ++cy) {
-  for (std::uint32_t cx = st.rect.x0; cx < st.rect.x1; ++cx) {
-    const std::uint32_t idx = cy * cfg_.width + cx;
-    ComputeCell& cell = cells_[idx];
-    bool did_op = false;
-    if (cell.busy > 0) {
-      // Finishing the instruction cycles of the current action.
-      --cell.busy;
-      did_op = true;
-    } else if (!cell.staged.empty()) {
-      // Staging one created message into the network (one op).
-      if (cell.local_out.has_room()) {
-        cell.local_out.push(cell.staged.front());
-        cell.staged.pop_front();
-        ++st.stats.messages_staged;
-        did_op = true;
-      } else {
-        ++st.stats.stage_stalls;  // backpressure: network outport full
-      }
-    } else if (!cell.task_queue.empty()) {
-      const rt::Action a = cell.task_queue.front();
-      cell.task_queue.pop_front();
-      if (a.target.cc != cell.index() && !a.target.is_null()) {
-        // A drained future closure whose patched target lives elsewhere —
-        // the closure's body is a propagate (paper Listing 6 line 23-26),
-        // so running it converts the task into an outbound message.
-        Message m;
-        m.action = a;
-        m.src_cc = cell.index();
-        m.birth_cycle = cycle_;
-        cell.staged.push_back(m);  // stays outstanding as a message
-      } else {
-        execute_action(st, cell, a);
-      }
-      did_op = true;
-    } else if (!cell.action_queue.empty()) {
-      const rt::Action a = cell.action_queue.front();
-      cell.action_queue.pop_front();
-      execute_action(st, cell, a);
-      did_op = true;
+    for (std::uint32_t cx = st.rect.x0; cx < st.rect.x1; ++cx) {
+      if (compute_one(st, cy * cfg_.width + cx, tracing)) st.idle = false;
     }
+  }
+}
 
-    if (did_op) ++cell_load_[idx];
-    if (!cell.idle()) st.idle = false;
-    if (tracing) {
-      if (did_op) ++st.trace_active;
-      if (did_op || !cell.idle()) ++st.trace_live;
+bool Chip::compute_one(PartitionState& st, std::uint32_t idx, bool tracing) {
+  ComputeCell& cell = cells_[idx];
+  bool did_op = false;
+  if (cell.busy > 0) {
+    // Finishing the instruction cycles of the current action.
+    --cell.busy;
+    did_op = true;
+  } else if (!cell.staged.empty()) {
+    // Staging one created message into the network (one op).
+    if (cell.local_out.has_room()) {
+      cell.local_out.push(cell.staged.front());
+      ++cell.fifo_msgs;
+      cell.staged.pop_front();
+      ++st.stats.messages_staged;
+      did_op = true;
+    } else {
+      ++st.stats.stage_stalls;  // backpressure: network outport full
     }
+  } else if (!cell.task_queue.empty()) {
+    const rt::Action a = cell.task_queue.front();
+    cell.task_queue.pop_front();
+    if (a.target.cc != cell.index() && !a.target.is_null()) {
+      // A drained future closure whose patched target lives elsewhere —
+      // the closure's body is a propagate (paper Listing 6 line 23-26),
+      // so running it converts the task into an outbound message.
+      Message m;
+      m.action = a;
+      m.src_cc = cell.index();
+      m.birth_cycle = cycle_;
+      cell.staged.push_back(m);  // stays outstanding as a message
+    } else {
+      execute_action(st, cell, a);
+    }
+    did_op = true;
+  } else if (!cell.action_queue.empty()) {
+    const rt::Action a = cell.action_queue.front();
+    cell.action_queue.pop_front();
+    execute_action(st, cell, a);
+    did_op = true;
   }
+
+  if (did_op) ++cell_load_[idx];
+  const bool live = cell.has_work();
+  if (tracing) {
+    if (did_op) ++st.trace_active;
+    if (did_op || live) ++st.trace_live;
   }
+  return live;
 }
 
 void Chip::merge_partitions() {
@@ -511,6 +748,8 @@ void Chip::merge_partitions() {
     active += st.trace_active;
     live += st.trace_live;
     st.trace_active = st.trace_live = 0;
+    cell_visits_ += st.cell_visits;
+    st.cell_visits = 0;
     if (cfg_.profile_handlers && !st.profile.empty()) {
       if (handler_profile_.size() < st.profile.size()) {
         handler_profile_.resize(st.profile.size());

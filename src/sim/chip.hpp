@@ -14,10 +14,12 @@
 // action back to the requester.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -38,6 +40,36 @@
 #include "sim/trace.hpp"
 
 namespace ccastream::sim {
+
+/// Which cycle engine executes the chip. Both engines are cycle-for-cycle
+/// identical — same cycles, counters, energy, traces, results — for every
+/// workload, partition shape, and thread count; they differ only in host
+/// cost per simulated cycle.
+///
+///   * kScan   — the paper-literal engine: every phase walks every cell of
+///               every partition rectangle, costing O(width × height) per
+///               cycle regardless of how much of the mesh is doing
+///               anything. Kept as the in-tree oracle the active engine is
+///               pinned against.
+///   * kActive — the event-driven engine: each partition maintains a
+///               deterministic active-cell set (a cell is a member iff it
+///               has work — see ComputeCell::has_work), updated at every
+///               point work is created, and all phases iterate only active
+///               cells in ascending cell-index order. Per-cycle cost is
+///               O(active cells) — the win on sparse frontiers (see
+///               bench_active_set and the `cell_visits` metric).
+enum class EngineKind : std::uint8_t { kScan, kActive };
+
+[[nodiscard]] std::string_view to_string(EngineKind engine) noexcept;
+
+/// Parses "scan" or "active"; nullopt otherwise.
+[[nodiscard]] std::optional<EngineKind> parse_engine(std::string_view text);
+
+/// Resolves a chip's engine request: an explicit config wins, otherwise the
+/// CCASTREAM_ENGINE environment variable (ignored with a one-shot warning
+/// when unparsable), otherwise the scan engine.
+[[nodiscard]] EngineKind resolve_engine(
+    const std::optional<EngineKind>& requested);
 
 /// Static configuration of a chip instance.
 struct ChipConfig {
@@ -76,6 +108,17 @@ struct ChipConfig {
   /// a performance knob only: results are identical for every shape and
   /// rebalance schedule.
   std::optional<PartitionSpec> partition;
+  /// Cycle engine (see EngineKind). nullopt resolves from the
+  /// CCASTREAM_ENGINE environment variable, defaulting to the full-scan
+  /// engine. A performance knob only: both engines are cycle-for-cycle
+  /// identical.
+  std::optional<EngineKind> engine;
+  /// Rebalance hysteresis: a load-adaptive re-split is adopted only when it
+  /// improves the hottest band's (decayed) load by at least this many
+  /// percent, so oscillating workloads stop ping-ponging boundaries. 0
+  /// restores always-adopt. Another performance knob: the rebalance
+  /// schedule never changes results.
+  std::uint32_t rebalance_min_gain_pct = 5;
 };
 
 /// Resolves a requested thread count: 0 reads CCASTREAM_THREADS (default 1).
@@ -191,6 +234,32 @@ class Chip {
     return handler_profile_;
   }
 
+  /// The resolved cycle engine of this chip instance (config, else
+  /// CCASTREAM_ENGINE, else scan).
+  [[nodiscard]] EngineKind engine() const noexcept { return engine_; }
+
+  /// Cells visited by the per-cell phase loops (snapshot + route +
+  /// compute) over the whole run — the cost metric the engines differ in.
+  /// The scan engine visits 3 × width × height cells per cycle; the
+  /// active-set engine visits 3 × |active set|. Simulated results are
+  /// engine-invariant; this counter is deliberately *outside* ChipStats so
+  /// stats comparisons stay engine-agnostic.
+  [[nodiscard]] std::uint64_t cell_visits() const noexcept {
+    return cell_visits_;
+  }
+
+  /// Live cells across all partitions right now (scan engine: recomputed;
+  /// active engine: the summed active-set sizes).
+  [[nodiscard]] std::uint64_t active_cells() const noexcept;
+
+  /// Barrier arrivals performed by the worker pool so far (0 on
+  /// single-partition chips). Together with cell_visits() this exposes the
+  /// active engine's sparse fast path: cycles run serially perform no
+  /// barrier arrivals at all.
+  [[nodiscard]] std::uint64_t barrier_syncs() const noexcept {
+    return pool_ ? pool_->syncs() : 0;
+  }
+
   /// Resolved worker count of this chip instance (one worker per
   /// partition).
   [[nodiscard]] std::uint32_t threads() const noexcept { return num_parts_; }
@@ -257,6 +326,47 @@ class Chip {
       std::vector<PendingPush> pushes;
     };
     std::vector<Outbox> outbox;
+
+    // --- Active-set engine state (EngineKind::kActive only) ---------------
+    /// The partition's live cells, ascending cell index. Invariant between
+    /// cycles: exactly the owned cells for which ComputeCell::has_work()
+    /// holds (each flagged via ComputeCell::in_active_set). All four phases
+    /// iterate this instead of the rectangle.
+    std::vector<std::uint32_t> active;
+    /// Cells of this partition activated mid-cycle (router pushes, inbound
+    /// cross-partition traffic, IO injection); merged — sorted — into
+    /// `active` at the start of the compute phase, which is exactly when
+    /// the scan engine would first observe them as live.
+    std::vector<std::uint32_t> incoming;
+    /// Cells visited by the per-cell phase loops this cycle (snapshot +
+    /// route + compute); merged into Chip::cell_visits_. The perf currency
+    /// of the engine comparison: scan visits 3 × width × height per cycle,
+    /// active visits 3 × |active set|.
+    std::uint64_t cell_visits = 0;
+
+    // --- Cross-partition traffic registration (both engines) --------------
+    /// Producers that pushed into this partition's inbox (their
+    /// `outbox[this]`) during the route phase, registered on first push.
+    /// The apply phase drains exactly `inbox_producers[0..inbox_count)`
+    /// instead of scanning every partition's (mostly empty) outboxes, so
+    /// application cost is proportional to actual cross-partition traffic.
+    /// Slot reservation via fetch_add; the route barrier publishes the
+    /// slot contents before the consumer reads them.
+    std::vector<std::uint32_t> inbox_producers;
+    /// Producer count this cycle. Wrapped so PartitionState stays movable
+    /// (construction-time only; the atomic itself is never moved mid-run).
+    struct MovableAtomicU32 {
+      std::atomic<std::uint32_t> v{0};
+      MovableAtomicU32() = default;
+      MovableAtomicU32(MovableAtomicU32&& o) noexcept
+          : v(o.v.load(std::memory_order_relaxed)) {}
+      MovableAtomicU32& operator=(MovableAtomicU32&& o) noexcept {
+        v.store(o.v.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+        return *this;
+      }
+    };
+    MovableAtomicU32 inbox_count;
   };
 
   /// The cycle engine: runs up to `max_cycles` cycles (optionally stopping
@@ -270,7 +380,11 @@ class Chip {
   /// per-cycle accumulator is drained.
   void apply_layout();
 
-  // Per-partition cycle phases (worker-thread side).
+  // Per-partition cycle phases (worker-thread side). Each dispatches on
+  // the engine: the scan paths walk the partition rectangle, the active
+  // paths walk the active set — over the *same* shared per-cell bodies
+  // (snapshot_cell/route_cell/compute_one), which is what makes the two
+  // engines trivially cycle-identical.
   void cycle_snapshot(PartitionState& st);
   void cycle_route(PartitionState& st);
   void cycle_apply(PartitionState& st);
@@ -280,6 +394,37 @@ class Chip {
   void merge_partitions();
   /// Quiescence from the partition idle flags of the cycle just merged.
   [[nodiscard]] bool partitions_quiescent() const noexcept;
+
+  // Shared per-cell phase bodies.
+  void route_cell(PartitionState& st, std::uint32_t idx, bool adaptive);
+  /// One compute-phase visit; returns whether the cell still has work
+  /// (drives both the idle flag and active-set retention).
+  bool compute_one(PartitionState& st, std::uint32_t idx, bool tracing);
+
+  /// One serial cycle over all partitions, phase-major (all snapshots,
+  /// then all routes, then apply/io/compute, then the merge) — exactly the
+  /// barrier schedule without the barriers. The sparse fast path of the
+  /// parallel engine and the whole of the single-partition engine.
+  void serial_cycle();
+
+  // --- Active-set maintenance (engine_active_ only) ------------------------
+  /// In-cycle activation: flags `idx` (owned by `st`) and queues it on
+  /// `st.incoming` for the pre-compute merge. Called at every point work
+  /// is created: same-partition router pushes, inbound cross-partition
+  /// applies, IO injection.
+  void mark_active(PartitionState& st, std::uint32_t idx) {
+    ComputeCell& cell = cells_[idx];
+    if (!cell.in_active_set) {
+      cell.in_active_set = true;
+      st.incoming.push_back(idx);
+    }
+  }
+  /// Host-side activation (between cycles): inserts straight into the
+  /// owning partition's sorted active list. Used by the injection APIs.
+  void activate_cell(std::uint32_t idx);
+  /// Rebuilds every partition's active list from the per-cell flags after
+  /// a layout change (construction, rebalancing). Between cycles only.
+  void rebuild_active_sets();
 
   void execute_action(PartitionState& st, ComputeCell& cell, const rt::Action& action);
   void deliver(PartitionState& st, ComputeCell& cell, const Message& msg);
@@ -300,6 +445,16 @@ class Chip {
   std::uint64_t cycle_ = 0;
   std::vector<std::uint64_t> cell_load_;
   std::vector<HandlerProfile> handler_profile_;
+  std::uint64_t cell_visits_ = 0;
+  EngineKind engine_ = EngineKind::kScan;
+  /// engine_ == kActive, hoisted: checked on several per-cell hot paths.
+  bool engine_active_ = false;
+  /// Rebalance hysteresis state: cell_load_ snapshot at the last rebalance
+  /// call, and the exponentially decayed per-cell load window fed to the
+  /// quantile splitter (old increments lose half their weight per call, so
+  /// the split tracks *recent* load instead of all of history).
+  std::vector<std::uint64_t> load_at_rebalance_;
+  std::vector<std::uint64_t> load_window_;
   /// Actions created but whose handler has not yet finished executing.
   /// Includes actions still queued in IO cells. Zero is necessary (not
   /// sufficient — cells may still be in busy residue) for quiescence.

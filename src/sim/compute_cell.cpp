@@ -1,16 +1,17 @@
 #include "sim/compute_cell.hpp"
 
+#include <cassert>
+
 namespace ccastream::sim {
 
 bool ComputeCell::idle() const noexcept {
-  if (busy > 0 || !staged.empty() || !local_out.empty() || !io_in.empty()) {
-    return false;
-  }
-  if (!task_queue.empty() || !action_queue.empty()) return false;
-  for (const auto& f : router_in) {
-    if (!f.empty()) return false;
-  }
-  return true;
+  // The cached counter stands in for walking all six FIFOs; the Chip
+  // updates it at every push/pop site, and debug builds cross-check it
+  // against the containers here — the one place every engine path funnels
+  // through.
+  assert(fifo_msgs == router_occupancy());
+  return busy == 0 && fifo_msgs == 0 && staged.empty() && task_queue.empty() &&
+         action_queue.empty();
 }
 
 std::uint32_t ComputeCell::router_occupancy() const noexcept {

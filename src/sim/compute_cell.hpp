@@ -40,8 +40,17 @@ class ComputeCell {
   [[nodiscard]] std::uint32_t index() const noexcept { return index_; }
 
   /// True when the cell holds no work of any kind — the per-cell component
-  /// of global quiescence.
+  /// of global quiescence. O(1): queue emptiness plus the cached FIFO
+  /// occupancy counter (`fifo_msgs`), so the active-set engine can
+  /// re-evaluate it for every live cell every cycle.
   [[nodiscard]] bool idle() const noexcept;
+
+  /// The activity predicate of the event-driven engine: a cell belongs in
+  /// its partition's active set iff it has work — it is busy, or any of
+  /// `action_queue`/`task_queue`/`staged`/`local_out`/`io_in`/`router_in`
+  /// is non-empty. Exactly `!idle()`, named for the call sites that reason
+  /// about set membership.
+  [[nodiscard]] bool has_work() const noexcept { return !idle(); }
 
   /// Messages currently buffered in this cell's router (all six inputs:
   /// four neighbour ports, the IO port, and locally staged traffic).
@@ -77,10 +86,22 @@ class ComputeCell {
   /// the mesh partitioning (stripes or tiles) of the parallel engine.
   std::uint32_t in_size_snapshot[kMeshDirections] = {0, 0, 0, 0};
 
+  /// Cached occupancy: messages currently held across all six FIFOs
+  /// (`router_in[4]`, `io_in`, `local_out`). The Chip maintains it at every
+  /// push/pop site, making `idle()` a constant-count check instead of six
+  /// container walks — the activity predicate runs once per live cell per
+  /// cycle under the active-set engine. `router_occupancy()` recomputes
+  /// from the containers and asserts agreement in debug builds.
+  std::uint32_t fifo_msgs = 0;
+
   // --- Misc ---------------------------------------------------------------
   rt::Xoshiro256 rng;
   /// Round-robin pointer for router input arbitration fairness.
   std::uint8_t arb_next = 0;
+  /// Membership flag of the event-driven engine's per-partition active
+  /// set (see Chip::PartitionState::active). Written only by the owning
+  /// partition's worker; meaningless (always false) under the scan engine.
+  bool in_active_set = false;
 
  private:
   std::uint32_t index_;

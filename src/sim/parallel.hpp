@@ -7,8 +7,16 @@
 // internally, using sync() as the phase barrier shared by all partition
 // threads — dispatching once per run (instead of once per phase) keeps the
 // per-cycle synchronisation down to futex-backed barrier waits.
+//
+// The active-set engine adds a sparse fast path on top: when a cycle has
+// almost no live cells, Chip::run_cycles ends the pooled batch and executes
+// cycles phase-major on the calling thread, re-dispatching the pool only
+// when the frontier widens again. The syncs() counter makes that mode
+// switch observable (a serially executed cycle performs zero barrier
+// arrivals).
 #pragma once
 
+#include <atomic>
 #include <barrier>
 #include <condition_variable>
 #include <cstdint>
@@ -35,13 +43,25 @@ class PartitionPool {
   void run(const std::function<void(std::uint32_t)>& job);
 
   /// Phase barrier: blocks until every partition thread has arrived.
-  void sync() { barrier_.arrive_and_wait(); }
+  void sync() {
+    syncs_.fetch_add(1, std::memory_order_relaxed);
+    barrier_.arrive_and_wait();
+  }
+
+  /// Barrier arrivals over the pool's lifetime, summed across all threads
+  /// — telemetry for the engine's sparse fast path (cycles executed on the
+  /// calling thread bypass the pool entirely, so sparse runs show far
+  /// fewer arrivals than 4 × threads × cycles).
+  [[nodiscard]] std::uint64_t syncs() const noexcept {
+    return syncs_.load(std::memory_order_relaxed);
+  }
 
  private:
   void worker_loop(std::uint32_t partition);
 
   std::uint32_t workers_;
   std::barrier<> barrier_;
+  std::atomic<std::uint64_t> syncs_{0};
   std::mutex m_;
   std::condition_variable cv_start_;
   std::condition_variable cv_done_;

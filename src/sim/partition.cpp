@@ -66,6 +66,34 @@ void choose_tile_grid(std::uint32_t width, std::uint32_t height,
   }
 }
 
+/// The hottest band's cumulative load under `bounds` (a parts+1 boundary
+/// vector over `bins`) — the quantity rebalancing exists to minimise.
+std::uint64_t max_band_load(const std::vector<std::uint64_t>& bins,
+                            const std::vector<std::uint32_t>& bounds) {
+  std::uint64_t worst = 0;
+  for (std::size_t s = 0; s + 1 < bounds.size(); ++s) {
+    std::uint64_t band = 0;
+    for (std::uint32_t i = bounds[s]; i < bounds[s + 1]; ++i) band += bins[i];
+    worst = std::max(worst, band);
+  }
+  return worst;
+}
+
+/// Hysteresis gate: adopt `candidate` over `current` only when it shrinks
+/// the hottest band by at least `min_gain_pct` percent. 128-bit products
+/// keep the comparison exact for any run length.
+bool improves_enough(const std::vector<std::uint64_t>& bins,
+                     const std::vector<std::uint32_t>& current,
+                     const std::vector<std::uint32_t>& candidate,
+                     std::uint32_t min_gain_pct) {
+  if (min_gain_pct == 0) return true;
+  const std::uint64_t cur = max_band_load(bins, current);
+  const std::uint64_t cand = max_band_load(bins, candidate);
+  const std::uint32_t keep = 100 - std::min<std::uint32_t>(min_gain_pct, 100);
+  return static_cast<unsigned __int128>(cand) * 100 <=
+         static_cast<unsigned __int128>(cur) * keep;
+}
+
 }  // namespace
 
 std::string_view to_string(PartitionShape shape) noexcept {
@@ -249,7 +277,8 @@ std::vector<std::uint32_t> PartitionLayout::y_boundaries() const {
 }
 
 PartitionLayout PartitionLayout::rebalanced(
-    const std::vector<std::uint64_t>& cell_load) const {
+    const std::vector<std::uint64_t>& cell_load,
+    std::uint32_t min_gain_pct) const {
   assert(cell_load.size() == static_cast<std::size_t>(width_) * height_);
   std::vector<std::uint32_t> xb = uniform_boundaries(width_, grid_x_);
   std::vector<std::uint32_t> yb = uniform_boundaries(height_, grid_y_);
@@ -261,6 +290,9 @@ PartitionLayout PartitionLayout::rebalanced(
       }
     }
     yb = balanced_boundaries(row_load, grid_y_);
+    if (!improves_enough(row_load, y_boundaries(), yb, min_gain_pct)) {
+      yb = y_boundaries();  // marginal gain: keep the current split
+    }
   }
   if (grid_x_ > 1) {
     std::vector<std::uint64_t> col_load(width_, 0);
@@ -270,6 +302,9 @@ PartitionLayout PartitionLayout::rebalanced(
       }
     }
     xb = balanced_boundaries(col_load, grid_x_);
+    if (!improves_enough(col_load, x_boundaries(), xb, min_gain_pct)) {
+      xb = x_boundaries();  // marginal gain: keep the current split
+    }
   }
   // Skip the rect/owner-table rebuild when the split did not move — the
   // common steady-state case for a chip rebalancing every increment.

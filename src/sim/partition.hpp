@@ -105,8 +105,16 @@ class PartitionLayout {
   /// axis; tiles balance both axes independently). Every band keeps at
   /// least one row/column. A zero histogram yields the uniform layout.
   /// `cell_load` is indexed `y * width + x` and must cover the mesh.
+  ///
+  /// `min_gain_pct` adds hysteresis: a candidate split replaces an axis's
+  /// current boundaries only when it shrinks that axis's hottest band load
+  /// by at least that many percent, so marginal quantile wobble — the
+  /// signature of an oscillating workload — no longer ping-pongs the
+  /// boundaries (and thereby the IO-cell and worker assignments) every
+  /// increment. 0 keeps the historic always-adopt behaviour.
   [[nodiscard]] PartitionLayout rebalanced(
-      const std::vector<std::uint64_t>& cell_load) const;
+      const std::vector<std::uint64_t>& cell_load,
+      std::uint32_t min_gain_pct = 0) const;
 
   [[nodiscard]] std::uint32_t parts() const noexcept {
     return static_cast<std::uint32_t>(rects_.size());

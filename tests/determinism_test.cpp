@@ -188,15 +188,20 @@ TEST(Determinism, ExplicitTileGridIsCycleIdenticalToSerial) {
 
 // Congestion is where order-dependence would hide: shallow FIFOs and a
 // single ejection per cycle force sustained backpressure (stage stalls,
-// full router ports), yet the snapshot protocol must still be exact.
+// full router ports), yet the snapshot protocol must still be exact — for
+// every thread count AND both cycle engines (the active-set engine must
+// track full router ports precisely, or a stale room snapshot would skew
+// the hop counters here first).
 TEST(Determinism, HeavyCongestionIsCycleIdenticalAcrossThreadCounts) {
-  auto run = [](std::uint32_t threads) {
+  auto run = [](std::uint32_t threads,
+                sim::EngineKind engine = sim::EngineKind::kScan) {
     sim::ChipConfig cfg;
     cfg.width = 8;
     cfg.height = 8;
     cfg.fifo_depth = 2;
     cfg.ejections_per_cycle = 1;
     cfg.threads = threads;
+    cfg.engine = engine;
     cfg.seed = 77;
     sim::Chip chip(cfg);
     graph::GraphProtocol proto(chip);
@@ -219,6 +224,10 @@ TEST(Determinism, HeavyCongestionIsCycleIdenticalAcrossThreadCounts) {
     SCOPED_TRACE("threads = " + std::to_string(threads));
     EXPECT_EQ(run(threads), serial);
   }
+  for (const std::uint32_t threads : {1u, 2u, 4u, 7u}) {
+    SCOPED_TRACE("engine = active, threads = " + std::to_string(threads));
+    EXPECT_EQ(run(threads, sim::EngineKind::kActive), serial);
+  }
 }
 
 // Repeated runs at the same thread count are identical too (no hidden
@@ -230,11 +239,15 @@ TEST(Determinism, RepeatedParallelRunsAreIdentical) {
 }
 
 // step()-wise execution matches run_until_quiescent: the engine has no
-// batching artefacts across dispatch granularity.
+// batching artefacts across dispatch granularity — and neither has the
+// active-set engine, whose sparse fast path flips between pooled and
+// serial cycle execution at exactly this boundary.
 TEST(Determinism, SingleSteppingMatchesBatchedRun) {
-  auto make_chip = [](std::uint32_t threads) {
+  auto make_chip = [](std::uint32_t threads,
+                      sim::EngineKind engine = sim::EngineKind::kScan) {
     sim::ChipConfig cfg = test::small_chip_config();
     cfg.threads = threads;
+    cfg.engine = engine;
     return cfg;
   };
   auto seed_work = [](sim::Chip& chip) {
@@ -263,6 +276,62 @@ TEST(Determinism, SingleSteppingMatchesBatchedRun) {
   }
   EXPECT_EQ(stepped_cycles, cycles);
   EXPECT_EQ(stepped.stats(), batched.stats());
+
+  // The same scenario under the active-set engine, stepped AND batched,
+  // must land on the identical cycle count and counter block.
+  sim::Chip active_batched(make_chip(2, sim::EngineKind::kActive));
+  seed_work(active_batched);
+  EXPECT_EQ(active_batched.run_until_quiescent(), cycles);
+  EXPECT_EQ(active_batched.stats(), batched.stats());
+
+  sim::Chip active_stepped(make_chip(2, sim::EngineKind::kActive));
+  seed_work(active_stepped);
+  std::uint64_t active_cycles = 0;
+  while (!active_stepped.quiescent()) {
+    active_stepped.step();
+    ++active_cycles;
+  }
+  EXPECT_EQ(active_cycles, cycles);
+  EXPECT_EQ(active_stepped.stats(), batched.stats());
+}
+
+// The idle-cycle regression of the active-set engine: a chip with zero
+// injected work is quiescent from construction, quiesces in O(1) cycles
+// (run_until_quiescent runs none at all), and forced idle steps visit no
+// cells whatsoever — while the scan engine pays the full mesh walk for the
+// same nothing.
+TEST(Determinism, IdleChipQuiescesImmediatelyUnderBothEngines) {
+  for (const sim::EngineKind engine :
+       {sim::EngineKind::kScan, sim::EngineKind::kActive}) {
+    for (const std::uint32_t threads : {1u, 4u}) {
+      SCOPED_TRACE(std::string("engine = ") +
+                   std::string(sim::to_string(engine)) +
+                   ", threads = " + std::to_string(threads));
+      sim::ChipConfig cfg = test::small_chip_config();  // 8x8
+      cfg.threads = threads;
+      cfg.engine = engine;
+      sim::Chip chip(cfg);
+      EXPECT_TRUE(chip.quiescent());
+      EXPECT_EQ(chip.run_until_quiescent(1'000), 0u);
+      EXPECT_EQ(chip.stats().cycles, 0u);
+      EXPECT_EQ(chip.cell_visits(), 0u);
+
+      chip.step();
+      chip.step();
+      EXPECT_EQ(chip.stats().cycles, 2u);
+      EXPECT_TRUE(chip.quiescent());
+      if (engine == sim::EngineKind::kActive) {
+        // O(active cells) with zero active cells: no visits at all — and
+        // the sparse fast path keeps even the pooled chip off its
+        // barriers.
+        EXPECT_EQ(chip.cell_visits(), 0u);
+        EXPECT_EQ(chip.barrier_syncs(), 0u);
+      } else {
+        // The scan engine's cost floor: 3 full-mesh walks per cycle.
+        EXPECT_EQ(chip.cell_visits(), 2u * 3u * 64u);
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -1,0 +1,178 @@
+// The event-driven engine's headline guarantee: the active-set engine is
+// cycle-for-cycle identical to the full-scan oracle — same cycle count,
+// same complete ChipStats counter block, same energy, same activation
+// trace, same per-vertex results — across the engine × partition shape ×
+// thread count × io_sides matrix, while visiting strictly fewer cells per
+// cycle whenever the mesh is not saturated. Shallow FIFOs and a single
+// ejection per cycle keep the mesh congested, where a set-maintenance bug
+// (a cell activated late, a stale snapshot latch) would surface as a
+// divergent counter.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "test_util.hpp"
+
+namespace ccastream {
+namespace {
+
+using sim::EngineKind;
+
+/// Minimal arena object used as a diffusion target.
+class Blob final : public rt::ArenaObject {
+ public:
+  [[nodiscard]] std::size_t logical_bytes() const noexcept override { return 16; }
+};
+
+struct EngineResult {
+  std::uint64_t cycles = 0;
+  sim::ChipStats stats;
+  double energy_pj = 0.0;
+  std::vector<rt::Word> levels;  ///< Per-vertex BFS output.
+  std::vector<sim::ActivationTrace::Sample> trace;
+  std::uint64_t cell_visits = 0;  ///< Engine-dependent by design.
+};
+
+/// Everything that must be engine-invariant (cell_visits deliberately
+/// excluded — it is the one number the engines are allowed to differ in).
+void expect_equivalent(const EngineResult& active, const EngineResult& scan) {
+  EXPECT_EQ(active.cycles, scan.cycles);
+  EXPECT_EQ(active.stats, scan.stats);  // every ChipStats counter
+  EXPECT_EQ(active.energy_pj, scan.energy_pj);
+  EXPECT_EQ(active.levels, scan.levels);
+  ASSERT_EQ(active.trace.size(), scan.trace.size());
+  for (std::size_t i = 0; i < active.trace.size(); ++i) {
+    EXPECT_EQ(active.trace[i].active, scan.trace[i].active) << "cycle " << i;
+    EXPECT_EQ(active.trace[i].live, scan.trace[i].live) << "cycle " << i;
+  }
+}
+
+EngineResult run_bfs(EngineKind engine, const char* partition,
+                     std::uint32_t threads, std::uint8_t io_sides) {
+  sim::ChipConfig cfg;
+  cfg.width = 12;
+  cfg.height = 12;
+  cfg.fifo_depth = 2;
+  cfg.ejections_per_cycle = 1;
+  cfg.io_sides = io_sides;
+  cfg.threads = threads;
+  cfg.partition = *sim::PartitionSpec::parse(partition);
+  cfg.engine = engine;
+  cfg.record_activation = true;
+  cfg.seed = 99;
+  sim::Chip chip(cfg);
+  EXPECT_EQ(chip.engine(), engine);
+
+  graph::GraphProtocol proto(chip);
+  apps::StreamingBfs bfs(proto);
+  bfs.install();
+  graph::GraphConfig gc;
+  gc.num_vertices = 240;
+  gc.root_init = apps::StreamingBfs::initial_state();
+  graph::StreamingGraph g(proto, gc);
+  bfs.set_source(g, 0);
+  const auto sched = wl::make_graphchallenge_like(240, 4'000,
+                                                  wl::SamplingKind::kEdge,
+                                                  /*increments=*/3, 99);
+  for (const auto& inc : sched.increments) g.stream_increment(inc);
+  EXPECT_TRUE(chip.quiescent());
+
+  EngineResult r;
+  r.cycles = chip.stats().cycles;
+  r.stats = chip.stats();
+  r.energy_pj = chip.energy_pj();
+  for (std::uint64_t v = 0; v < 240; ++v) r.levels.push_back(bfs.level_of(g, v));
+  r.trace = chip.activation().samples();
+  r.cell_visits = chip.cell_visits();
+  return r;
+}
+
+// The acceptance matrix: engine × {rows, cols, tiles+rebalance} ×
+// {1, 2, 4} threads × {north/south, west/east} IO, every cell compared
+// against the scan-serial oracle of its io_sides group.
+TEST(EngineEquivalence, MatrixIsCycleIdenticalToScanOracle) {
+  for (const std::uint8_t io_sides :
+       {static_cast<std::uint8_t>(sim::kIoNorth | sim::kIoSouth),
+        static_cast<std::uint8_t>(sim::kIoWest | sim::kIoEast)}) {
+    SCOPED_TRACE("io_sides = " + std::to_string(io_sides));
+    const EngineResult oracle =
+        run_bfs(EngineKind::kScan, "rows", 1, io_sides);
+    ASSERT_GT(oracle.cycles, 0u);
+    ASSERT_GT(oracle.stats.stage_stalls, 0u) << "config failed to congest";
+
+    for (const char* partition : {"rows", "cols", "tiles+rebalance"}) {
+      for (const std::uint32_t threads : {1u, 2u, 4u}) {
+        for (const EngineKind engine :
+             {EngineKind::kScan, EngineKind::kActive}) {
+          SCOPED_TRACE(std::string("partition = ") + partition +
+                       ", threads = " + std::to_string(threads) +
+                       ", engine = " + std::string(sim::to_string(engine)));
+          const EngineResult r = run_bfs(engine, partition, threads, io_sides);
+          expect_equivalent(r, oracle);
+          if (engine == EngineKind::kActive) {
+            // The refactor's point: the same simulation, fewer visits.
+            EXPECT_LT(r.cell_visits, oracle.cell_visits);
+          } else {
+            EXPECT_EQ(r.cell_visits, oracle.cell_visits)
+                << "scan visits every cell every cycle, whatever the shape";
+          }
+        }
+      }
+    }
+  }
+}
+
+// Host-side injection paths (inject_local seeding, inject_via network
+// entry, io_enqueue) all feed the active set correctly: a diffusion seeded
+// through each path must match the scan engine exactly. This is the
+// step()-driven variant, so engine switching inside step() is covered too.
+TEST(EngineEquivalence, AllInjectionPathsMatchUnderStepping) {
+  auto run = [](EngineKind engine) {
+    sim::ChipConfig cfg = test::small_chip_config();
+    cfg.threads = 2;
+    cfg.engine = engine;
+    sim::Chip chip(cfg);
+    const auto tgt = *chip.host_allocate(17, std::make_unique<Blob>());
+    const rt::HandlerId fan = chip.handlers().register_handler(
+        "fan", [tgt](rt::Context& ctx, const rt::Action& a) {
+          if (a.args[0] > 0) {
+            for (int i = 0; i < 3; ++i) {
+              ctx.propagate(rt::make_action(a.handler, tgt, a.args[0] - 1));
+            }
+          }
+        });
+    chip.inject_local(rt::make_action(fan, tgt, rt::Word{4}));
+    chip.inject_via(0, rt::make_action(fan, tgt, rt::Word{3}));
+    chip.io_enqueue(rt::make_action(fan, tgt, rt::Word{2}));
+    std::uint64_t steps = 0;
+    while (!chip.quiescent() && steps < 100'000) {
+      chip.step();
+      ++steps;
+    }
+    EXPECT_TRUE(chip.quiescent());
+    return std::pair{steps, chip.stats()};
+  };
+  const auto [scan_steps, scan_stats] = run(EngineKind::kScan);
+  const auto [active_steps, active_stats] = run(EngineKind::kActive);
+  EXPECT_EQ(active_steps, scan_steps);
+  EXPECT_EQ(active_stats, scan_stats);
+}
+
+// CCASTREAM_ENGINE grammar: explicit config wins, parse round-trips, and
+// garbage is rejected.
+TEST(EngineEquivalence, EngineSpecParsesAndResolves) {
+  EXPECT_EQ(sim::parse_engine("scan"), EngineKind::kScan);
+  EXPECT_EQ(sim::parse_engine("active"), EngineKind::kActive);
+  for (const char* bad : {"", "Active", "scan ", "fast", "event"}) {
+    EXPECT_FALSE(sim::parse_engine(bad).has_value()) << bad;
+  }
+  EXPECT_EQ(sim::to_string(EngineKind::kScan), "scan");
+  EXPECT_EQ(sim::to_string(EngineKind::kActive), "active");
+  EXPECT_EQ(sim::resolve_engine(EngineKind::kActive), EngineKind::kActive);
+  EXPECT_EQ(sim::resolve_engine(EngineKind::kScan), EngineKind::kScan);
+}
+
+}  // namespace
+}  // namespace ccastream

@@ -277,13 +277,38 @@ TEST(JsonReporter, AppendsParseableRecordsToEnvNamedFile) {
   // (e.g. CI's thread and partition matrices).
   const std::uint64_t backend = ccastream::sim::resolve_threads(0);
   const std::string partition = ccastream::sim::resolve_partition({}).to_string();
+  const std::string engine{
+      ccastream::sim::to_string(ccastream::sim::resolve_engine({}))};
   EXPECT_EQ(records[0], (bench::BenchRecord{"bench_alpha", "2K(tiny)", 1000,
                                             1.5, "tiny", backend, 0.0,
-                                            partition}));
+                                            partition, engine}));
   EXPECT_EQ(records[1], (bench::BenchRecord{"bench_beta", "8K(tiny)", 2000,
                                             2.5, "tiny", backend, 0.0,
-                                            partition}));
+                                            partition, engine}));
   std::remove(path.c_str());
+}
+
+TEST(JsonRecord, EngineAndCellVisitsRoundTrip) {
+  bench::BenchRecord r{"b", "64x64", 100, 2.5, "tiny", /*threads=*/4};
+  r.engine = "active";
+  r.cell_visits = 123'456;
+  const std::string line = bench::format_record(r);
+  EXPECT_NE(line.find("\"engine\":\"active\""), std::string::npos);
+  EXPECT_NE(line.find("\"cell_visits\":123456"), std::string::npos);
+  const auto parsed = bench::parse_record(line);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, r);
+
+  // Unmeasured visit counts are omitted, and legacy lines (no engine
+  // field) were all measured on the scan engine.
+  const bench::BenchRecord bare{"b", "d", 1, 1.0, "tiny"};
+  EXPECT_EQ(bench::format_record(bare).find("cell_visits"), std::string::npos);
+  const auto legacy = bench::parse_record(
+      "{\"bench\":\"b\",\"dataset\":\"d\",\"cycles\":5,"
+      "\"energy_uj\":1.0,\"scale\":\"tiny\"}");
+  ASSERT_TRUE(legacy.has_value());
+  EXPECT_EQ(legacy->engine, "scan");
+  EXPECT_EQ(legacy->cell_visits, 0u);
 }
 
 }  // namespace

@@ -28,6 +28,7 @@ struct Instance {
   wl::SamplingKind sampling = wl::SamplingKind::kEdge;
   int app = 0;  // 0 = bfs, 1 = sssp, 2 = components
   sim::PartitionSpec partition;
+  sim::EngineKind engine = sim::EngineKind::kScan;
 
   [[nodiscard]] std::string describe() const {
     return "replay seed=" + std::to_string(seed) +
@@ -40,7 +41,8 @@ struct Instance {
            " edge_capacity=" + std::to_string(edge_capacity) +
            " sampling=" + std::string(wl::to_string(sampling)) +
            " app=" + (app == 0 ? "bfs" : app == 1 ? "sssp" : "components") +
-           " partition=" + partition.to_string();
+           " partition=" + partition.to_string() +
+           " engine=" + std::string(sim::to_string(engine));
   }
 };
 
@@ -64,6 +66,11 @@ Instance make_instance(std::uint64_t seed) {
   // every field above.
   in.partition.shape = static_cast<sim::PartitionShape>(rng.below(3));
   in.partition.rebalance = rng.bernoulli(0.5);
+  // Engine draw follows the same append-only rule: half the instances run
+  // the event-driven active-set engine, half the full-scan oracle, so any
+  // set-maintenance divergence shows up against base:: references too.
+  in.engine = rng.bernoulli(0.5) ? sim::EngineKind::kActive
+                                 : sim::EngineKind::kScan;
   return in;
 }
 
@@ -105,6 +112,7 @@ void run_instance(const Instance& in) {
   cfg.height = in.mesh_dim;
   cfg.threads = in.threads;
   cfg.partition = in.partition;
+  cfg.engine = in.engine;
   cfg.seed = in.seed;
   sim::Chip chip(cfg);
   graph::RpvoConfig rc;

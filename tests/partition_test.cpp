@@ -249,6 +249,52 @@ TEST(PartitionLayout, TileRebalanceBalancesBothAxesIndependently) {
   EXPECT_EQ(balanced.rect(0), (PartRect{0, 1, 0, 1}));
 }
 
+// Hysteresis: the ROADMAP's oscillating-workload scenario. A hot row that
+// wobbles between two adjacent positions makes the plain quantile split
+// flip the boundary every call even though neither split is better — the
+// ping-pong a minimum-improvement threshold exists to stop.
+TEST(PartitionLayout, RebalanceHysteresisStopsMarginalPingPong) {
+  const auto uniform = PartitionLayout::build({}, 8, 8, 2);  // 2 row stripes
+  auto hot_row = [](std::uint32_t row) {
+    std::vector<std::uint64_t> load(64, 1);
+    for (std::uint32_t x = 0; x < 8; ++x) load[row * 8 + x] = 1000;
+    return load;
+  };
+  // Settle on the split for a hot row 2 (boundary right behind it).
+  const auto settled = uniform.rebalanced(hot_row(2));
+  expect_valid(settled);
+  ASSERT_NE(settled, uniform);
+
+  // The hot row wobbles to 3: the quantile boundary wants to chase it even
+  // though the hottest band barely changes (it contains the hot row either
+  // way). Without hysteresis the layout flips…
+  const auto chased = settled.rebalanced(hot_row(3), /*min_gain_pct=*/0);
+  EXPECT_NE(chased, settled) << "test premise: plain quantiles ping-pong";
+  // …and flips straight back on the next wobble: a genuine oscillation.
+  EXPECT_EQ(chased.rebalanced(hot_row(2), 0), settled);
+
+  // With the threshold the marginal move is rejected, in both directions.
+  EXPECT_EQ(settled.rebalanced(hot_row(3), /*min_gain_pct=*/5), settled);
+  EXPECT_EQ(chased.rebalanced(hot_row(2), /*min_gain_pct=*/5), chased);
+}
+
+// The threshold must not block genuine improvements: a load shift that
+// clearly shrinks the hottest band still moves the boundaries.
+TEST(PartitionLayout, RebalanceHysteresisStillAdoptsRealGains) {
+  const auto uniform = PartitionLayout::build({}, 8, 8, 2);
+  std::vector<std::uint64_t> top_heavy(64, 10);
+  for (std::uint32_t y = 0; y < 4; ++y) {
+    for (std::uint32_t x = 0; x < 8; ++x) top_heavy[y * 8 + x] = 200;
+  }
+  // Uniform split: hottest band 4 × 8 × 200; balanced split isolates fewer
+  // hot rows — far past any sane threshold.
+  const auto balanced = uniform.rebalanced(top_heavy, /*min_gain_pct=*/5);
+  expect_valid(balanced);
+  EXPECT_NE(balanced, uniform);
+  EXPECT_EQ(balanced, uniform.rebalanced(top_heavy, 0))
+      << "threshold changes *whether* to move, never *where*";
+}
+
 // The chip end of the contract: partition counts resolve per shape, an
 // explicit grid overrides the thread request, and rebalancing relayouts
 // between increments without changing any result.
@@ -300,6 +346,38 @@ TEST(ChipPartition, ShapeResolutionAndRebalanceAreResultInvariant) {
   EXPECT_GT(rebal_count, 0u) << "skewed load should trigger a re-split";
   EXPECT_EQ(stats_rebal, stats_plain)
       << "rebalancing must be cycle-for-cycle invisible in results";
+}
+
+// Chip-level hysteresis: a workload whose hot row oscillates between two
+// mesh rows re-splits on every increment without damping; with the default
+// minimum-improvement threshold (plus the decayed load window) the chip
+// stops chasing it — and, as always, the results cannot tell the
+// difference.
+TEST(ChipPartition, RebalanceHysteresisDampensOscillation) {
+  auto run = [](std::uint32_t min_gain) {
+    sim::ChipConfig cfg = test::small_chip_config();  // 8x8
+    cfg.threads = 2;
+    cfg.partition = *PartitionSpec::parse("rows+rebalance");
+    cfg.rebalance_min_gain_pct = min_gain;
+    sim::Chip chip(cfg);
+    const rt::HandlerId burn = chip.handlers().register_handler(
+        "burn", [](rt::Context& ctx, const rt::Action&) { ctx.charge(24); });
+    for (std::uint32_t burst = 0; burst < 6; ++burst) {
+      const std::uint32_t row = burst % 2 == 0 ? 2 : 3;  // the oscillation
+      for (std::uint32_t x = 0; x < 8; ++x) {
+        chip.inject_local(rt::make_action(
+            burn, rt::GlobalAddress{row * 8 + x, 0}));
+      }
+      chip.run_until_quiescent(100'000);
+    }
+    return std::pair{chip.stats(), chip.partition_rebalances()};
+  };
+  const auto [stats_plain, flips] = run(0);
+  const auto [stats_damped, damped_flips] = run(5);
+  EXPECT_GT(flips, 0u) << "test premise: the oscillation moves boundaries";
+  EXPECT_LT(damped_flips, flips) << "hysteresis must damp the ping-pong";
+  EXPECT_EQ(stats_damped, stats_plain)
+      << "the rebalance schedule must never change results";
 }
 
 // A throwing handler must surface as a fault on every engine — under the

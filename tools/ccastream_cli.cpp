@@ -30,6 +30,7 @@ struct Options {
   std::uint32_t width = 16, height = 16;
   std::uint32_t threads = 0;  // 0 = CCASTREAM_THREADS env, else serial
   std::optional<sim::PartitionSpec> partition;  // unset = env, else rows
+  std::optional<sim::EngineKind> engine;        // unset = env, else scan
   sim::RoutingPolicyKind routing = sim::RoutingPolicyKind::kYX;
   rt::AllocPolicyKind alloc = rt::AllocPolicyKind::kVicinity;
   std::uint32_t vicinity_radius = 2;
@@ -62,6 +63,10 @@ void usage() {
       "                                +rebalance for load-adaptive boundaries\n"
       "                                (default: CCASTREAM_PARTITION or rows;\n"
       "                                results are identical for every SPEC)\n"
+      "  --engine scan|active          cycle engine: full-mesh scan or the\n"
+      "                                event-driven active-set engine\n"
+      "                                (default: CCASTREAM_ENGINE or scan;\n"
+      "                                results are identical either way)\n"
       "  --routing yx|xy|west-first|odd-even\n"
       "  --alloc vicinity|random|round-robin|local\n"
       "  --radius R                    vicinity radius (default 2)\n"
@@ -112,6 +117,13 @@ bool parse(int argc, char** argv, Options& o) {
       o.partition = sim::PartitionSpec::parse(v);
       if (!o.partition) {
         std::fprintf(stderr, "invalid --partition '%s'\n", v);
+        return false;
+      }
+    } else if (a == "--engine") {
+      const char* v = need(i);
+      o.engine = sim::parse_engine(v);
+      if (!o.engine) {
+        std::fprintf(stderr, "invalid --engine '%s'\n", v);
         return false;
       }
     } else if (a == "--routing") {
@@ -194,6 +206,7 @@ int main(int argc, char** argv) {
   cfg.seed = o.seed;
   cfg.threads = o.threads;
   cfg.partition = o.partition;
+  cfg.engine = o.engine;
   cfg.record_activation = !o.activation_path.empty();
   sim::Chip chip(cfg);
 
@@ -227,10 +240,11 @@ int main(int argc, char** argv) {
   // --- Stream ------------------------------------------------------------------
   std::printf(
       "chip %ux%u  routing %s  alloc %s  rhizomes %u  app %s  threads %u  "
-      "partition %s\n",
+      "partition %s  engine %s\n",
       o.width, o.height, std::string(sim::to_string(o.routing)).c_str(),
       std::string(rt::to_string(o.alloc)).c_str(), o.rhizomes, o.app.c_str(),
-      chip.threads(), chip.partition_spec().to_string().c_str());
+      chip.threads(), chip.partition_spec().to_string().c_str(),
+      std::string(sim::to_string(chip.engine())).c_str());
   std::printf("%lu vertices, %lu edges, %s sampling, %u increments, source %lu\n",
               o.vertices, sched.total_edges(),
               std::string(wl::to_string(sched.kind)).c_str(), o.increments,

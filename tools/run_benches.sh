@@ -8,20 +8,26 @@
 #   OUTPUT_JSON  defaults to BENCH_seed.json (in the current directory)
 #
 # CCASTREAM_THREADS selects the simulator backend for the whole sweep
-# (default 1 = serial engine) and CCASTREAM_PARTITION its mesh partition
-# (rows|cols|tiles[:GXxGY][+rebalance], default rows); every emitted record
-# carries matching "threads" and "partition" fields, so sweeps from
+# (default 1 = serial engine), CCASTREAM_PARTITION its mesh partition
+# (rows|cols|tiles[:GXxGY][+rebalance], default rows), and CCASTREAM_ENGINE
+# its cycle engine (scan|active, default scan); every emitted record carries
+# matching "threads", "partition", and "engine" fields, so sweeps from
 # different backends can be aggregated and compared side by side, e.g.:
 #   tools/run_benches.sh build BENCH_seed.json
 #   CCASTREAM_THREADS=4 tools/run_benches.sh build BENCH_parallel.json
 #   CCASTREAM_THREADS=4 CCASTREAM_PARTITION=tiles+rebalance \
 #     tools/run_benches.sh build BENCH_partition.json
+#   CCASTREAM_ENGINE=active tools/run_benches.sh build BENCH_active.json
+# (bench_active_set runs both engines explicitly whatever the env, emitting
+# per-engine records with "cell_visits" — the scan-vs-active comparison is
+# in every sweep.)
 set -euo pipefail
 
 BUILD_DIR=${1:-build}
 OUTPUT=${2:-BENCH_seed.json}
 export CCASTREAM_THREADS=${CCASTREAM_THREADS:-1}
 export CCASTREAM_PARTITION=${CCASTREAM_PARTITION:-rows}
+export CCASTREAM_ENGINE=${CCASTREAM_ENGINE:-scan}
 
 if [[ ! -d "$BUILD_DIR/bench" ]]; then
   echo "error: $BUILD_DIR/bench not found — build first:" >&2
@@ -58,7 +64,7 @@ for bench in "${BENCHES[@]}"; do
   # Keep the google-benchmark binary quick: the headline record comes from
   # its one-shot ingest, not from long calibration runs.
   [[ "$name" == bench_micro ]] && args=(--benchmark_min_time=0.01)
-  echo "=== running $name (CCASTREAM_SCALE=tiny, CCASTREAM_THREADS=$CCASTREAM_THREADS, CCASTREAM_PARTITION=$CCASTREAM_PARTITION) ==="
+  echo "=== running $name (CCASTREAM_SCALE=tiny, CCASTREAM_THREADS=$CCASTREAM_THREADS, CCASTREAM_PARTITION=$CCASTREAM_PARTITION, CCASTREAM_ENGINE=$CCASTREAM_ENGINE) ==="
   bench_abs=$(cd "$(dirname "$bench")" && pwd)/$name
   (cd "$SCRATCH_ABS" && "$bench_abs" "${args[@]}")
 done
