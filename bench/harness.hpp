@@ -143,7 +143,8 @@ inline const char* to_string(Scale scale) {
 
 /// One measurement record: `{"bench":...,"dataset":...,"cycles":N,
 /// "energy_uj":X,"scale":...,"threads":T,"partition":P,"engine":E
-/// [,"wall_ms":W][,"cell_visits":V]}`.
+/// [,"wall_ms":W][,"cell_visits":V][,"dense_pct":D][,"cap_peak":C]
+/// [,"cap_end":C]}`.
 /// `threads`, `partition`, and `engine` identify the simulator backend the
 /// record was measured on (1 = serial; partition spec as in
 /// CCASTREAM_PARTITION, e.g. "rows" or "tiles+rebalance"; engine as in
@@ -152,7 +153,14 @@ inline const char* to_string(Scale scale) {
 /// and `cell_visits` the per-cell phase-loop visit total — the only numbers
 /// that *should* differ across backends (simulated cycles are
 /// backend-invariant by the determinism guarantee); 0 means unmeasured and
-/// the field is omitted.
+/// the field is omitted. Records measured on the hybrid active-set engine
+/// may additionally carry the mode configuration and memory metrics:
+/// `dense_pct` (the resolved dense-mode threshold,
+/// `Chip::dense_threshold_pct()`), `cap_peak`
+/// (`Chip::active_set_capacity_peak()` — the active-set memory high-water,
+/// in entries) and `cap_end` (`Chip::active_set_capacity()` at measurement
+/// end — below `cap_peak` when the shrink policy returned memory); all
+/// three omitted when 0.
 struct BenchRecord {
   std::string bench;
   std::string dataset;
@@ -164,6 +172,9 @@ struct BenchRecord {
   std::string partition = "rows";
   std::string engine = "scan";
   std::uint64_t cell_visits = 0;
+  std::uint32_t dense_pct = 0;
+  std::uint64_t cap_peak = 0;
+  std::uint64_t cap_end = 0;
 
   friend bool operator==(const BenchRecord&, const BenchRecord&) = default;
 };
@@ -227,6 +238,20 @@ inline std::string format_record(const BenchRecord& r) {
     std::snprintf(num, sizeof num, "%llu",
                   static_cast<unsigned long long>(r.cell_visits));
     out += std::string(",\"cell_visits\":") + num;
+  }
+  if (r.dense_pct != 0) {
+    std::snprintf(num, sizeof num, "%u", r.dense_pct);
+    out += std::string(",\"dense_pct\":") + num;
+  }
+  if (r.cap_peak != 0) {
+    std::snprintf(num, sizeof num, "%llu",
+                  static_cast<unsigned long long>(r.cap_peak));
+    out += std::string(",\"cap_peak\":") + num;
+  }
+  if (r.cap_end != 0) {
+    std::snprintf(num, sizeof num, "%llu",
+                  static_cast<unsigned long long>(r.cap_end));
+    out += std::string(",\"cap_end\":") + num;
   }
   out += "}";
   return out;
@@ -328,6 +353,12 @@ inline std::optional<BenchRecord> parse_record(const std::string& line) {
   // on the full-scan engine, and cell visits were not counted.
   r.engine = detail::parse_string_field(line, "engine").value_or("scan");
   r.cell_visits = detail::parse_uint_field(line, "cell_visits").value_or(0);
+  // Absent before the dense/sparse hybrid existed: pre-hybrid active
+  // records were pure sparse mode and tracked no capacity.
+  r.dense_pct = static_cast<std::uint32_t>(
+      detail::parse_uint_field(line, "dense_pct").value_or(0));
+  r.cap_peak = detail::parse_uint_field(line, "cap_peak").value_or(0);
+  r.cap_end = detail::parse_uint_field(line, "cap_end").value_or(0);
   return r;
 }
 
@@ -360,28 +391,43 @@ class JsonReporter {
   /// env-resolved default. `wall_ms` and `cell_visits`, when nonzero,
   /// persist host wall-clock and the phase-loop visit total so backend
   /// speedup is trackable from the aggregated BENCH_*.json files.
+  /// Measurements carrying the hybrid metrics (dense_pct, cap_peak,
+  /// cap_end) should use the BenchRecord overload below and name the
+  /// fields.
   void record(const std::string& dataset, std::uint64_t cycles,
               double energy_uj, std::uint64_t threads = 0,
               double wall_ms = 0.0, const std::string& partition = {},
               const std::string& engine = {},
               std::uint64_t cell_visits = 0) const {
+    BenchRecord r;
+    r.dataset = dataset;
+    r.cycles = cycles;
+    r.energy_uj = energy_uj;
+    r.threads = threads;
+    r.wall_ms = wall_ms;
+    r.partition = partition;
+    r.engine = engine;
+    r.cell_visits = cell_visits;
+    record(r);
+  }
+
+  /// Struct form for measurements with many optional fields (the hybrid
+  /// metrics): callers name each field instead of threading a long
+  /// positional tail of same-typed integers. `bench` and `scale` are
+  /// overwritten by the reporter; threads/partition/engine fall back to
+  /// the env-resolved defaults when left 0/empty.
+  void record(BenchRecord r) const {
     if (path_.empty()) return;
     std::FILE* f = std::fopen(path_.c_str(), "a");
     if (f == nullptr) {
       std::fprintf(stderr, "JsonReporter: cannot open %s\n", path_.c_str());
       return;
     }
-    BenchRecord r;
     r.bench = bench_;
-    r.dataset = dataset;
-    r.cycles = cycles;
-    r.energy_uj = energy_uj;
     r.scale = scale_;
-    r.threads = threads == 0 ? threads_ : threads;
-    r.wall_ms = wall_ms;
-    r.partition = partition.empty() ? partition_ : partition;
-    r.engine = engine.empty() ? engine_ : engine;
-    r.cell_visits = cell_visits;
+    if (r.threads == 0) r.threads = threads_;
+    if (r.partition.empty()) r.partition = partition_;
+    if (r.engine.empty()) r.engine = engine_;
     std::fprintf(f, "%s\n", format_record(r).c_str());
     std::fclose(f);
   }

@@ -32,6 +32,30 @@ rt::Action make_allocate_action(std::uint32_t target_cc, rt::ObjectKind kind,
 /// results are identical either way.
 constexpr std::uint64_t kSparseSerialThreshold = 32;
 
+/// Shrink policy of the hybrid's sparse mode: after this many consecutive
+/// cycles with the active-set vectors sitting far below their capacity, the
+/// capacity decays towards what is actually in use — so a mesh that peaked
+/// dense once does not pin its high-water memory for the rest of the run.
+constexpr std::uint32_t kShrinkAfterCycles = 64;
+/// Capacity (entries) the shrink policy never decays below; keeps steady
+/// sparse traffic from churning reallocations.
+constexpr std::size_t kShrinkFloorEntries = 64;
+
+/// std::vector never releases capacity on its own: reallocate down to
+/// `cap` entries, keeping the contents.
+void shrink_vector(std::vector<std::uint32_t>& v, std::size_t cap) {
+  if (v.capacity() <= cap) return;
+  std::vector<std::uint32_t> tmp;
+  tmp.reserve(std::max(cap, v.size()));
+  tmp.assign(v.begin(), v.end());
+  v.swap(tmp);
+}
+
+/// Frees a vector's storage outright (swap with an empty temporary).
+void release_vector(std::vector<std::uint32_t>& v) {
+  std::vector<std::uint32_t>().swap(v);
+}
+
 }  // namespace
 
 std::string_view to_string(EngineKind engine) noexcept {
@@ -53,17 +77,43 @@ EngineKind resolve_engine(const std::optional<EngineKind>& requested) {
   if (const char* env = std::getenv("CCASTREAM_ENGINE")) {
     if (const auto engine = parse_engine(env)) return *engine;
     // Warn (once) instead of failing, mirroring CCASTREAM_PARTITION: a typo
-    // would otherwise silently fall back to the scan engine — e.g. a CI
+    // would otherwise silently fall back to the default engine — e.g. a CI
     // matrix job or a bench sweep measuring the wrong engine.
     static std::atomic<bool> warned{false};
     if (!warned.exchange(true, std::memory_order_relaxed)) {
       std::fprintf(stderr,
                    "ccastream: ignoring unparsable CCASTREAM_ENGINE '%s' "
-                   "(using scan)\n",
+                   "(using active)\n",
                    env);
     }
   }
-  return EngineKind::kScan;
+  // The event-driven hybrid is the default since it became safe at that
+  // station (dense mode bounds its cost by the scan engine's, the shrink
+  // policy bounds its memory); the scan oracle stays selectable.
+  return EngineKind::kActive;
+}
+
+std::uint32_t resolve_dense_threshold(std::uint32_t requested) noexcept {
+  if (requested != 0) return requested;
+  if (const char* env = std::getenv("CCASTREAM_DENSE_PCT")) {
+    // strtol so negatives are rejected instead of wrapping; the endptr
+    // check rejects trailing garbage ("5O" must warn, not parse as 5);
+    // the 1000 cap only keeps the arithmetic far from overflow (anything
+    // above 100 already means "never dense").
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1 && v <= 1000) {
+      return static_cast<std::uint32_t>(v);
+    }
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true, std::memory_order_relaxed)) {
+      std::fprintf(stderr,
+                   "ccastream: ignoring out-of-range CCASTREAM_DENSE_PCT "
+                   "'%s' (using %u)\n",
+                   env, kDefaultDenseThresholdPct);
+    }
+  }
+  return kDefaultDenseThresholdPct;
 }
 
 std::uint32_t resolve_threads(std::uint32_t requested) noexcept {
@@ -176,6 +226,7 @@ Chip::Chip(ChipConfig cfg)
 
   engine_ = resolve_engine(cfg_.engine);
   engine_active_ = engine_ == EngineKind::kActive;
+  dense_threshold_ = resolve_dense_threshold(cfg_.dense_threshold_pct);
 
   // Mesh partition: one worker per partition. The layout starts uniform;
   // rebalancing (when enabled) moves the boundaries between increments.
@@ -209,12 +260,20 @@ void Chip::rebuild_active_sets() {
   for (PartitionState& st : parts_) {
     assert(st.incoming.empty());  // layout moves only between cycles
     st.active.clear();
+    st.active_count = 0;
     // Row-major over the rectangle == ascending cell index: the iteration
-    // order every phase relies on.
+    // order every phase relies on. A partition keeps its current hybrid
+    // mode across the relayout (update_hybrid_mode corrects it at the next
+    // compute if the new rectangle changed the occupancy picture).
     for (std::uint32_t y = st.rect.y0; y < st.rect.y1; ++y) {
       for (std::uint32_t x = st.rect.x0; x < st.rect.x1; ++x) {
         const std::uint32_t idx = y * cfg_.width + x;
-        if (cells_[idx].in_active_set) st.active.push_back(idx);
+        if (!cells_[idx].in_active_set) continue;
+        if (st.dense) {
+          ++st.active_count;
+        } else {
+          st.active.push_back(idx);
+        }
       }
     }
   }
@@ -225,7 +284,12 @@ void Chip::activate_cell(std::uint32_t idx) {
   ComputeCell& cell = cells_[idx];
   if (cell.in_active_set) return;
   cell.in_active_set = true;
-  std::vector<std::uint32_t>& active = parts_[layout_.owner(idx)].active;
+  PartitionState& st = parts_[layout_.owner(idx)];
+  if (st.dense) {
+    ++st.active_count;
+    return;
+  }
+  std::vector<std::uint32_t>& active = st.active;
   active.insert(std::upper_bound(active.begin(), active.end(), idx), idx);
 }
 
@@ -307,9 +371,14 @@ bool Chip::quiescent() const {
   if (outstanding_ != 0) return false;
   if (engine_active_) {
     // The active sets are exactly the cells with work (the post-cycle
-    // invariant), so quiescence is O(partitions) instead of O(mesh).
+    // invariant), so quiescence is O(partitions) instead of O(mesh) —
+    // dense partitions carry the count in active_count instead of a
+    // vector.
     for (const PartitionState& st : parts_) {
-      if (!st.active.empty() || !st.incoming.empty()) return false;
+      if (st.dense ? st.active_count != 0
+                   : !st.active.empty() || !st.incoming.empty()) {
+        return false;
+      }
     }
     return true;
   }
@@ -323,7 +392,7 @@ std::uint64_t Chip::active_cells() const noexcept {
   std::uint64_t n = 0;
   if (engine_active_) {
     for (const PartitionState& st : parts_) {
-      n += st.active.size() + st.incoming.size();
+      n += st.dense ? st.active_count : st.active.size() + st.incoming.size();
     }
     return n;
   }
@@ -331,6 +400,20 @@ std::uint64_t Chip::active_cells() const noexcept {
     if (c.has_work()) ++n;
   }
   return n;
+}
+
+std::uint32_t Chip::dense_partitions() const noexcept {
+  std::uint32_t n = 0;
+  for (const PartitionState& st : parts_) n += st.dense ? 1u : 0u;
+  return n;
+}
+
+std::uint64_t Chip::active_set_capacity() const noexcept {
+  std::uint64_t cap = 0;
+  for (const PartitionState& st : parts_) {
+    cap += st.active.capacity() + st.incoming.capacity();
+  }
+  return cap;
 }
 
 bool Chip::partitions_quiescent() const noexcept {
@@ -430,6 +513,25 @@ void Chip::serial_cycle() {
 
 void Chip::cycle_snapshot(PartitionState& st) {
   if (engine_active_) {
+    if (st.dense) {
+      // Dense mode: membership is the per-cell flags, so the phase is a
+      // rectangle walk testing them — the same cells in the same ascending
+      // order as sparse mode, at scan-engine host cost (which is the
+      // point: no vector to maintain while most cells are live).
+      st.cell_visits += st.rect.cells();
+      for (std::uint32_t y = st.rect.y0; y < st.rect.y1; ++y) {
+        for (std::uint32_t x = st.rect.x0; x < st.rect.x1; ++x) {
+          ComputeCell& cell =
+              cells_[static_cast<std::size_t>(y) * cfg_.width + x];
+          if (!cell.in_active_set) continue;
+          for (std::size_t d = 0; d < kMeshDirections; ++d) {
+            cell.in_size_snapshot[d] =
+                static_cast<std::uint32_t>(cell.router_in[d].size());
+          }
+        }
+      }
+      return;
+    }
     st.cell_visits += st.active.size();
     for (const std::uint32_t idx : st.active) {
       ComputeCell& cell = cells_[idx];
@@ -466,6 +568,18 @@ void Chip::cycle_route(PartitionState& st) {
                         cfg_.routing == RoutingPolicyKind::kOddEven;
 
   if (engine_active_) {
+    if (st.dense) {
+      st.cell_visits += st.rect.cells();
+      // A flagged-but-empty-router cell is handled by route_cell's
+      // occupancy early-return, identical to the scan engine's visit.
+      for (std::uint32_t y = st.rect.y0; y < st.rect.y1; ++y) {
+        for (std::uint32_t x = st.rect.x0; x < st.rect.x1; ++x) {
+          const std::uint32_t idx = y * cfg_.width + x;
+          if (cells_[idx].in_active_set) route_cell(st, idx, adaptive);
+        }
+      }
+      return;
+    }
     st.cell_visits += st.active.size();
     // Iterating the phase-start set only is exact: a cell outside it has
     // zero phase-start router occupancy, which is precisely the cells the
@@ -643,6 +757,36 @@ void Chip::cycle_compute(PartitionState& st) {
   const bool tracing = trace_.enabled();
 
   if (engine_active_) {
+    if (st.dense) {
+      // Dense mode's counting merge: cells activated since the route phase
+      // began already carry their flag (mark_active), so one rectangle
+      // walk over the flags visits exactly the cells the sparse merge
+      // would have produced — in the same ascending order — without any
+      // sort/inplace_merge.
+      st.cell_visits += st.rect.cells();
+      std::uint64_t live = 0;
+      for (std::uint32_t y = st.rect.y0; y < st.rect.y1; ++y) {
+        for (std::uint32_t x = st.rect.x0; x < st.rect.x1; ++x) {
+          const std::uint32_t idx = y * cfg_.width + x;
+          ComputeCell& cell = cells_[idx];
+          if (!cell.in_active_set) continue;
+          if (compute_one(st, idx, tracing)) {
+            ++live;
+          } else {
+            cell.in_active_set = false;
+            // Same invariant as the sparse path: an inactive cell must
+            // hold all-zero snapshot latches for its neighbours' reads.
+            for (std::size_t d = 0; d < kMeshDirections; ++d) {
+              cell.in_size_snapshot[d] = 0;
+            }
+          }
+        }
+      }
+      st.active_count = live;
+      st.idle = live == 0;
+      update_hybrid_mode(st);
+      return;
+    }
     // Fold in the cells activated since the route phase began (same-
     // partition router pushes, inbound applies, IO injections): the
     // compute phase is exactly when the scan engine first observes them
@@ -674,6 +818,7 @@ void Chip::cycle_compute(PartitionState& st) {
     }
     st.active.resize(keep);
     st.idle = st.active.empty();
+    update_hybrid_mode(st);
     return;
   }
 
@@ -683,6 +828,58 @@ void Chip::cycle_compute(PartitionState& st) {
     for (std::uint32_t cx = st.rect.x0; cx < st.rect.x1; ++cx) {
       if (compute_one(st, cy * cfg_.width + cx, tracing)) st.idle = false;
     }
+  }
+}
+
+void Chip::update_hybrid_mode(PartitionState& st) {
+  const std::uint64_t cells = st.rect.cells();
+  if (!st.dense) {
+    const std::uint64_t occ = st.active.size();
+    if (occ * 100 >= cells * dense_threshold_) {
+      // Sparse → dense: membership moves to the per-cell flags (which are
+      // already correct — sparse mode maintains them too), and the vectors
+      // are released outright. A mesh that saturates therefore *frees* its
+      // active-set memory instead of growing it.
+      st.dense = true;
+      st.active_count = occ;
+      release_vector(st.active);
+      release_vector(st.incoming);
+      st.low_occupancy_cycles = 0;
+      ++st.dense_switches;
+      return;
+    }
+    // Shrink policy: capacity decays after kShrinkAfterCycles consecutive
+    // cycles of sitting far above what the frontier needs (2× headroom on
+    // the current occupancy, never below the floor). One burst that never
+    // reached the dense threshold stops pinning high-water memory.
+    const std::size_t want =
+        std::max<std::size_t>(kShrinkFloorEntries, 2 * st.active.size());
+    if (st.active.capacity() > 2 * want || st.incoming.capacity() > 2 * want) {
+      if (++st.low_occupancy_cycles >= kShrinkAfterCycles) {
+        shrink_vector(st.active, want);
+        shrink_vector(st.incoming, want);
+        st.low_occupancy_cycles = 0;
+      }
+    } else {
+      st.low_occupancy_cycles = 0;
+    }
+    return;
+  }
+  // Dense → sparse, with hysteresis at *half* the entry threshold: a
+  // frontier hovering around the boundary keeps its current mode instead
+  // of flapping (and paying the rebuild) every few cycles.
+  if (st.active_count * 200 < cells * dense_threshold_) {
+    st.dense = false;
+    st.active.reserve(st.active_count);
+    for (std::uint32_t y = st.rect.y0; y < st.rect.y1; ++y) {
+      for (std::uint32_t x = st.rect.x0; x < st.rect.x1; ++x) {
+        const std::uint32_t idx = y * cfg_.width + x;
+        if (cells_[idx].in_active_set) st.active.push_back(idx);
+      }
+    }
+    st.active_count = 0;
+    st.low_occupancy_cycles = 0;
+    ++st.dense_switches;
   }
 }
 
@@ -750,6 +947,8 @@ void Chip::merge_partitions() {
     st.trace_active = st.trace_live = 0;
     cell_visits_ += st.cell_visits;
     st.cell_visits = 0;
+    dense_switches_ += st.dense_switches;
+    st.dense_switches = 0;
     if (cfg_.profile_handlers && !st.profile.empty()) {
       if (handler_profile_.size() < st.profile.size()) {
         handler_profile_.resize(st.profile.size());
@@ -760,6 +959,15 @@ void Chip::merge_partitions() {
         st.profile[h] = HandlerProfile{};
       }
     }
+  }
+  if (engine_active_) {
+    // Hybrid telemetry: partitions that ended this cycle dense, and the
+    // active-set capacity high-water the shrink policy is measured
+    // against. O(partitions), behind the barrier like the rest of the
+    // merge.
+    dense_cycles_ += dense_partitions();
+    const std::uint64_t cap = active_set_capacity();
+    if (cap > active_cap_peak_) active_cap_peak_ = cap;
   }
   assert(static_cast<std::int64_t>(outstanding_) + outstanding_delta >= 0);
   outstanding_ =

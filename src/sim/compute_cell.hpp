@@ -99,8 +99,11 @@ class ComputeCell {
   /// Round-robin pointer for router input arbitration fairness.
   std::uint8_t arb_next = 0;
   /// Membership flag of the event-driven engine's per-partition active
-  /// set (see Chip::PartitionState::active). Written only by the owning
-  /// partition's worker; meaningless (always false) under the scan engine.
+  /// set (see Chip::PartitionState::active). In the hybrid's sparse mode
+  /// it mirrors membership of the sorted vector; in dense mode these
+  /// per-cell flags ARE the membership structure (the bitmap the
+  /// rectangle walks test). Written only by the owning partition's
+  /// worker; meaningless (always false) under the scan engine.
   bool in_active_set = false;
 
  private:

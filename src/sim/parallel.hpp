@@ -8,12 +8,16 @@
 // threads — dispatching once per run (instead of once per phase) keeps the
 // per-cycle synchronisation down to futex-backed barrier waits.
 //
-// The active-set engine adds a sparse fast path on top: when a cycle has
-// almost no live cells, Chip::run_cycles ends the pooled batch and executes
-// cycles phase-major on the calling thread, re-dispatching the pool only
-// when the frontier widens again. The syncs() counter makes that mode
-// switch observable (a serially executed cycle performs zero barrier
-// arrivals).
+// The active-set engine (the default — see EngineKind in sim/chip.hpp)
+// adds a sparse fast path on top: when a cycle has almost no live cells,
+// Chip::run_cycles ends the pooled batch and executes cycles phase-major
+// on the calling thread, re-dispatching the pool only when the frontier
+// widens again. The syncs() counter makes that mode switch observable (a
+// serially executed cycle performs zero barrier arrivals). The barrier
+// schedule itself — snapshot | route | apply+io+compute | merge, one sync
+// between each — is what the determinism invariant rests on: every
+// cross-partition read happens against state settled behind the previous
+// barrier (docs/ARCHITECTURE.md, "The cycle lifecycle").
 #pragma once
 
 #include <atomic>
@@ -39,10 +43,16 @@ class PartitionPool {
 
   /// Runs job(partition) on every partition concurrently; returns when all
   /// have finished. The job must call sync() an identical number of times
-  /// from every partition (the barrier counts all of them).
+  /// from every partition (the barrier counts all of them) — the chip's
+  /// cycle loop satisfies this because every partition executes the same
+  /// four-phase schedule and the batch-stop decision is itself published
+  /// behind a sync.
   void run(const std::function<void(std::uint32_t)>& job);
 
   /// Phase barrier: blocks until every partition thread has arrived.
+  /// Arrival-and-wait also establishes the happens-before edge that lets
+  /// the next phase read state other partitions wrote in the previous one
+  /// without atomics.
   void sync() {
     syncs_.fetch_add(1, std::memory_order_relaxed);
     barrier_.arrive_and_wait();

@@ -20,7 +20,11 @@
 //
 // Partitioning is a performance knob only: the engine's snapshot protocol
 // makes every run cycle-for-cycle identical to serial for every shape,
-// worker count, and rebalance schedule.
+// worker count, and rebalance schedule. It composes freely with the other
+// backend knobs — cycle engine (CCASTREAM_ENGINE) and dense threshold
+// (CCASTREAM_DENSE_PCT) — every combination is pinned against the serial
+// scan oracle; see docs/ARCHITECTURE.md for the execution model and
+// docs/TUNING.md for when to pick which shape.
 #pragma once
 
 #include <cstdint>
@@ -58,7 +62,9 @@ struct PartitionSpec {
 
 /// Resolves a chip's partition request: an explicit config wins, otherwise
 /// the CCASTREAM_PARTITION environment variable (ignored when unparsable),
-/// otherwise the default row stripes.
+/// otherwise the default row stripes. Same resolution order as every
+/// backend knob (engine, threads, dense threshold): config > env >
+/// default.
 [[nodiscard]] PartitionSpec resolve_partition(
     const std::optional<PartitionSpec>& requested);
 

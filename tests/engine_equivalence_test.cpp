@@ -50,7 +50,8 @@ void expect_equivalent(const EngineResult& active, const EngineResult& scan) {
 }
 
 EngineResult run_bfs(EngineKind engine, const char* partition,
-                     std::uint32_t threads, std::uint8_t io_sides) {
+                     std::uint32_t threads, std::uint8_t io_sides,
+                     std::uint32_t dense_pct = 0) {
   sim::ChipConfig cfg;
   cfg.width = 12;
   cfg.height = 12;
@@ -60,6 +61,7 @@ EngineResult run_bfs(EngineKind engine, const char* partition,
   cfg.threads = threads;
   cfg.partition = *sim::PartitionSpec::parse(partition);
   cfg.engine = engine;
+  cfg.dense_threshold_pct = dense_pct;
   cfg.record_activation = true;
   cfg.seed = 99;
   sim::Chip chip(cfg);
@@ -120,6 +122,32 @@ TEST(EngineEquivalence, MatrixIsCycleIdenticalToScanOracle) {
           }
         }
       }
+    }
+  }
+}
+
+// The hybrid's threshold dimension: whatever dense threshold the chip runs
+// under — 1 (dense from the first live cell), the default band, or 1000
+// (pinned sparse, the pre-hybrid engine) — the run stays cycle-identical
+// to the scan oracle, and never visits more cells than it. The dense mode
+// rides the same congested workload as the matrix above, on both the
+// serial and the most complex threaded decomposition.
+TEST(EngineEquivalence, HybridThresholdSweepMatchesOracle) {
+  const auto io_sides = static_cast<std::uint8_t>(sim::kIoNorth | sim::kIoSouth);
+  const EngineResult oracle = run_bfs(EngineKind::kScan, "rows", 1, io_sides);
+  ASSERT_GT(oracle.cycles, 0u);
+  for (const std::uint32_t pct : {1u, 40u, 1000u}) {
+    for (const auto& [partition, threads] :
+         {std::pair{"rows", 1u}, std::pair{"tiles+rebalance", 4u}}) {
+      SCOPED_TRACE(std::string("dense_pct = ") + std::to_string(pct) +
+                   ", partition = " + partition +
+                   ", threads = " + std::to_string(threads));
+      const EngineResult r =
+          run_bfs(EngineKind::kActive, partition, threads, io_sides, pct);
+      expect_equivalent(r, oracle);
+      // Even fully dense partitions walk only their rectangles, so the
+      // hybrid can never exceed the scan engine's visit bill.
+      EXPECT_LE(r.cell_visits, oracle.cell_visits);
     }
   }
 }

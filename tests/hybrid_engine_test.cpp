@@ -1,0 +1,342 @@
+// The dense/sparse hybrid of the (now default) active-set engine and its
+// memory story:
+//   * resolution — `active` is the default engine, CCASTREAM_ENGINE=scan
+//     still selects the oracle, and the dense threshold resolves from
+//     config / CCASTREAM_DENSE_PCT / the 50% default;
+//   * the idle-chip memory regression — active-set capacity decays after a
+//     burst instead of pinning its high-water for the rest of the run
+//     (sparse mode via the shrink policy, dense mode by releasing the
+//     vectors outright at the switch);
+//   * the dense↔sparse oscillation contract — a workload that flaps
+//     between saturated and sparse stays cycle-identical to the scan
+//     oracle while the mode actually switches, and the half-threshold
+//     hysteresis holds the mode steady while occupancy sits between the
+//     exit and entry thresholds.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "test_util.hpp"
+
+namespace ccastream {
+namespace {
+
+using sim::EngineKind;
+
+/// Minimal arena object used as a diffusion target.
+class Blob final : public rt::ArenaObject {
+ public:
+  [[nodiscard]] std::size_t logical_bytes() const noexcept override { return 16; }
+};
+
+/// Pins one environment variable for a test's lifetime, restoring the
+/// previous value on destruction.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    if (const char* old = std::getenv(name)) saved_ = old;
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (saved_) {
+      ::setenv(name_.c_str(), saved_->c_str(), 1);
+    } else {
+      ::unsetenv(name_.c_str());
+    }
+  }
+
+ private:
+  std::string name_;
+  std::optional<std::string> saved_;
+};
+
+/// Registers the self-spinning handler: each execution burns instruction
+/// cycles and, while its countdown lasts, re-propagates to its own cell —
+/// so an injected cell stays continuously live for a duration proportional
+/// to the countdown, letting tests hold mesh occupancy at a chosen level.
+rt::HandlerId install_spin(sim::Chip& chip) {
+  return chip.handlers().register_handler(
+      "spin", [](rt::Context& ctx, const rt::Action& a) {
+        ctx.charge(3);
+        if (a.args[0] > 0) {
+          ctx.propagate(rt::make_action(
+              a.handler, rt::GlobalAddress::unpack(a.args[1]), a.args[0] - 1,
+              a.args[1]));
+        }
+      });
+}
+
+/// Allocates a Blob on cell `cc` and injects a spinner with `rounds`
+/// self-propagations there.
+rt::GlobalAddress seed_spinner(sim::Chip& chip, rt::HandlerId spin,
+                               std::uint32_t cc, rt::Word rounds) {
+  const auto tgt = *chip.host_allocate(cc, std::make_unique<Blob>());
+  chip.inject_local(rt::make_action(spin, tgt, rounds, tgt.pack()));
+  return tgt;
+}
+
+/// Like seed_spinner, but the action enters the mesh at `entry_cc` and
+/// traverses the network to `cc` — so the run pays real hops (and, with
+/// multiple partitions, cross-partition traffic) on its way.
+void seed_spinner_via(sim::Chip& chip, rt::HandlerId spin,
+                      std::uint32_t entry_cc, std::uint32_t cc,
+                      rt::Word rounds) {
+  const auto tgt = *chip.host_allocate(cc, std::make_unique<Blob>());
+  chip.inject_via(entry_cc, rt::make_action(spin, tgt, rounds, tgt.pack()));
+}
+
+// `active` is the default engine since the hybrid made it safe there; the
+// scan oracle stays one env var away, and the dense threshold resolves
+// config > CCASTREAM_DENSE_PCT > 50.
+TEST(HybridEngine, DefaultsResolveToActiveHybrid) {
+  {
+    const ScopedEnv engine("CCASTREAM_ENGINE", nullptr);
+    EXPECT_EQ(sim::resolve_engine({}), EngineKind::kActive);
+  }
+  {
+    const ScopedEnv engine("CCASTREAM_ENGINE", "scan");
+    EXPECT_EQ(sim::resolve_engine({}), EngineKind::kScan);
+  }
+  // Explicit config always wins over the environment.
+  {
+    const ScopedEnv engine("CCASTREAM_ENGINE", "scan");
+    EXPECT_EQ(sim::resolve_engine(EngineKind::kActive), EngineKind::kActive);
+  }
+
+  EXPECT_EQ(sim::resolve_dense_threshold(37), 37u);
+  {
+    const ScopedEnv pct("CCASTREAM_DENSE_PCT", nullptr);
+    EXPECT_EQ(sim::resolve_dense_threshold(0), sim::kDefaultDenseThresholdPct);
+  }
+  {
+    const ScopedEnv pct("CCASTREAM_DENSE_PCT", "80");
+    EXPECT_EQ(sim::resolve_dense_threshold(0), 80u);
+    EXPECT_EQ(sim::resolve_dense_threshold(12), 12u);  // config still wins
+  }
+  {
+    // Out-of-range / garbage values fall back to the default.
+    const ScopedEnv pct("CCASTREAM_DENSE_PCT", "0");
+    EXPECT_EQ(sim::resolve_dense_threshold(0), sim::kDefaultDenseThresholdPct);
+  }
+}
+
+// The idle-chip memory regression (sparse path): a burst that lights most
+// of the mesh while the hybrid is pinned sparse grows the active-set
+// vectors to the burst's high-water; sustained low occupancy afterwards
+// must decay that capacity instead of pinning it for the rest of the run.
+TEST(HybridEngine, ActiveSetCapacityShrinksAfterBurst) {
+  sim::ChipConfig cfg = test::small_chip_config(16);  // 256 cells
+  cfg.engine = EngineKind::kActive;
+  cfg.dense_threshold_pct = 1000;  // pin sparse: exercise the shrink policy
+  // Pin a single partition: the capacity floor is per-partition, so the
+  // expectations below must not drift with CI's CCASTREAM_THREADS /
+  // CCASTREAM_PARTITION matrix.
+  cfg.threads = 1;
+  cfg.partition = sim::PartitionSpec{};
+  sim::Chip chip(cfg);
+  const rt::HandlerId spin = install_spin(chip);
+  for (std::uint32_t cc = 0; cc < 256; ++cc) seed_spinner(chip, spin, cc, 12);
+  chip.run_until_quiescent();
+
+  const std::uint64_t peak = chip.active_set_capacity_peak();
+  EXPECT_GE(peak, 256u) << "burst failed to grow the active set";
+  EXPECT_EQ(chip.hybrid_dense_cycles(), 0u) << "1000% threshold went dense?";
+
+  // Idle cycles are exactly where capacity used to pin: the set is empty,
+  // the vectors keep their burst-sized allocation until the shrink policy
+  // fires.
+  for (int i = 0; i < 200; ++i) chip.step();
+  const std::uint64_t end = chip.active_set_capacity();
+  EXPECT_LT(end, peak);
+  EXPECT_LE(end, 128u) << "capacity did not decay to the floor";
+  EXPECT_EQ(chip.active_set_capacity_peak(), peak) << "peak must be sticky";
+}
+
+// The dense path of the same regression: with the default threshold the
+// burst crosses into dense (bitmap) mode, which releases the vectors
+// outright — saturating the mesh must *free* active-set memory, not grow
+// it.
+TEST(HybridEngine, DenseSwitchReleasesVectorsAndRunsDenseCycles) {
+  sim::ChipConfig cfg = test::small_chip_config();
+  cfg.engine = EngineKind::kActive;
+  cfg.dense_threshold_pct = 30;
+  cfg.threads = 1;  // single partition: occupancy math below assumes it
+  cfg.partition = sim::PartitionSpec{};
+  sim::Chip chip(cfg);
+  const rt::HandlerId spin = install_spin(chip);
+  for (std::uint32_t cc = 0; cc < 64; ++cc) seed_spinner(chip, spin, cc, 12);
+  chip.run_until_quiescent();
+
+  EXPECT_GE(chip.hybrid_dense_switches(), 2u)
+      << "expected at least one dense entry and one exit";
+  EXPECT_GT(chip.hybrid_dense_cycles(), 0u);
+  EXPECT_EQ(chip.dense_partitions(), 0u) << "drained chip should be sparse";
+  // While dense, the membership vectors hold no storage at all; whatever
+  // the sparse ramp-in/out left allocated is bounded by the shrink floor's
+  // order of magnitude, not the 64-cell burst.
+  for (int i = 0; i < 200; ++i) chip.step();
+  EXPECT_LE(chip.active_set_capacity(), 128u);
+  EXPECT_TRUE(chip.quiescent());
+}
+
+/// One dense↔sparse oscillation run: alternating full-mesh bursts and
+/// three-cell trickles, everything (cycles, full counter block, energy)
+/// returned for engine comparison.
+struct OscResult {
+  std::uint64_t cycles = 0;
+  sim::ChipStats stats;
+  double energy_pj = 0.0;
+
+  friend bool operator==(const OscResult&, const OscResult&) = default;
+};
+
+OscResult run_oscillation(EngineKind engine, std::uint32_t threads,
+                          std::uint32_t dense_pct) {
+  sim::ChipConfig cfg;
+  cfg.width = 12;
+  cfg.height = 12;
+  cfg.fifo_depth = 2;
+  cfg.ejections_per_cycle = 1;
+  cfg.threads = threads;
+  cfg.engine = engine;
+  cfg.dense_threshold_pct = dense_pct;
+  cfg.seed = 4242;
+  sim::Chip chip(cfg);
+  const rt::HandlerId spin = install_spin(chip);
+  for (int round = 0; round < 3; ++round) {
+    // Dense burst: every cell lives for a dozen self-propagations.
+    for (std::uint32_t cc = 0; cc < 144; ++cc) {
+      seed_spinner(chip, spin, cc, 12);
+    }
+    chip.run_until_quiescent();
+    // Sparse trickle: three long-lived cells, reached through the network
+    // from a corner entry so the oscillation also pays hops (and, when
+    // threaded, cross-partition traffic).
+    for (std::uint32_t cc : {5u, 77u, 140u}) {
+      seed_spinner_via(chip, spin, /*entry_cc=*/0, cc, 30);
+    }
+    chip.run_until_quiescent();
+  }
+  OscResult r;
+  r.cycles = chip.stats().cycles;
+  r.stats = chip.stats();
+  r.energy_pj = chip.energy_pj();
+  if (engine == EngineKind::kActive && dense_pct <= 100) {
+    // The workload must actually exercise the switch in both directions
+    // (one entry + one exit per burst, per partition, at minimum).
+    EXPECT_GE(chip.hybrid_dense_switches(), 6u);
+    EXPECT_EQ(chip.dense_partitions(), 0u);
+  }
+  return r;
+}
+
+// The oscillation contract: whatever the hybrid's mode schedule does —
+// including thresholds that make it switch every burst — the run is
+// cycle-identical to the scan oracle, serial and threaded.
+TEST(HybridEngine, OscillationIsCycleIdenticalToScanOracle) {
+  const OscResult oracle =
+      run_oscillation(EngineKind::kScan, 1, sim::kDefaultDenseThresholdPct);
+  ASSERT_GT(oracle.cycles, 0u);
+  ASSERT_GT(oracle.stats.hops, 0u);
+  for (const std::uint32_t threads : {1u, 4u}) {
+    for (const std::uint32_t pct : {1u, 40u, 1000u}) {
+      SCOPED_TRACE("threads = " + std::to_string(threads) +
+                   ", dense_pct = " + std::to_string(pct));
+      EXPECT_EQ(run_oscillation(EngineKind::kActive, threads, pct), oracle);
+    }
+  }
+}
+
+// The hysteresis pin: occupancy parked between the exit threshold (half)
+// and the entry threshold must hold the current mode — the switch count
+// stays at exactly one entry and one exit despite hundreds of in-band
+// cycles, and a run that never reaches the entry threshold never switches
+// at all.
+TEST(HybridEngine, HysteresisHoldsModeInsideTheBand) {
+  // 8x8 mesh, one partition: dense_pct 25 => enter at >= 16 live cells,
+  // exit below 8.
+  constexpr std::uint32_t kPct = 25;
+
+  // Phase A: 10 long spinners (in the (8, 16) band from the start) — the
+  // threshold is never reached, so the chip must stay sparse throughout.
+  {
+    sim::ChipConfig cfg = test::small_chip_config();
+    cfg.engine = EngineKind::kActive;
+    cfg.dense_threshold_pct = kPct;
+    cfg.threads = 1;  // the band arithmetic assumes one 64-cell partition
+    cfg.partition = sim::PartitionSpec{};
+    sim::Chip chip(cfg);
+    const rt::HandlerId spin = install_spin(chip);
+    for (std::uint32_t cc = 0; cc < 10; ++cc) seed_spinner(chip, spin, cc, 40);
+    chip.run_until_quiescent();
+    EXPECT_EQ(chip.hybrid_dense_switches(), 0u);
+    EXPECT_EQ(chip.hybrid_dense_cycles(), 0u);
+  }
+
+  // Phase B: the same 10 long spinners plus 30 short ones. The short burst
+  // crosses the entry threshold (40 live >= 16); when it drains, occupancy
+  // falls back to 10 — inside the band — and hysteresis must hold dense
+  // until the long spinners die too. Exactly one entry, one exit.
+  sim::ChipConfig cfg = test::small_chip_config();
+  cfg.engine = EngineKind::kActive;
+  cfg.dense_threshold_pct = kPct;
+  cfg.threads = 1;
+  cfg.partition = sim::PartitionSpec{};
+  sim::Chip chip(cfg);
+  const rt::HandlerId spin = install_spin(chip);
+  for (std::uint32_t cc = 0; cc < 10; ++cc) seed_spinner(chip, spin, cc, 60);
+  for (std::uint32_t cc = 10; cc < 40; ++cc) seed_spinner(chip, spin, cc, 4);
+  chip.run_until_quiescent();
+  EXPECT_EQ(chip.hybrid_dense_switches(), 2u)
+      << "mode flapped inside the hysteresis band";
+  // The band period dominates the run: the dense stretch must cover far
+  // more than the burst itself (~30 cycles), proving the hold.
+  EXPECT_GT(chip.hybrid_dense_cycles(), 100u);
+  EXPECT_EQ(chip.dense_partitions(), 0u);
+}
+
+// Rebalancing moves cells between partitions mid-run; the hybrid state
+// (mode, counts, vectors) must survive the relayout with results — and the
+// active-set invariant — intact. This is the oscillation workload on a
+// rebalancing tile decomposition, stepped through repeated increments.
+TEST(HybridEngine, SurvivesRebalancingLayoutsUnchanged) {
+  auto run = [](EngineKind engine) {
+    sim::ChipConfig cfg;
+    cfg.width = 12;
+    cfg.height = 12;
+    cfg.threads = 4;
+    cfg.partition = *sim::PartitionSpec::parse("tiles+rebalance");
+    cfg.engine = engine;
+    cfg.dense_threshold_pct = 20;
+    cfg.seed = 11;
+    sim::Chip chip(cfg);
+    const rt::HandlerId spin = install_spin(chip);
+    for (int round = 0; round < 4; ++round) {
+      // Skewed bursts (top-left corner) so rebalancing actually moves
+      // boundaries between the run calls.
+      for (std::uint32_t y = 0; y < 6; ++y) {
+        for (std::uint32_t x = 0; x < 6; ++x) {
+          seed_spinner(chip, spin, y * 12 + x, 10);
+        }
+      }
+      chip.run_until_quiescent();
+    }
+    return std::pair{chip.stats(), chip.partition_rebalances()};
+  };
+  const auto [scan_stats, scan_moves] = run(EngineKind::kScan);
+  const auto [active_stats, active_moves] = run(EngineKind::kActive);
+  EXPECT_EQ(active_stats, scan_stats);
+  EXPECT_EQ(active_moves, scan_moves);
+}
+
+}  // namespace
+}  // namespace ccastream

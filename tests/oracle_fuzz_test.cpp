@@ -29,6 +29,7 @@ struct Instance {
   int app = 0;  // 0 = bfs, 1 = sssp, 2 = components
   sim::PartitionSpec partition;
   sim::EngineKind engine = sim::EngineKind::kScan;
+  std::uint32_t dense_pct = 0;  // hybrid threshold (0 = resolved default)
 
   [[nodiscard]] std::string describe() const {
     return "replay seed=" + std::to_string(seed) +
@@ -42,7 +43,8 @@ struct Instance {
            " sampling=" + std::string(wl::to_string(sampling)) +
            " app=" + (app == 0 ? "bfs" : app == 1 ? "sssp" : "components") +
            " partition=" + partition.to_string() +
-           " engine=" + std::string(sim::to_string(engine));
+           " engine=" + std::string(sim::to_string(engine)) +
+           " dense_pct=" + std::to_string(dense_pct);
   }
 };
 
@@ -71,6 +73,12 @@ Instance make_instance(std::uint64_t seed) {
   // set-maintenance divergence shows up against base:: references too.
   in.engine = rng.bernoulli(0.5) ? sim::EngineKind::kActive
                                  : sim::EngineKind::kScan;
+  // Hybrid threshold draw (appended last, same rule): the resolved
+  // default, near-always-dense, a mid band, and pinned sparse — so the
+  // fuzzer crosses the dense switch and its hysteresis on random
+  // workloads.
+  constexpr std::uint32_t kDensePcts[] = {0, 1, 35, 1000};
+  in.dense_pct = kDensePcts[rng.below(4)];
   return in;
 }
 
@@ -113,6 +121,7 @@ void run_instance(const Instance& in) {
   cfg.threads = in.threads;
   cfg.partition = in.partition;
   cfg.engine = in.engine;
+  cfg.dense_threshold_pct = in.dense_pct;
   cfg.seed = in.seed;
   sim::Chip chip(cfg);
   graph::RpvoConfig rc;

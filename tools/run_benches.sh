@@ -10,14 +10,15 @@
 # CCASTREAM_THREADS selects the simulator backend for the whole sweep
 # (default 1 = serial engine), CCASTREAM_PARTITION its mesh partition
 # (rows|cols|tiles[:GXxGY][+rebalance], default rows), and CCASTREAM_ENGINE
-# its cycle engine (scan|active, default scan); every emitted record carries
+# its cycle engine (scan|active, default active — the simulator's default
+# hybrid engine); every emitted record carries
 # matching "threads", "partition", and "engine" fields, so sweeps from
 # different backends can be aggregated and compared side by side, e.g.:
 #   tools/run_benches.sh build BENCH_seed.json
 #   CCASTREAM_THREADS=4 tools/run_benches.sh build BENCH_parallel.json
 #   CCASTREAM_THREADS=4 CCASTREAM_PARTITION=tiles+rebalance \
 #     tools/run_benches.sh build BENCH_partition.json
-#   CCASTREAM_ENGINE=active tools/run_benches.sh build BENCH_active.json
+#   CCASTREAM_ENGINE=scan tools/run_benches.sh build BENCH_scan.json
 # (bench_active_set runs both engines explicitly whatever the env, emitting
 # per-engine records with "cell_visits" — the scan-vs-active comparison is
 # in every sweep.)
@@ -27,7 +28,7 @@ BUILD_DIR=${1:-build}
 OUTPUT=${2:-BENCH_seed.json}
 export CCASTREAM_THREADS=${CCASTREAM_THREADS:-1}
 export CCASTREAM_PARTITION=${CCASTREAM_PARTITION:-rows}
-export CCASTREAM_ENGINE=${CCASTREAM_ENGINE:-scan}
+export CCASTREAM_ENGINE=${CCASTREAM_ENGINE:-active}
 
 if [[ ! -d "$BUILD_DIR/bench" ]]; then
   echo "error: $BUILD_DIR/bench not found — build first:" >&2
