@@ -1,0 +1,55 @@
+#include "runtime/check.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ccastream::rt {
+
+std::string_view to_string(CheckLevel level) noexcept {
+  switch (level) {
+    case CheckLevel::off: return "off";
+    case CheckLevel::cheap: return "cheap";
+    case CheckLevel::full: return "full";
+  }
+  return "off";
+}
+
+std::optional<CheckLevel> parse_check_level(std::string_view text) {
+  if (text == "off") return CheckLevel::off;
+  if (text == "cheap") return CheckLevel::cheap;
+  if (text == "full") return CheckLevel::full;
+  return std::nullopt;
+}
+
+CheckLevel resolve_check_level(const std::optional<CheckLevel>& requested) {
+  if (requested) return *requested;
+  if (const char* env = std::getenv("CCASTREAM_CHECK")) {
+    if (const auto level = parse_check_level(env)) return *level;
+    // Warn (once) instead of failing, mirroring CCASTREAM_ENGINE: a typo
+    // ("ful") would otherwise silently run the unchecked build — e.g. the
+    // CI checked-determinism leg verifying nothing.
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true, std::memory_order_relaxed)) {
+      std::fprintf(stderr,
+                   "ccastream: ignoring unparsable CCASTREAM_CHECK '%s' "
+                   "(using off)\n",
+                   env);
+    }
+  }
+  return CheckLevel::off;
+}
+
+void check_failed(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "ccastream: CCA_CHECK failed: %s at %s:%d\n", expr,
+               file, line);
+  std::abort();
+}
+
+void fatal_misuse(const char* what, const char* file, int line) {
+  std::fprintf(stderr, "ccastream: fatal misuse: %s at %s:%d\n", what, file,
+               line);
+  std::abort();
+}
+
+}  // namespace ccastream::rt

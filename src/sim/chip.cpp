@@ -210,10 +210,12 @@ Chip::Chip(ChipConfig cfg)
       alloc_policy_(rt::make_alloc_policy(cfg.alloc_policy, cfg.vicinity_radius)),
       io_(mesh_, cfg.io_sides) {
   assert(cfg.width > 0 && cfg.height > 0);
+  check_level_ = rt::resolve_check_level(cfg_.check_level);
   cells_.reserve(mesh_.cell_count());
   rt::SplitMix64 seeder(cfg.seed);
   for (std::uint32_t i = 0; i < mesh_.cell_count(); ++i) {
-    cells_.emplace_back(i, cfg.cc_memory_bytes, cfg.fifo_depth, seeder.next());
+    cells_.emplace_back(i, cfg.cc_memory_bytes, cfg.fifo_depth, seeder.next(),
+                        check_level_);
   }
   trace_.set_enabled(cfg.record_activation);
   cell_load_.assign(mesh_.cell_count(), 0);
@@ -245,6 +247,10 @@ Chip::Chip(ChipConfig cfg)
 }
 
 void Chip::apply_layout() {
+  // Checked build: a fresh decomposition (construction or rebalance) must
+  // still cover the mesh exactly — catches splitter bugs before the first
+  // cycle runs on the new rectangles.
+  CCA_CHECK(full, layout_.exact_cover());
   for (std::uint32_t p = 0; p < num_parts_; ++p) {
     parts_[p].rect = layout_.rect(p);
     parts_[p].io_cells.clear();
@@ -658,8 +664,7 @@ void Chip::route_cell(PartitionState& st, std::uint32_t idx, bool adaptive) {
     if (dst == cur) {
       if (ejections_left == 0) continue;
       deliver(st, cell, m);
-      src->pop();
-      --cell.fifo_msgs;
+      cell.pop_input(*src);
       --ejections_left;
       continue;
     }
@@ -699,12 +704,10 @@ void Chip::route_cell(PartitionState& st, std::uint32_t idx, bool adaptive) {
       box.pushes.push_back(
           {next_idx, static_cast<std::uint8_t>(port), m});
     } else {
-      neighbour.router_in[port].push(m);
-      ++neighbour.fifo_msgs;
+      neighbour.push_router(port, m);
       if (engine_active_) mark_active(st, next_idx);
     }
-    src->pop();
-    --cell.fifo_msgs;
+    cell.pop_input(*src);
     used_out[d] = true;
     ++st.stats.hops;
   }
@@ -724,9 +727,7 @@ void Chip::cycle_apply(PartitionState& st) {
   for (std::uint32_t i = 0; i < n; ++i) {
     auto& inbox = parts_[st.inbox_producers[i]].outbox[st.index].pushes;
     for (const PendingPush& p : inbox) {
-      ComputeCell& cell = cells_[p.target_cc];
-      cell.router_in[p.port].push(p.msg);
-      ++cell.fifo_msgs;
+      cells_[p.target_cc].push_router(p.port, p.msg);
       if (engine_active_) mark_active(st, p.target_cc);
     }
     inbox.clear();
@@ -745,8 +746,7 @@ void Chip::cycle_io(PartitionState& st) {
     m.src_cc = ioc.attached_cc;
     m.birth_cycle = cycle_;
     m.last_move_cycle = cycle_;  // injection consumes this cycle's movement
-    cc.io_in.push(m);
-    ++cc.fifo_msgs;
+    cc.push_io(m);
     if (engine_active_) mark_active(st, ioc.attached_cc);
     ioc.pending.pop_front();
     ++st.stats.io_injections;
@@ -893,8 +893,7 @@ bool Chip::compute_one(PartitionState& st, std::uint32_t idx, bool tracing) {
   } else if (!cell.staged.empty()) {
     // Staging one created message into the network (one op).
     if (cell.local_out.has_room()) {
-      cell.local_out.push(cell.staged.front());
-      ++cell.fifo_msgs;
+      cell.push_local_out(cell.staged.front());
       cell.staged.pop_front();
       ++st.stats.messages_staged;
       did_op = true;
@@ -976,6 +975,62 @@ void Chip::merge_partitions() {
   ++cycle_;
   ++stats_.cycles;
   if (trace_.enabled()) trace_.record(active, live);
+  // Checked build, full level: sweep every structural invariant at this
+  // barrier point. The merge runs on partition 0's thread while all other
+  // workers are parked at the cycle barrier (their writes are published by
+  // the arrival that admitted us here), so reading every cell and
+  // partition is race-free.
+  if (check_level_ == rt::CheckLevel::full) verify_cycle_invariants();
+}
+
+void Chip::verify_cycle_invariants() const {
+  // 1. Per-cell: the cached counter equals real occupancy, and — under the
+  //    active engine — membership flags are exactly the activity predicate
+  //    (the invariant every phase loop trusts when it skips a cell).
+  for (const ComputeCell& c : cells_) {
+    CCA_CHECK(full, c.fifo_msgs == c.router_occupancy());
+    if (engine_active_) CCA_CHECK(full, c.in_active_set == c.has_work());
+  }
+  for (const PartitionState& st : parts_) {
+    // 2. Cross-partition plumbing drained: no outbox holds a push and no
+    //    producer registration survived the apply phase.
+    for (const PartitionState::Outbox& box : st.outbox) {
+      CCA_CHECK(full, box.pushes.empty());
+    }
+    CCA_CHECK(full,
+              st.inbox_count.v.load(std::memory_order_relaxed) == 0);
+    if (!engine_active_) continue;
+    // 3. Membership structures mirror the per-cell flags: dense partitions
+    //    carry the exact popcount (and no stale vectors), sparse ones a
+    //    sorted vector of exactly the flagged cells, with the mid-cycle
+    //    queue folded in.
+    CCA_CHECK(full, st.incoming.empty());
+    std::uint64_t flagged = 0;
+    std::size_t pos = 0;
+    bool sparse_mirrors_flags = true;
+    for (std::uint32_t y = st.rect.y0; y < st.rect.y1; ++y) {
+      for (std::uint32_t x = st.rect.x0; x < st.rect.x1; ++x) {
+        const std::uint32_t idx = y * cfg_.width + x;
+        if (!cells_[idx].in_active_set) continue;
+        ++flagged;
+        if (!st.dense) {
+          if (pos >= st.active.size() || st.active[pos] != idx) {
+            sparse_mirrors_flags = false;
+          }
+          ++pos;
+        }
+      }
+    }
+    if (st.dense) {
+      CCA_CHECK(full, st.active.empty());
+      CCA_CHECK(full, st.active_count == flagged);
+    } else {
+      CCA_CHECK(full, sparse_mirrors_flags && pos == st.active.size());
+    }
+  }
+  // 4. The decomposition itself: disjoint rectangles covering every cell,
+  //    owner table in agreement.
+  CCA_CHECK(full, layout_.exact_cover());
 }
 
 void Chip::execute_action(PartitionState& st, ComputeCell& cell,

@@ -26,6 +26,7 @@
 #include "runtime/action.hpp"
 #include "runtime/alloc_policy.hpp"
 #include "runtime/arena.hpp"
+#include "runtime/check.hpp"
 #include "runtime/context.hpp"
 #include "runtime/geometry.hpp"
 #include "runtime/handler_registry.hpp"
@@ -155,6 +156,15 @@ struct ChipConfig {
   /// restores always-adopt. Another performance knob: the rebalance
   /// schedule never changes results.
   std::uint32_t rebalance_min_gain_pct = 5;
+  /// Runtime verification level of the checked build (see
+  /// runtime/check.hpp): off (default) compiles the checks to untaken
+  /// branches, cheap cross-checks the cached fifo_msgs counter at every
+  /// sanctioned FIFO mutation, full additionally sweeps every
+  /// engine-structure invariant (membership == has_work, counters, outbox
+  /// drain, partition cover) at the end of every cycle. nullopt resolves
+  /// from the CCASTREAM_CHECK environment variable (CLI `--check`).
+  /// Verification never changes results — only host cost.
+  std::optional<rt::CheckLevel> check_level;
 };
 
 /// Resolves a requested thread count: 0 reads CCASTREAM_THREADS (default 1).
@@ -274,6 +284,12 @@ class Chip {
   /// CCASTREAM_ENGINE, else scan).
   [[nodiscard]] EngineKind engine() const noexcept { return engine_; }
 
+  /// The resolved check level of this chip instance (config, else
+  /// CCASTREAM_CHECK, else off).
+  [[nodiscard]] rt::CheckLevel check_level() const noexcept {
+    return check_level_;
+  }
+
   /// Cells visited by the per-cell phase loops (snapshot + route +
   /// compute) over the whole run — the cost metric the engines differ in.
   /// The scan engine visits 3 × width × height cells per cycle; the
@@ -372,6 +388,11 @@ class Chip {
 
  private:
   friend class CellContext;
+
+  /// Current check level for the CCA_CHECK macro (see runtime/check.hpp).
+  [[nodiscard]] rt::CheckLevel cca_check_level() const noexcept {
+    return check_level_;
+  }
 
   /// One deferred cross-partition router push (applied behind a barrier so
   /// no FIFO is ever touched by two threads in the same phase).
@@ -496,6 +517,16 @@ class Chip {
   void cycle_compute(PartitionState& st);
   /// End-of-cycle merge (single-threaded, behind the barrier).
   void merge_partitions();
+  /// Full-level barrier-point sweep (CCASTREAM_CHECK=full), run at the end
+  /// of every merge while the worker pool is parked at the cycle barrier:
+  /// verifies the invariants the lint cannot see statically — every cell's
+  /// cached fifo_msgs equals its real FIFO occupancy, active-set/dense
+  /// membership exactly equals has_work(), dense counts equal the flag
+  /// popcount, sparse vectors mirror the flags in ascending order, all
+  /// cross-partition outboxes are drained, and the partition rectangles
+  /// exactly cover the mesh. O(mesh) per cycle by design; a failure
+  /// aborts via CCA_CHECK.
+  void verify_cycle_invariants() const;
   /// Quiescence from the partition idle flags of the cycle just merged.
   [[nodiscard]] bool partitions_quiescent() const noexcept;
 
@@ -570,6 +601,9 @@ class Chip {
   bool engine_active_ = false;
   /// Resolved hybrid dense threshold percent (see resolve_dense_threshold).
   std::uint32_t dense_threshold_ = kDefaultDenseThresholdPct;
+  /// Resolved runtime-verification level (see resolve_check_level); read
+  /// by the CCA_CHECK macro via cca_check_level() below.
+  rt::CheckLevel check_level_ = rt::CheckLevel::off;
   /// Hybrid telemetry, merged once per cycle: total sparse↔dense switches,
   /// partition-cycles run dense, and the active-set capacity high-water.
   std::uint64_t dense_switches_ = 0;

@@ -5,10 +5,11 @@
 namespace ccastream::sim {
 
 bool ComputeCell::idle() const noexcept {
-  // The cached counter stands in for walking all six FIFOs; the Chip
-  // updates it at every push/pop site, and debug builds cross-check it
-  // against the containers here — the one place every engine path funnels
-  // through.
+  // The cached counter stands in for walking all six FIFOs. The sanctioned
+  // mutation helpers (push_router/push_io/push_local_out/pop_input) are
+  // the only writers and each cross-checks it at check level `cheap`;
+  // debug builds additionally cross-check at this read site — the one
+  // place every engine path funnels through.
   assert(fifo_msgs == router_occupancy());
   return busy == 0 && fifo_msgs == 0 && staged.empty() && task_queue.empty() &&
          action_queue.empty();

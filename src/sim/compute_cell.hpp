@@ -12,6 +12,7 @@
 
 #include "runtime/action.hpp"
 #include "runtime/arena.hpp"
+#include "runtime/check.hpp"
 #include "runtime/rng.hpp"
 #include "sim/fifo.hpp"
 #include "sim/message.hpp"
@@ -22,8 +23,10 @@ namespace ccastream::sim {
 class ComputeCell {
  public:
   ComputeCell(std::uint32_t index, std::size_t memory_bytes, std::uint32_t fifo_depth,
-              std::uint64_t rng_seed)
-      : arena(memory_bytes), rng(rng_seed), index_(index) {
+              std::uint64_t rng_seed,
+              rt::CheckLevel check_level = rt::CheckLevel::off)
+      : arena(memory_bytes), rng(rng_seed), index_(index),
+        check_level_(check_level) {
     for (auto& f : router_in) f.set_capacity(fifo_depth);
     io_in.set_capacity(fifo_depth);
     local_out.set_capacity(fifo_depth);
@@ -56,6 +59,45 @@ class ComputeCell {
   /// four neighbour ports, the IO port, and locally staged traffic).
   [[nodiscard]] std::uint32_t router_occupancy() const noexcept;
 
+  // --- Sanctioned FIFO mutation helpers -----------------------------------
+  // The ONLY operations allowed to push/pop this cell's message FIFOs
+  // (enforced statically by the `fifo-discipline` rule of
+  // tools/lint/ccastream_lint.py): each keeps the cached `fifo_msgs`
+  // counter in lockstep with the containers and, at check level `cheap`
+  // and above, cross-checks the counter after every mutation — the
+  // runtime side of the same invariant.
+
+  /// Pushes a message arriving from a neighbour into router port `port`.
+  void push_router(std::size_t port, const Message& m) {
+    router_in[port].push(m);
+    ++fifo_msgs;
+    CCA_CHECK(cheap, fifo_msgs == router_occupancy());
+  }
+
+  /// Pushes a message injected by the attached IO cell.
+  void push_io(const Message& m) {
+    io_in.push(m);
+    ++fifo_msgs;
+    CCA_CHECK(cheap, fifo_msgs == router_occupancy());
+  }
+
+  /// Stages one locally created message into the network outport.
+  void push_local_out(const Message& m) {
+    local_out.push(m);
+    ++fifo_msgs;
+    CCA_CHECK(cheap, fifo_msgs == router_occupancy());
+  }
+
+  /// Pops the front of one of this cell's own input FIFOs (router port,
+  /// IO port, or local outport — the router phase selects the source
+  /// dynamically, so the helper takes the FIFO itself).
+  void pop_input(Fifo<Message>& src) {
+    CCA_CHECK(cheap, owns_fifo(src));
+    src.pop();
+    --fifo_msgs;
+    CCA_CHECK(cheap, fifo_msgs == router_occupancy());
+  }
+
   // --- Scratchpad ---------------------------------------------------------
   rt::ObjectArena arena;
 
@@ -87,11 +129,12 @@ class ComputeCell {
   std::uint32_t in_size_snapshot[kMeshDirections] = {0, 0, 0, 0};
 
   /// Cached occupancy: messages currently held across all six FIFOs
-  /// (`router_in[4]`, `io_in`, `local_out`). The Chip maintains it at every
-  /// push/pop site, making `idle()` a constant-count check instead of six
-  /// container walks — the activity predicate runs once per live cell per
-  /// cycle under the active-set engine. `router_occupancy()` recomputes
-  /// from the containers and asserts agreement in debug builds.
+  /// (`router_in[4]`, `io_in`, `local_out`). Maintained exclusively by the
+  /// sanctioned mutation helpers above, making `idle()` a constant-count
+  /// check instead of six container walks — the activity predicate runs
+  /// once per live cell per cycle under the active-set engine. Each helper
+  /// cross-checks it against `router_occupancy()` at check level `cheap`;
+  /// the full-level cycle sweep re-verifies every cell.
   std::uint32_t fifo_msgs = 0;
 
   // --- Misc ---------------------------------------------------------------
@@ -107,7 +150,24 @@ class ComputeCell {
   bool in_active_set = false;
 
  private:
+  /// Current check level for the CCA_CHECK macro (see runtime/check.hpp);
+  /// set by the owning Chip from its resolved ChipConfig::check_level.
+  [[nodiscard]] rt::CheckLevel cca_check_level() const noexcept {
+    return check_level_;
+  }
+
+  /// True iff `f` is one of this cell's six message FIFOs — the
+  /// cheap-level guard that pop_input is not handed a neighbour's FIFO
+  /// (which would silently desynchronise two fifo_msgs counters).
+  [[nodiscard]] bool owns_fifo(const Fifo<Message>& f) const noexcept {
+    for (const auto& r : router_in) {
+      if (&f == &r) return true;
+    }
+    return &f == &io_in || &f == &local_out;
+  }
+
   std::uint32_t index_;
+  rt::CheckLevel check_level_;
 };
 
 }  // namespace ccastream::sim

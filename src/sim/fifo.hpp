@@ -2,11 +2,19 @@
 // Capacity is set at construction (from ChipConfig::fifo_depth); overflow is
 // impossible by construction because callers must check has_room() — the
 // mesh applies backpressure instead of dropping messages.
+//
+// Misuse (push on full, pop on empty, resizing a non-empty buffer) aborts
+// in EVERY build type, not just debug: each of these means a routing or
+// backpressure invariant is already broken and silent wraparound would
+// corrupt messages. The guards are a single predictable compare on state
+// the operation loads anyway; death tests in tests/fifo_test.cpp pin them.
 #pragma once
 
 #include <cassert>
 #include <cstddef>
 #include <vector>
+
+#include "runtime/check.hpp"
 
 namespace ccastream::sim {
 
@@ -16,7 +24,10 @@ class Fifo {
   explicit Fifo(std::size_t capacity = 0) : buf_(capacity) {}
 
   void set_capacity(std::size_t capacity) {
-    assert(size_ == 0 && "cannot resize a non-empty FIFO");
+    if (size_ != 0) {
+      rt::fatal_misuse("Fifo::set_capacity on a non-empty FIFO", __FILE__,
+                       __LINE__);
+    }
     buf_.assign(capacity, T{});
     head_ = 0;
   }
@@ -28,7 +39,9 @@ class Fifo {
 
   /// Pushes a value; caller must have checked has_room().
   void push(const T& v) {
-    assert(has_room());
+    if (size_ >= buf_.size()) {
+      rt::fatal_misuse("Fifo::push on a full FIFO", __FILE__, __LINE__);
+    }
     buf_[(head_ + size_) % buf_.size()] = v;
     ++size_;
   }
@@ -43,7 +56,9 @@ class Fifo {
   }
 
   void pop() {
-    assert(!empty());
+    if (size_ == 0) {
+      rt::fatal_misuse("Fifo::pop on an empty FIFO", __FILE__, __LINE__);
+    }
     head_ = (head_ + 1) % buf_.size();
     --size_;
   }

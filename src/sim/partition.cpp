@@ -276,6 +276,31 @@ std::vector<std::uint32_t> PartitionLayout::y_boundaries() const {
   return yb;
 }
 
+bool PartitionLayout::exact_cover() const {
+  if (owner_.size() != static_cast<std::size_t>(width_) * height_) return false;
+  // Count coverage per cell from the rectangles themselves; the owner
+  // table must agree with (and therefore be derivable from) the rects.
+  std::vector<std::uint8_t> covered(owner_.size(), 0);
+  for (std::uint32_t p = 0; p < parts(); ++p) {
+    const PartRect& r = rects_[p];
+    if (r.x0 >= r.x1 || r.y0 >= r.y1 || r.x1 > width_ || r.y1 > height_) {
+      return false;
+    }
+    for (std::uint32_t y = r.y0; y < r.y1; ++y) {
+      for (std::uint32_t x = r.x0; x < r.x1; ++x) {
+        const std::size_t idx = static_cast<std::size_t>(y) * width_ + x;
+        if (covered[idx] != 0) return false;  // overlap
+        covered[idx] = 1;
+        if (owner_[idx] != p) return false;
+      }
+    }
+  }
+  for (const std::uint8_t c : covered) {
+    if (c == 0) return false;  // gap
+  }
+  return true;
+}
+
 PartitionLayout PartitionLayout::rebalanced(
     const std::vector<std::uint64_t>& cell_load,
     std::uint32_t min_gain_pct) const {

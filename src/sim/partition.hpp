@@ -142,6 +142,13 @@ class PartitionLayout {
     return owner_[cell];
   }
 
+  /// Structural self-check: every mesh cell lies in exactly one rectangle,
+  /// that rectangle is the one the owner table names, and no rectangle is
+  /// degenerate. O(mesh); used by the full-level checked build
+  /// (CCASTREAM_CHECK=full — see runtime/check.hpp) after every layout
+  /// change and cycle, and by the partition property tests.
+  [[nodiscard]] bool exact_cover() const;
+
   friend bool operator==(const PartitionLayout& a, const PartitionLayout& b) {
     return a.width_ == b.width_ && a.height_ == b.height_ &&
            a.rects_ == b.rects_;

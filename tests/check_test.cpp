@@ -1,0 +1,216 @@
+// The checked-build subsystem (runtime/check.hpp):
+//   * CheckLevel parsing and the config > CCASTREAM_CHECK > off resolution
+//     order (the same ladder every backend knob uses), including the
+//     garbage-env fallback;
+//   * a chip resolves its level at construction and exposes it, so two
+//     chips in one process can run at different levels;
+//   * transparency — a full-level run of a real workload is
+//     cycle-for-cycle and counter-for-counter identical to an unchecked
+//     run, on both engines (the checks observe, never steer);
+//   * teeth — corrupting the invariants the sweeps guard (the fifo_msgs
+//     cached counter, the in_active_set membership flag) turns the next
+//     cycle into a diagnosed abort instead of silent divergence.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+
+#include "test_util.hpp"
+
+namespace ccastream {
+namespace {
+
+using rt::CheckLevel;
+using test::ScopedEnv;
+
+TEST(CheckLevelResolution, ParsesKnownLevels) {
+  EXPECT_EQ(rt::parse_check_level("off"), CheckLevel::off);
+  EXPECT_EQ(rt::parse_check_level("cheap"), CheckLevel::cheap);
+  EXPECT_EQ(rt::parse_check_level("full"), CheckLevel::full);
+  EXPECT_EQ(rt::parse_check_level(""), std::nullopt);
+  EXPECT_EQ(rt::parse_check_level("FULL"), std::nullopt);
+  EXPECT_EQ(rt::parse_check_level("2"), std::nullopt);
+}
+
+TEST(CheckLevelResolution, RoundTripsToString) {
+  EXPECT_EQ(rt::parse_check_level(rt::to_string(CheckLevel::off)),
+            CheckLevel::off);
+  EXPECT_EQ(rt::parse_check_level(rt::to_string(CheckLevel::cheap)),
+            CheckLevel::cheap);
+  EXPECT_EQ(rt::parse_check_level(rt::to_string(CheckLevel::full)),
+            CheckLevel::full);
+}
+
+// Same ladder as resolve_engine / resolve_dense_threshold: explicit config
+// beats the environment, the environment beats the default, garbage in the
+// environment degrades to the default (off) rather than erroring.
+TEST(CheckLevelResolution, ConfigBeatsEnvBeatsDefault) {
+  {
+    const ScopedEnv env("CCASTREAM_CHECK", nullptr);
+    EXPECT_EQ(rt::resolve_check_level({}), CheckLevel::off);
+    EXPECT_EQ(rt::resolve_check_level(CheckLevel::full), CheckLevel::full);
+  }
+  {
+    const ScopedEnv env("CCASTREAM_CHECK", "full");
+    EXPECT_EQ(rt::resolve_check_level({}), CheckLevel::full);
+    // Explicit config always wins over the environment.
+    EXPECT_EQ(rt::resolve_check_level(CheckLevel::cheap), CheckLevel::cheap);
+    EXPECT_EQ(rt::resolve_check_level(CheckLevel::off), CheckLevel::off);
+  }
+  {
+    const ScopedEnv env("CCASTREAM_CHECK", "cheap");
+    EXPECT_EQ(rt::resolve_check_level({}), CheckLevel::cheap);
+  }
+  {
+    const ScopedEnv env("CCASTREAM_CHECK", "paranoid");
+    EXPECT_EQ(rt::resolve_check_level({}), CheckLevel::off);
+  }
+}
+
+TEST(CheckLevelResolution, ChipResolvesAtConstruction) {
+  {
+    const ScopedEnv env("CCASTREAM_CHECK", nullptr);
+    const sim::Chip chip(test::small_chip_config(4));
+    EXPECT_EQ(chip.check_level(), CheckLevel::off);
+  }
+  {
+    const ScopedEnv env("CCASTREAM_CHECK", "full");
+    const sim::Chip from_env(test::small_chip_config(4));
+    EXPECT_EQ(from_env.check_level(), CheckLevel::full);
+
+    auto cfg = test::small_chip_config(4);
+    cfg.check_level = CheckLevel::cheap;
+    const sim::Chip from_config(cfg);
+    EXPECT_EQ(from_config.check_level(), CheckLevel::cheap);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Workload plumbing shared by the behavioural tests: the self-spinning
+// handler from the engine suites, which holds cells live for a chosen
+// number of rounds and exercises routing, IO, staging, and the active set.
+
+class Blob final : public rt::ArenaObject {
+ public:
+  [[nodiscard]] std::size_t logical_bytes() const noexcept override { return 16; }
+};
+
+rt::HandlerId install_spin(sim::Chip& chip) {
+  return chip.handlers().register_handler(
+      "spin", [](rt::Context& ctx, const rt::Action& a) {
+        ctx.charge(3);
+        if (a.args[0] > 0) {
+          ctx.propagate(rt::make_action(
+              a.handler, rt::GlobalAddress::unpack(a.args[1]), a.args[0] - 1,
+              a.args[1]));
+        }
+      });
+}
+
+void seed_spinner(sim::Chip& chip, rt::HandlerId spin, std::uint32_t cc,
+                  rt::Word rounds) {
+  const auto tgt = *chip.host_allocate(cc, std::make_unique<Blob>());
+  chip.inject_local(rt::make_action(spin, tgt, rounds, tgt.pack()));
+}
+
+/// Runs the reference workload at `level` on `engine` and returns the final
+/// counters. The workload lights a diagonal of cells with staggered
+/// lifetimes so the run exercises activation, deactivation, and (on the
+/// active engine) the membership structures the full sweep audits.
+sim::ChipStats run_workload(CheckLevel level, sim::EngineKind engine) {
+  auto cfg = test::small_chip_config(8);
+  cfg.check_level = level;
+  cfg.engine = engine;
+  cfg.threads = 1;
+  sim::Chip chip(cfg);
+  const auto spin = install_spin(chip);
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    seed_spinner(chip, spin, i * 8 + i, 4 + i);
+  }
+  chip.run_until_quiescent();
+  return chip.stats();
+}
+
+// The checks must be pure observers: a fully-checked run is identical to an
+// unchecked run in every counter, on both engines. (This is also the test
+// that actually *executes* the full barrier sweep on a live workload.)
+TEST(CheckedRun, FullLevelIsTransparent) {
+  for (const auto engine : {sim::EngineKind::kActive, sim::EngineKind::kScan}) {
+    const auto unchecked = run_workload(CheckLevel::off, engine);
+    const auto checked = run_workload(CheckLevel::full, engine);
+    EXPECT_EQ(checked.cycles, unchecked.cycles);
+    EXPECT_EQ(checked.actions_created, unchecked.actions_created);
+    EXPECT_EQ(checked.actions_executed, unchecked.actions_executed);
+    EXPECT_EQ(checked.instructions, unchecked.instructions);
+    EXPECT_EQ(checked.messages_staged, unchecked.messages_staged);
+    EXPECT_EQ(checked.hops, unchecked.hops);
+    EXPECT_EQ(checked.deliveries, unchecked.deliveries);
+    EXPECT_EQ(checked.io_injections, unchecked.io_injections);
+    EXPECT_EQ(checked.allocations, unchecked.allocations);
+    EXPECT_EQ(checked.faults, unchecked.faults);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Teeth: seed a corruption the sweeps are specified to catch and pin the
+// diagnosed abort. Chips are serial single-partition so the death-test
+// child re-executes deterministically without worker threads.
+
+sim::ChipConfig checked_serial_config(CheckLevel level) {
+  auto cfg = test::small_chip_config(4);
+  cfg.check_level = level;
+  cfg.threads = 1;
+  return cfg;
+}
+
+using CheckDeathTest = ::testing::Test;
+
+// A fifo_msgs counter that drifts from real FIFO occupancy is exactly the
+// corruption the cached-counter audit exists for: the full sweep catches
+// it at the next cycle barrier even when no helper touches the cell again.
+TEST(CheckDeathTest, CorruptedFifoCounterDiesAtBarrier) {
+  sim::Chip chip(checked_serial_config(CheckLevel::full));
+  chip.step();
+  chip.cell(5).fifo_msgs += 1;
+  EXPECT_DEATH(chip.step(), "CCA_CHECK failed: c.fifo_msgs");
+}
+
+// At level cheap the same drift is caught earlier — by the mutation helper
+// the next time traffic touches the cell (here: the IO delivery path).
+TEST(CheckDeathTest, CorruptedFifoCounterDiesInMutationHelper) {
+  sim::Chip chip(checked_serial_config(CheckLevel::cheap));
+  const auto spin = install_spin(chip);
+  chip.cell(5).fifo_msgs += 1;
+  seed_spinner(chip, spin, 5, 1);
+  EXPECT_DEATH(chip.run_until_quiescent(), "CCA_CHECK failed");
+}
+
+// Membership corruption: a flag claiming an idle cell is live breaks
+// in_active_set == has_work(), the invariant every phase loop of the
+// active engine trusts when it skips cells.
+TEST(CheckDeathTest, CorruptedActiveFlagDiesAtBarrier) {
+  auto cfg = checked_serial_config(CheckLevel::full);
+  cfg.engine = sim::EngineKind::kActive;
+  sim::Chip chip(cfg);
+  chip.step();
+  chip.cell(7).in_active_set = true;
+  EXPECT_DEATH(chip.step(), "CCA_CHECK failed");
+}
+
+// Level off must not die: the same corruptions are (deliberately) ignored,
+// which is what keeps the default path zero-overhead. The counter is
+// repaired before any helper would trip the debug assert in idle().
+TEST(CheckDeathTest, LevelOffIgnoresCorruption) {
+#ifndef NDEBUG
+  GTEST_SKIP() << "debug builds keep the assert in ComputeCell::idle() live";
+#endif
+  sim::Chip chip(checked_serial_config(CheckLevel::off));
+  chip.step();
+  chip.cell(5).fifo_msgs += 1;
+  chip.step();
+  chip.cell(5).fifo_msgs -= 1;
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace ccastream

@@ -1,4 +1,7 @@
-// Unit tests: the router port ring-buffer FIFO.
+// Unit tests: the router port ring-buffer FIFO — ordering/wrap behaviour
+// plus the always-on misuse guards (push-on-full, pop-on-empty,
+// resize-nonempty abort in every build type, not just debug; see the
+// header comment in sim/fifo.hpp).
 #include <gtest/gtest.h>
 
 #include "sim/fifo.hpp"
@@ -81,6 +84,42 @@ TEST(Fifo, ClearEmptiesButKeepsCapacity) {
   EXPECT_EQ(f.capacity(), 3u);
   f.push(9);
   EXPECT_EQ(f.front(), 9);
+}
+
+// The misuse guards are fatal_misuse-based rather than assert-based so
+// that the contract — callers gate on has_room()/empty() — holds in
+// Release builds too (NDEBUG compiles assert out). Each death test pins
+// both the abort and the diagnostic naming the violated contract.
+using FifoDeathTest = ::testing::Test;
+
+TEST(FifoDeathTest, PushOnFullAborts) {
+  Fifo<int> f(1);
+  f.push(7);
+  EXPECT_DEATH(f.push(8), "fatal misuse: Fifo::push on a full FIFO");
+}
+
+TEST(FifoDeathTest, PushOnZeroCapacityAborts) {
+  Fifo<int> f;
+  EXPECT_DEATH(f.push(1), "fatal misuse: Fifo::push on a full FIFO");
+}
+
+TEST(FifoDeathTest, PopOnEmptyAborts) {
+  Fifo<int> f(2);
+  EXPECT_DEATH(f.pop(), "fatal misuse: Fifo::pop on an empty FIFO");
+}
+
+TEST(FifoDeathTest, PopAfterDrainAborts) {
+  Fifo<int> f(2);
+  f.push(1);
+  f.pop();
+  EXPECT_DEATH(f.pop(), "fatal misuse: Fifo::pop on an empty FIFO");
+}
+
+TEST(FifoDeathTest, SetCapacityOnNonEmptyAborts) {
+  Fifo<int> f(2);
+  f.push(1);
+  EXPECT_DEATH(f.set_capacity(8),
+               "fatal misuse: Fifo::set_capacity on a non-empty FIFO");
 }
 
 }  // namespace

@@ -34,30 +34,7 @@ class Blob final : public rt::ArenaObject {
   [[nodiscard]] std::size_t logical_bytes() const noexcept override { return 16; }
 };
 
-/// Pins one environment variable for a test's lifetime, restoring the
-/// previous value on destruction.
-class ScopedEnv {
- public:
-  ScopedEnv(const char* name, const char* value) : name_(name) {
-    if (const char* old = std::getenv(name)) saved_ = old;
-    if (value != nullptr) {
-      ::setenv(name, value, 1);
-    } else {
-      ::unsetenv(name);
-    }
-  }
-  ~ScopedEnv() {
-    if (saved_) {
-      ::setenv(name_.c_str(), saved_->c_str(), 1);
-    } else {
-      ::unsetenv(name_.c_str());
-    }
-  }
-
- private:
-  std::string name_;
-  std::optional<std::string> saved_;
-};
+using test::ScopedEnv;
 
 /// Registers the self-spinning handler: each execution burns instruction
 /// cycles and, while its countdown lasts, re-propagates to its own cell —

@@ -53,6 +53,10 @@ void expect_valid(const PartitionLayout& layout) {
     EXPECT_EQ(covered[cell], 1u) << "cell " << cell << " covered "
                                  << covered[cell] << " times";
   }
+
+  // The layout's own self-check (what CCASTREAM_CHECK=full runs at every
+  // barrier) must agree with this independent reimplementation.
+  EXPECT_TRUE(layout.exact_cover());
 }
 
 TEST(PartitionSpec, ParsesEveryGrammarForm) {

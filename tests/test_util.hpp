@@ -2,11 +2,42 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdlib>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "ccastream/ccastream.hpp"
 
 namespace ccastream::test {
+
+/// Pins one environment variable for a test's lifetime, restoring the
+/// previous value on destruction. Pass `nullptr` to unset. Used by every
+/// knob-resolution test (engine, dense threshold, check level).
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    if (const char* old = std::getenv(name)) saved_ = old;
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (saved_) {
+      ::setenv(name_.c_str(), saved_->c_str(), 1);
+    } else {
+      ::unsetenv(name_.c_str());
+    }
+  }
+  ScopedEnv(const ScopedEnv&) = delete;
+  ScopedEnv& operator=(const ScopedEnv&) = delete;
+
+ private:
+  std::string name_;
+  std::optional<std::string> saved_;
+};
 
 /// Minimal rt::Context for unit-testing runtime components in isolation
 /// (futures, handlers) without a chip. Records everything it is asked to do.

@@ -32,6 +32,7 @@ struct Options {
   std::optional<sim::PartitionSpec> partition;  // unset = env, else rows
   std::optional<sim::EngineKind> engine;        // unset = env, else active
   std::uint32_t dense_pct = 0;  // 0 = CCASTREAM_DENSE_PCT env, else 50
+  std::optional<rt::CheckLevel> check;  // unset = CCASTREAM_CHECK env, else off
   sim::RoutingPolicyKind routing = sim::RoutingPolicyKind::kYX;
   rt::AllocPolicyKind alloc = rt::AllocPolicyKind::kVicinity;
   std::uint32_t vicinity_radius = 2;
@@ -74,6 +75,9 @@ void usage() {
       "                                CCASTREAM_DENSE_PCT or 50; >100 pins\n"
       "                                the engine sparse; results are\n"
       "                                identical for every N)\n"
+      "  --check off|cheap|full        runtime invariant checking (default:\n"
+      "                                CCASTREAM_CHECK or off; full adds an\n"
+      "                                O(mesh) sweep per cycle)\n"
       "  --routing yx|xy|west-first|odd-even\n"
       "  --alloc vicinity|random|round-robin|local\n"
       "  --radius R                    vicinity radius (default 2)\n"
@@ -145,6 +149,13 @@ bool parse(int argc, char** argv, Options& o) {
         return false;
       }
       o.dense_pct = static_cast<std::uint32_t>(pct);
+    } else if (a == "--check") {
+      const char* v = need(i);
+      o.check = rt::parse_check_level(v);
+      if (!o.check) {
+        std::fprintf(stderr, "invalid --check '%s' (want off|cheap|full)\n", v);
+        return false;
+      }
     } else if (a == "--routing") {
       const std::string v = need(i);
       if (v == "xy") o.routing = sim::RoutingPolicyKind::kXY;
@@ -227,6 +238,7 @@ int main(int argc, char** argv) {
   cfg.partition = o.partition;
   cfg.engine = o.engine;
   cfg.dense_threshold_pct = o.dense_pct;
+  cfg.check_level = o.check;
   cfg.record_activation = !o.activation_path.empty();
   sim::Chip chip(cfg);
 

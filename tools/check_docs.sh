@@ -1,62 +1,16 @@
 #!/usr/bin/env bash
-# Documentation consistency gate (CI docs job; run it locally from the
-# repo root before pushing doc or knob changes):
+# Documentation consistency gate — now a thin wrapper over the structural
+# lint, which owns the link and knob-documentation rules (plus the code
+# rules CI runs separately; see tools/lint/rules.toml):
 #
-#   1. every relative markdown link in README.md, ROADMAP.md and docs/*.md
-#      must resolve to an existing file;
-#   2. every CCASTREAM_* environment variable referenced by the sources
-#      (src/, bench/, tools/, tests/, examples/ — not CMake build options)
-#      must be documented in docs/TUNING.md.
+#   doc-links  — every relative markdown link in README.md, ROADMAP.md and
+#                docs/*.md resolves to an existing file;
+#   env-docs   — every CCASTREAM_* environment variable referenced by the
+#                sources is documented in docs/TUNING.md;
+#   flag-docs  — every CLI --flag is documented in docs/TUNING.md.
 #
-# Exits nonzero listing every violation, so CI shows the full picture.
+# Kept as a shell entry point so existing habits (`tools/check_docs.sh`)
+# and the CI docs job keep working unchanged.
 set -euo pipefail
 cd "$(dirname "$0")/.."
-
-fail=0
-
-# --- 1. Internal links ------------------------------------------------------
-docs=(README.md ROADMAP.md docs/*.md)
-for doc in "${docs[@]}"; do
-  [[ -f "$doc" ]] || continue
-  dir=$(dirname "$doc")
-  # Markdown inline links: [text](target). Skip absolute URLs and
-  # pure-anchor links; strip #fragment from file links.
-  while IFS= read -r target; do
-    [[ -z "$target" ]] && continue
-    case "$target" in
-      http://*|https://*|mailto:*|\#*) continue ;;
-    esac
-    file="${target%%#*}"
-    [[ -z "$file" ]] && continue
-    if [[ ! -e "$dir/$file" ]]; then
-      echo "BROKEN LINK: $doc -> $target"
-      fail=1
-    fi
-  done < <(grep -oE '\]\([^)]+\)' "$doc" | sed -E 's/^\]\(//; s/\)$//')
-done
-
-# --- 2. Env vars documented in TUNING.md ------------------------------------
-tuning=docs/TUNING.md
-if [[ ! -f "$tuning" ]]; then
-  echo "MISSING: $tuning"
-  exit 1
-fi
-# Source-referenced env vars only: CMakeLists options are build-system
-# knobs, not runtime environment, so only C++/shell sources are scanned —
-# excluding this script itself, whose variable mentions are meta.
-vars=$(grep -rhoE 'CCASTREAM_[A-Z_]+' \
-         --include='*.cpp' --include='*.hpp' --include='*.sh' \
-         --exclude='check_docs.sh' \
-         src bench tools tests examples | sort -u)
-for v in $vars; do
-  if ! grep -q "$v" "$tuning"; then
-    echo "UNDOCUMENTED ENV VAR: $v missing from $tuning"
-    fail=1
-  fi
-done
-
-if [[ $fail -ne 0 ]]; then
-  echo "docs check FAILED"
-  exit 1
-fi
-echo "docs check OK: $(printf '%s\n' "$vars" | wc -l) env vars documented, links resolve"
+exec python3 tools/lint/ccastream_lint.py --only doc-links,env-docs,flag-docs
