@@ -7,12 +7,14 @@
 //   CCASTREAM_SCALE=large  — the full 500K/10.2M rows as well
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "ccastream/ccastream.hpp"
@@ -160,7 +162,12 @@ inline const char* to_string(Scale scale) {
 /// (`Chip::active_set_capacity_peak()` — the active-set memory high-water,
 /// in entries) and `cap_end` (`Chip::active_set_capacity()` at measurement
 /// end — below `cap_peak` when the shrink policy returned memory); all
-/// three omitted when 0.
+/// three omitted when 0. `host_cores` records the host machine's logical
+/// core count (`std::thread::hardware_concurrency()`), giving the wall_ms
+/// numbers in aggregated files the hardware context needed to compare
+/// them across machines; the reporter stamps it on every record it
+/// writes, and legacy records (which carried no hardware context at all)
+/// parse as the conservative 1 — the same as the field's default.
 struct BenchRecord {
   std::string bench;
   std::string dataset;
@@ -175,6 +182,7 @@ struct BenchRecord {
   std::uint32_t dense_pct = 0;
   std::uint64_t cap_peak = 0;
   std::uint64_t cap_end = 0;
+  std::uint64_t host_cores = 1;
 
   friend bool operator==(const BenchRecord&, const BenchRecord&) = default;
 };
@@ -252,6 +260,11 @@ inline std::string format_record(const BenchRecord& r) {
     std::snprintf(num, sizeof num, "%llu",
                   static_cast<unsigned long long>(r.cap_end));
     out += std::string(",\"cap_end\":") + num;
+  }
+  if (r.host_cores != 0) {
+    std::snprintf(num, sizeof num, "%llu",
+                  static_cast<unsigned long long>(r.host_cores));
+    out += std::string(",\"host_cores\":") + num;
   }
   out += "}";
   return out;
@@ -359,6 +372,10 @@ inline std::optional<BenchRecord> parse_record(const std::string& line) {
       detail::parse_uint_field(line, "dense_pct").value_or(0));
   r.cap_peak = detail::parse_uint_field(line, "cap_peak").value_or(0);
   r.cap_end = detail::parse_uint_field(line, "cap_end").value_or(0);
+  // Absent before hardware context was recorded; legacy records came from
+  // machines whose core count is unknown, so the conservative 1 (also the
+  // field's default) marks their wall_ms as "single unknown core".
+  r.host_cores = detail::parse_uint_field(line, "host_cores").value_or(1);
   return r;
 }
 
@@ -374,7 +391,11 @@ class JsonReporter {
                                       : to_string(scale_from_env())),
         threads_(sim::resolve_threads(0)),
         partition_(sim::resolve_partition({}).to_string()),
-        engine_(sim::to_string(sim::resolve_engine({}))) {
+        engine_(sim::to_string(sim::resolve_engine({}))),
+        // hardware_concurrency() may report 0 on hosts it cannot probe;
+        // fall back to the legacy-parse default rather than writing an
+        // impossible core count.
+        host_cores_(std::max(1u, std::thread::hardware_concurrency())) {
     const char* path = std::getenv("CCASTREAM_BENCH_JSON");
     if (path != nullptr && *path != '\0') path_ = path;
   }
@@ -428,6 +449,10 @@ class JsonReporter {
     if (r.threads == 0) r.threads = threads_;
     if (r.partition.empty()) r.partition = partition_;
     if (r.engine.empty()) r.engine = engine_;
+    // Like `bench` and `scale`, the host's logical core count is always
+    // the reporter's to stamp: wall_ms without the hardware it was
+    // measured on is not comparable across machines.
+    r.host_cores = host_cores_;
     std::fprintf(f, "%s\n", format_record(r).c_str());
     std::fclose(f);
   }
@@ -439,6 +464,7 @@ class JsonReporter {
   std::uint64_t threads_ = 1;
   std::string partition_ = "rows";
   std::string engine_ = "scan";
+  std::uint64_t host_cores_ = 1;
 };
 
 }  // namespace ccastream::bench

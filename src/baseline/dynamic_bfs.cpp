@@ -1,6 +1,8 @@
 #include "baseline/dynamic_bfs.hpp"
 
+#include <algorithm>
 #include <deque>
+#include <utility>
 
 #include "baseline/graph.hpp"
 
@@ -11,11 +13,50 @@ DynamicBfs::DynamicBfs(std::uint64_t num_vertices, std::uint64_t source)
   if (source_ < num_vertices) level_[source_] = 0;
 }
 
+bool DynamicBfs::in_range(std::uint64_t src, std::uint64_t dst) noexcept {
+  if (src < adj_.size() && dst < adj_.size()) return true;
+  ++rejected_;
+  return false;
+}
+
 void DynamicBfs::insert_edge(std::uint64_t src, std::uint64_t dst) {
+  if (!in_range(src, dst)) return;
   adj_[src].push_back(dst);
   if (level_[src] != kUnreached && level_[src] + 1 < level_[dst]) {
     level_[dst] = level_[src] + 1;
+    ++resettled_;
     flood_from(dst);
+  }
+}
+
+void DynamicBfs::delete_edge(std::uint64_t src, std::uint64_t dst) {
+  if (!in_range(src, dst)) return;
+  auto& out = adj_[src];
+  const auto removed = static_cast<std::uint64_t>(std::erase(out, dst));
+  if (removed == 0) return;
+  deleted_ += removed;
+  // The pair was a potential BFS tree edge only when dst sits exactly one
+  // level below src; any other shape cannot have carried dst's level.
+  if (level_[src] != kUnreached && level_[dst] == level_[src] + 1) {
+    invalidate_from(dst);
+    reflood_survivors();
+  }
+}
+
+void DynamicBfs::apply(const StreamEdge& e) {
+  if (e.is_delete()) {
+    delete_edge(e.src, e.dst);
+  } else {
+    insert_edge(e.src, e.dst);
+  }
+}
+
+void DynamicBfs::apply_increment(std::span<const StreamEdge> edges) {
+  for (const auto& e : edges) {
+    if (e.is_delete()) apply(e);
+  }
+  for (const auto& e : edges) {
+    if (!e.is_delete()) apply(e);
   }
 }
 
@@ -24,14 +65,63 @@ void DynamicBfs::insert_increment(std::span<const StreamEdge> edges) {
 }
 
 void DynamicBfs::flood_from(std::uint64_t v) {
+  if (v >= adj_.size()) return;
   std::deque<std::uint64_t> q{v};
   while (!q.empty()) {
     const std::uint64_t u = q.front();
     q.pop_front();
-    ++resettled_;
     for (const std::uint64_t w : adj_[u]) {
       if (level_[u] + 1 < level_[w]) {
         level_[w] = level_[u] + 1;
+        ++resettled_;
+        q.push_back(w);
+      }
+    }
+  }
+}
+
+// Forward closure over exact tree-shaped edges: a vertex at level L
+// un-settles every out-neighbor still sitting at L + 1. Levels only move
+// valid -> unreached here, so the closure is order-independent; it
+// over-approximates (a neighbor at L + 1 may have another intact parent)
+// but never misses a vertex whose every shortest path crossed a deleted
+// edge. The source (level 0) can never be invalidated: the wave only
+// targets levels >= 1.
+void DynamicBfs::invalidate_from(std::uint64_t v) {
+  std::deque<std::pair<std::uint64_t, std::uint64_t>> q;  // (vertex, old level)
+  q.emplace_back(v, level_[v]);
+  level_[v] = kUnreached;
+  ++invalidated_;
+  while (!q.empty()) {
+    const auto [u, old] = q.front();
+    q.pop_front();
+    for (const std::uint64_t w : adj_[u]) {
+      if (level_[w] == old + 1) {
+        q.emplace_back(w, level_[w]);
+        level_[w] = kUnreached;
+        ++invalidated_;
+      }
+    }
+  }
+}
+
+// Multi-source re-flood from every still-settled vertex. Surviving levels
+// are exact (deletion cannot shorten a path, and any vertex that depended
+// only on the deleted edge is in the invalidation closure), so monotone
+// relaxation from the surviving frontier restores the true BFS fixed
+// point over the current adjacency.
+void DynamicBfs::reflood_survivors() {
+  std::deque<std::uint64_t> q;
+  for (std::uint64_t u = 0; u < adj_.size(); ++u) {
+    if (level_[u] != kUnreached) q.push_back(u);
+  }
+  while (!q.empty()) {
+    const std::uint64_t u = q.front();
+    q.pop_front();
+    for (const std::uint64_t w : adj_[u]) {
+      if (level_[u] + 1 < level_[w]) {
+        level_[w] = level_[u] + 1;
+        ++resettled_;
         q.push_back(w);
       }
     }

@@ -5,6 +5,20 @@
 // Insertion rule: when edge (u, v) arrives and level(u) + 1 < level(v),
 // v improves and the improvement is flooded breadth-first — exactly the
 // fixed point the chip's asynchronous bfs-action diffusion converges to.
+//
+// Deletion rule: removing (u, v) can only *raise* levels. If the edge was
+// a potential tree edge (level(u) + 1 == level(v)), the affected region is
+// invalidated by following exact level(+1) edges forward from v — every
+// vertex whose shortest paths all crossed the deleted edge lies in that
+// closure — and then re-flooded from the surviving (still-settled)
+// frontier. Vertices invalidated conservatively get their old level back
+// from an intact neighbor during the re-flood. `recompute()` stays the
+// from-scratch ground truth either way.
+//
+// Hardening: all public entry points bounds-check vertex ids. An edge
+// naming an id outside [0, num_vertices) is rejected (counted in
+// `edges_rejected()`), never indexed — a malformed stream edge must not be
+// UB in the oracle the chip is pinned against.
 #pragma once
 
 #include <cstdint>
@@ -21,9 +35,27 @@ class DynamicBfs {
   DynamicBfs(std::uint64_t num_vertices, std::uint64_t source);
 
   /// Inserts one edge and repairs levels incrementally.
+  /// Out-of-range ids are rejected (see `edges_rejected()`).
   void insert_edge(std::uint64_t src, std::uint64_t dst);
 
-  /// Inserts a batch (one streaming increment).
+  /// Deletes every stored (src, dst) record (observation-multiset
+  /// semantics, matching the chip's delete-all-matches protocol) and
+  /// repairs levels via invalidate + re-flood. Unknown pairs and
+  /// out-of-range ids are no-ops (the latter counted as rejected).
+  void delete_edge(std::uint64_t src, std::uint64_t dst);
+
+  /// Applies one stream op according to its kind.
+  void apply(const StreamEdge& e);
+
+  /// Applies a batch (one streaming increment): all deletes first, then
+  /// all inserts — the same sub-phase order the chip's
+  /// StreamingGraph::stream_increment uses for op-mixed increments, so a
+  /// delete + re-insert of the same pair inside one increment nets one
+  /// stored edge on both sides.
+  void apply_increment(std::span<const StreamEdge> edges);
+
+  /// Insert-only legacy entry: treats every element as an insertion
+  /// regardless of its op. Prefer `apply_increment` for op-mixed streams.
   void insert_increment(std::span<const StreamEdge> edges);
 
   [[nodiscard]] const std::vector<std::uint64_t>& levels() const noexcept {
@@ -31,21 +63,40 @@ class DynamicBfs {
   }
   [[nodiscard]] std::uint64_t level_of(std::uint64_t v) const { return level_[v]; }
 
-  /// Work metric: vertices re-settled by incremental repair so far.
+  /// Work metric: vertices whose level actually changed during incremental
+  /// repair (insert relaxations + post-deletion re-settlement). Queue pops
+  /// that relax nothing are not counted.
   [[nodiscard]] std::uint64_t vertices_resettled() const noexcept {
     return resettled_;
   }
+
+  /// Vertices un-settled by deletion invalidation waves so far.
+  [[nodiscard]] std::uint64_t vertices_invalidated() const noexcept {
+    return invalidated_;
+  }
+
+  /// Stored edge records removed by `delete_edge` so far.
+  [[nodiscard]] std::uint64_t edges_deleted() const noexcept { return deleted_; }
+
+  /// Ops dropped because an endpoint id was out of range.
+  [[nodiscard]] std::uint64_t edges_rejected() const noexcept { return rejected_; }
 
   /// The same final levels computed from scratch (the recompute baseline).
   [[nodiscard]] std::vector<std::uint64_t> recompute() const;
 
  private:
+  [[nodiscard]] bool in_range(std::uint64_t src, std::uint64_t dst) noexcept;
   void flood_from(std::uint64_t v);
+  void invalidate_from(std::uint64_t v);
+  void reflood_survivors();
 
   std::vector<std::vector<std::uint64_t>> adj_;
   std::vector<std::uint64_t> level_;
   std::uint64_t source_;
   std::uint64_t resettled_ = 0;
+  std::uint64_t invalidated_ = 0;
+  std::uint64_t deleted_ = 0;
+  std::uint64_t rejected_ = 0;
 };
 
 }  // namespace ccastream::base

@@ -21,8 +21,22 @@ class RefGraph {
     ++num_edges_;
   }
 
+  /// Removes every stored (src, dst) arc — the chip protocol's
+  /// delete-all-matches semantics (see graph/stream_edge.hpp).
+  void remove_edge(std::uint64_t src, std::uint64_t dst) {
+    num_edges_ -= static_cast<std::uint64_t>(
+        std::erase_if(adj_[src], [&](const Arc& a) { return a.dst == dst; }));
+  }
+
+  /// Applies a batch of stream ops according to their kind. Like the chip
+  /// and base::DynamicBfs, an increment's deletes apply before its inserts.
   void add_edges(std::span<const StreamEdge> edges) {
-    for (const auto& e : edges) add_edge(e.src, e.dst, e.weight);
+    for (const auto& e : edges) {
+      if (e.is_delete()) remove_edge(e.src, e.dst);
+    }
+    for (const auto& e : edges) {
+      if (!e.is_delete()) add_edge(e.src, e.dst, e.weight);
+    }
   }
 
   [[nodiscard]] std::uint64_t num_vertices() const noexcept { return adj_.size(); }

@@ -44,6 +44,7 @@
 #include "workload/rmat.hpp"
 #include "workload/sampling.hpp"
 #include "workload/sbm.hpp"
+#include "workload/sliding_window.hpp"
 
 #include "baseline/algorithms.hpp"
 #include "baseline/dynamic_bfs.hpp"

@@ -72,6 +72,25 @@ void StreamingGraph::set_root_app_word(std::uint64_t vid, std::size_t word,
 }
 
 void StreamingGraph::enqueue_edge(const StreamEdge& e) {
+  // Ingest hardening: a malformed stream edge must fail loudly host-side,
+  // not index past roots_ (the chip has no way to bounds-check a bogus
+  // root address once the action is in flight).
+  if (e.src >= cfg_.num_vertices || e.dst >= cfg_.num_vertices) {
+    throw std::out_of_range(
+        "StreamingGraph::enqueue_edge: vertex id out of range (edge " +
+        std::to_string(e.src) + " -> " + std::to_string(e.dst) + ", graph has " +
+        std::to_string(cfg_.num_vertices) + " vertices)");
+  }
+  if (e.is_delete()) {
+    if (rhizomes_ > 1) {
+      // Stored records point at round-robin-chosen destination roots, so a
+      // delete could not find its matches on-cell; see protocol.hpp.
+      throw std::runtime_error(
+          "StreamingGraph: delete ops require rhizomes == 1");
+    }
+    chip_.io_enqueue(proto_.make_delete(roots_[e.src], roots_[e.dst]));
+    return;
+  }
   // Round-robin over the source's rhizomes (which root ingests the edge)
   // and over the destination's rhizomes (which root the stored edge points
   // to) — the hub-load-spreading of the Rhizomes design.
@@ -86,11 +105,58 @@ IncrementReport StreamingGraph::stream_increment(std::span<const StreamEdge> edg
                                                  std::uint64_t max_cycles) {
   const sim::ChipStats before = chip_.stats();
   const double energy_before = chip_.energy_pj();
-  for (const StreamEdge& e : edges) enqueue_edge(e);
-  chip_.run_until_quiescent(max_cycles);
+
+  std::uint64_t deletes = 0;
+  for (const StreamEdge& e : edges) {
+    if (e.is_delete()) ++deletes;
+  }
+
+  if (deletes == 0) {
+    // Insert-only fast path: unchanged single-phase streaming.
+    for (const StreamEdge& e : edges) enqueue_edge(e);
+    chip_.run_until_quiescent(max_cycles);
+  } else {
+    // Op-mixed increment: the four-phase deletion protocol (see the
+    // header). The app's on-cell hooks are suppressed for the structural
+    // phases when it provides host repair, so application state stays
+    // frozen at its pre-increment fixed point until phase I reads it.
+    const AppHooks& hooks = proto_.hooks();
+    const bool repair = static_cast<bool>(hooks.host_repair.invalidate);
+    if (repair) proto_.set_hooks_suppressed(true);
+
+    // Phase S-D: all deletes, to quiescence. Running deletes strictly
+    // before inserts gives op-mixed increments a defined order — a delete
+    // and re-insert of the same pair in one increment nets one record —
+    // and matches base::DynamicBfs::apply_increment.
+    for (const StreamEdge& e : edges) {
+      if (e.is_delete()) enqueue_edge(e);
+    }
+    chip_.run_until_quiescent(max_cycles);
+
+    // Phase S-I: all inserts, to quiescence.
+    for (const StreamEdge& e : edges) {
+      if (!e.is_delete()) enqueue_edge(e);
+    }
+    chip_.run_until_quiescent(max_cycles);
+
+    if (repair) {
+      proto_.set_hooks_suppressed(false);
+      // Phase I: host seeds invalidation from the pre-increment app state,
+      // the chip runs the un-settle wave to quiescence.
+      const bool invalidated = hooks.host_repair.invalidate(*this, edges);
+      chip_.run_until_quiescent(max_cycles);
+      // Phase R: host seeds re-settlement; monotone diffusion repairs the
+      // invalidated region (and performs the inserts' deferred diffusion).
+      if (hooks.host_repair.resettle) {
+        hooks.host_repair.resettle(*this, edges, invalidated);
+        chip_.run_until_quiescent(max_cycles);
+      }
+    }
+  }
 
   IncrementReport r;
   r.edges = edges.size();
+  r.deletes = deletes;
   r.stats_delta = chip_.stats().delta_since(before);
   r.cycles = r.stats_delta.cycles;
   r.energy_uj = sim::pj_to_uj(chip_.energy_pj() - energy_before);

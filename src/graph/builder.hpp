@@ -44,7 +44,8 @@ struct GraphConfig {
 
 /// Summary of one streamed increment (one paper data point of Fig 8/9).
 struct IncrementReport {
-  std::uint64_t edges = 0;
+  std::uint64_t edges = 0;    ///< Total ops in the increment (inserts + deletes).
+  std::uint64_t deletes = 0;  ///< Delete ops among them.
   std::uint64_t cycles = 0;
   double energy_uj = 0.0;
   sim::ChipStats stats_delta;  ///< Full counter delta for deep analysis.
@@ -77,11 +78,31 @@ class StreamingGraph {
 
   // --- Streaming --------------------------------------------------------------
 
-  /// Queues one edge on the IO channels without running.
+  /// Queues one edge op on the IO channels without running (inserts and
+  /// structural deletes alike; no repair orchestration). Throws
+  /// std::out_of_range when an endpoint id is outside the graph and
+  /// std::runtime_error for a delete with rhizomes > 1.
   void enqueue_edge(const StreamEdge& e);
 
   /// Queues a batch and runs the chip to quiescence — one streaming
   /// increment. Returns the per-increment report.
+  ///
+  /// Insert-only batches stream in a single phase, exactly as before.
+  /// Batches containing delete ops run the four-phase deletion protocol
+  /// (every phase is an ordinary deterministic chip run, so the whole
+  /// increment stays cycle-identical across engines/threads/partitions):
+  ///   S-D  all deletes stream and quiesce (on-cell app hooks suppressed
+  ///        while the installed app provides host repair);
+  ///   S-I  all inserts stream and quiesce (hooks still suppressed) —
+  ///        app state is untouched so far, so the pre-increment fixed
+  ///        point is what phase I reads;
+  ///   I    AppHooks::host_repair.invalidate seeds un-settle waves for
+  ///        severed dependencies; the chip runs them to quiescence;
+  ///   R    AppHooks::host_repair.resettle seeds re-settlement and the
+  ///        monotone diffusion converges on the repaired fixed point.
+  /// Apps without host_repair get structure-only deletion (their on-cell
+  /// hooks run unsuppressed; stale app state is the app's concern).
+  /// The report's cycle/energy deltas span all phases.
   IncrementReport stream_increment(std::span<const StreamEdge> edges,
                                    std::uint64_t max_cycles = sim::Chip::kNoLimit);
 

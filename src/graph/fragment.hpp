@@ -80,7 +80,15 @@ class VertexFragment final : public rt::ArenaObject {
   std::vector<EdgeRecord> edges;     ///< Local slice of the edge list.
   std::vector<rt::FutureAddr> ghosts;
   std::uint64_t inserts_seen = 0;    ///< Inserts routed through this fragment;
-                                     ///< at the root this is the vertex degree.
+                                     ///< at the root this is the vertex's
+                                     ///< cumulative insert count.
+  std::uint64_t deletes_seen = 0;    ///< Delete ops routed through this
+                                     ///< fragment, mirroring inserts_seen.
+                                     ///< (inserts_seen - deletes_seen at the
+                                     ///< root is NOT the live degree: one
+                                     ///< delete op can remove several records
+                                     ///< and an unmatched delete removes none.
+                                     ///< Live degree is stored_degree().)
   AppState app;                      ///< Application state (level, dist, ...).
 
  private:

@@ -22,6 +22,9 @@ GraphProtocol::GraphProtocol(sim::Chip& chip, RpvoConfig cfg)
   h_insert_ = chip_.handlers().register_handler(
       "graph.insert-edge",
       [this](rt::Context& ctx, const rt::Action& a) { handle_insert(ctx, a); });
+  h_delete_ = chip_.handlers().register_handler(
+      "graph.delete-edge",
+      [this](rt::Context& ctx, const rt::Action& a) { handle_delete(ctx, a); });
   h_ghost_reply_ = chip_.handlers().register_handler(
       "graph.ghost-reply",
       [this](rt::Context& ctx, const rt::Action& a) { handle_ghost_reply(ctx, a); });
@@ -50,7 +53,9 @@ void GraphProtocol::handle_insert(rt::Context& ctx, const rt::Action& a) {
     ++ps.edges_inserted;
     ctx.charge(1);
     // Chain into the application (Listing 4: propagate bfs-action ...).
-    if (hooks_.on_edge_inserted) hooks_.on_edge_inserted(ctx, *frag, edge);
+    if (hooks_.on_edge_inserted && !hooks_suppressed_) {
+      hooks_.on_edge_inserted(ctx, *frag, edge);
+    }
     return;
   }
 
@@ -132,9 +137,61 @@ void GraphProtocol::handle_ghost_reply(rt::Context& ctx, const rt::Action& a) {
     ctx.count(rt::SimCounter::kFutureWaitersDrained,
               static_cast<std::uint64_t>(drained));
   }
-  if (!ghost_addr.is_null() && hooks_.on_ghost_linked) {
+  if (!ghost_addr.is_null() && hooks_.on_ghost_linked && !hooks_suppressed_) {
     hooks_.on_ghost_linked(ctx, *frag, ghost_addr);
   }
+}
+
+// delete-edge-action — the expiry/sliding-window extension. args: w0 = dst
+// root address, w1 reserved. Removes every matching record in this fragment
+// and forwards a copy down EVERY ghost branch (delete-all-matches), parking
+// on pending futures exactly like inserts so a racing allocation cannot
+// lose the delete.
+void GraphProtocol::handle_delete(rt::Context& ctx, const rt::Action& a) {
+  ProtocolStats& ps = partition_stats(ctx);
+  auto* frag = ctx.as<VertexFragment>(a.target);
+  if (frag == nullptr) {
+    ++ps.bad_targets;
+    return;
+  }
+  ++frag->deletes_seen;
+  const rt::GlobalAddress dst = rt::GlobalAddress::unpack(a.args[0]);
+  // Scan-and-erase is charged like the scan the real cell would do.
+  ctx.charge(static_cast<std::uint32_t>(1 + frag->edges.size()));
+
+  std::uint64_t removed = 0;
+  if (hooks_.on_edge_deleted && !hooks_suppressed_) {
+    for (const EdgeRecord& e : frag->edges) {
+      if (e.dst == dst) hooks_.on_edge_deleted(ctx, *frag, e);
+    }
+  }
+  std::erase_if(frag->edges, [&](const EdgeRecord& e) {
+    if (e.dst == dst) {
+      ++removed;
+      return true;
+    }
+    return false;
+  });
+  ps.edges_deleted += removed;
+
+  bool forwarded = false;
+  for (rt::FutureAddr& ghost : frag->ghosts) {
+    if (ghost.is_empty()) continue;
+    if (ghost.is_pending()) {
+      rt::Action deferred = a;
+      deferred.target = rt::kNullAddress;  // patched at fulfilment
+      ghost.enqueue(deferred);
+      ++ps.deletes_deferred;
+      forwarded = true;
+    } else if (!ghost.value().is_null()) {
+      rt::Action fwd = a;
+      fwd.target = ghost.value();
+      ctx.propagate(fwd);
+      ++ps.deletes_forwarded;
+      forwarded = true;
+    }
+  }
+  if (!forwarded && removed == 0) ++ps.deletes_unmatched;
 }
 
 // Sets a freshly allocated ghost's identity. args: w0 = vid, w1 = root addr.
@@ -155,6 +212,10 @@ ProtocolStats GraphProtocol::stats() const noexcept {
     total.edges_inserted += sh.s.edges_inserted;
     total.inserts_forwarded += sh.s.inserts_forwarded;
     total.inserts_deferred += sh.s.inserts_deferred;
+    total.edges_deleted += sh.s.edges_deleted;
+    total.deletes_forwarded += sh.s.deletes_forwarded;
+    total.deletes_deferred += sh.s.deletes_deferred;
+    total.deletes_unmatched += sh.s.deletes_unmatched;
     total.ghost_allocs_started += sh.s.ghost_allocs_started;
     total.ghost_links_made += sh.s.ghost_links_made;
     total.ghost_alloc_failures += sh.s.ghost_alloc_failures;

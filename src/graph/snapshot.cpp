@@ -10,15 +10,18 @@
 // form.
 //
 // Text format (one fragment block per arena slot, cells in index order):
-//   ccastream-snapshot v1
+//   ccastream-snapshot v2
 //   chip <width> <height>
 //   rpvo <edge_capacity> <ghost_fanout>
 //   graph <num_vertices> <rhizomes> <src_rr> <dst_rr>
-//   frag <cc> <slot> <vid> <is_root> <root> <rhizome_next> <inserts_seen>
+//   frag <cc> <slot> <vid> <is_root> <root> <rhizome_next> <inserts_seen> <deletes_seen>
 //   app <w0> <w1> <w2> <w3>
 //   edges <n> [<dst> <weight>]...
 //   ghosts <k> [R <addr> | E]...
 //   end
+//
+// v1 snapshots (no <deletes_seen> on the frag line) still load; the
+// counter restores as 0.
 #include <istream>
 #include <memory>
 #include <ostream>
@@ -32,7 +35,8 @@ namespace ccastream::graph {
 namespace {
 
 constexpr std::string_view kMagic = "ccastream-snapshot";
-constexpr std::string_view kVersion = "v1";
+constexpr std::string_view kVersion = "v2";
+constexpr std::string_view kVersionLegacy = "v1";  // pre-deletion format
 
 [[noreturn]] void fail(const std::string& what) {
   throw std::runtime_error("graph snapshot: " + what);
@@ -79,7 +83,8 @@ void StreamingGraph::save_snapshot(std::ostream& out) const {
       }
       out << "frag " << cc << ' ' << slot << ' ' << frag->vid << ' '
           << (frag->is_root ? 1 : 0) << ' ' << frag->root.pack() << ' '
-          << frag->rhizome_next.pack() << ' ' << frag->inserts_seen << '\n';
+          << frag->rhizome_next.pack() << ' ' << frag->inserts_seen << ' '
+          << frag->deletes_seen << '\n';
       out << "app";
       for (const auto w : frag->app) out << ' ' << w;
       out << '\n';
@@ -113,7 +118,11 @@ std::unique_ptr<StreamingGraph> StreamingGraph::load_snapshot(
   sim::Chip& chip = protocol.chip();
 
   expect_tag(in, kMagic);
-  expect_tag(in, kVersion);
+  std::string version;
+  if (!(in >> version) || (version != kVersion && version != kVersionLegacy)) {
+    fail("unsupported snapshot version '" + version + "'");
+  }
+  const bool legacy_v1 = version == kVersionLegacy;
   expect_tag(in, "chip");
   std::uint32_t width = 0, height = 0;
   in >> width >> height;
@@ -161,7 +170,9 @@ std::unique_ptr<StreamingGraph> StreamingGraph::load_snapshot(
     int is_root = 0;
     rt::Word root_w = 0, rhz_w = 0;
     std::uint64_t inserts_seen = 0;
+    std::uint64_t deletes_seen = 0;
     in >> cc >> slot >> vid >> is_root >> root_w >> rhz_w >> inserts_seen;
+    if (!legacy_v1) in >> deletes_seen;
 
     AppState app{};
     expect_tag(in, "app");
@@ -171,6 +182,7 @@ std::unique_ptr<StreamingGraph> StreamingGraph::load_snapshot(
     frag->root = rt::GlobalAddress::unpack(root_w);
     frag->rhizome_next = rt::GlobalAddress::unpack(rhz_w);
     frag->inserts_seen = inserts_seen;
+    frag->deletes_seen = deletes_seen;
 
     expect_tag(in, "edges");
     std::size_t nedges = 0;

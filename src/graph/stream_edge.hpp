@@ -1,17 +1,51 @@
-// A streamed edge as produced by workload generators and consumed by the
-// host-side graph builder: plain vertex ids, before address translation.
+// A streamed edge operation as produced by workload generators and consumed
+// by the host-side graph builder: plain vertex ids, before address
+// translation.
+//
+// Duplicate (src,dst) semantics (decided once, applied everywhere): the
+// stream is a sequence of *observations*. On-chip, every insert appends an
+// edge record (the stored graph is an observation multiset), and a delete
+// removes EVERY record matching the pair — so a delete followed by a
+// re-insert nets exactly one record whose weight is the most recent
+// observation. The host-side simple-graph views (`wl::simplify`,
+// `wl::undirected_simple`) follow the same last-write rule: when a pair is
+// observed more than once, the collapsed edge keeps the LAST weight seen.
 #pragma once
 
 #include <cstdint>
 
 namespace ccastream {
 
+// Operation kind carried by a StreamEdge. Insert-only call sites that
+// aggregate-initialize `{src, dst, weight}` keep working: the op defaults
+// to kInsert.
+enum class EdgeOp : std::uint8_t {
+  kInsert = 0,  // append an edge record at src's vertex
+  kDelete = 1,  // remove every (src,dst) record along src's fragment chain
+};
+
 struct StreamEdge {
   std::uint64_t src = 0;
   std::uint64_t dst = 0;
   std::uint32_t weight = 1;
+  EdgeOp op = EdgeOp::kInsert;
+
+  [[nodiscard]] constexpr bool is_delete() const noexcept {
+    return op == EdgeOp::kDelete;
+  }
 
   friend constexpr bool operator==(const StreamEdge&, const StreamEdge&) = default;
 };
+
+// Convenience makers for op-mixed streams.
+[[nodiscard]] constexpr StreamEdge make_insert_edge(std::uint64_t src, std::uint64_t dst,
+                                                    std::uint32_t weight = 1) noexcept {
+  return StreamEdge{src, dst, weight, EdgeOp::kInsert};
+}
+
+[[nodiscard]] constexpr StreamEdge make_delete_edge(std::uint64_t src,
+                                                    std::uint64_t dst) noexcept {
+  return StreamEdge{src, dst, 1, EdgeOp::kDelete};
+}
 
 }  // namespace ccastream

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <deque>
-#include <unordered_set>
+#include <unordered_map>
 
 #include "runtime/rng.hpp"
 #include "workload/sbm.hpp"
@@ -157,7 +157,8 @@ std::vector<StreamEdge> symmetrize(const std::vector<StreamEdge>& edges) {
 }
 
 std::vector<StreamEdge> undirected_simple(const std::vector<StreamEdge>& edges) {
-  std::unordered_set<std::uint64_t> seen;
+  // position of {a,b}'s first record pair in `out`
+  std::unordered_map<std::uint64_t, std::size_t> seen;
   seen.reserve(edges.size() * 2);
   std::vector<StreamEdge> out;
   out.reserve(edges.size() * 2);
@@ -166,15 +167,22 @@ std::vector<StreamEdge> undirected_simple(const std::vector<StreamEdge>& edges) 
     const std::uint64_t a = std::min(e.src, e.dst);
     const std::uint64_t b = std::max(e.src, e.dst);
     const std::uint64_t key = (a << 32) | (b & 0xFFFF'FFFFull);
-    if (!seen.insert(key).second) continue;
-    out.push_back(StreamEdge{a, b, e.weight});
-    out.push_back(StreamEdge{b, a, e.weight});
+    const auto [it, fresh] = seen.emplace(key, out.size());
+    if (fresh) {
+      out.push_back(StreamEdge{a, b, e.weight});
+      out.push_back(StreamEdge{b, a, e.weight});
+    } else {
+      // Last-write weight (see stream_edge.hpp): the pair keeps its first
+      // position in the arrival order but the most recent observed weight.
+      out[it->second].weight = e.weight;
+      out[it->second + 1].weight = e.weight;
+    }
   }
   return out;
 }
 
 std::vector<StreamEdge> simplify(const std::vector<StreamEdge>& edges) {
-  std::unordered_set<std::uint64_t> seen;
+  std::unordered_map<std::uint64_t, std::size_t> seen;  // pair -> index in out
   seen.reserve(edges.size() * 2);
   std::vector<StreamEdge> out;
   out.reserve(edges.size());
@@ -182,7 +190,14 @@ std::vector<StreamEdge> simplify(const std::vector<StreamEdge>& edges) {
     if (e.src == e.dst) continue;
     // Pair key; workloads keep vertex ids below 2^32.
     const std::uint64_t key = (e.src << 32) | (e.dst & 0xFFFF'FFFFull);
-    if (seen.insert(key).second) out.push_back(e);
+    const auto [it, fresh] = seen.emplace(key, out.size());
+    if (fresh) {
+      out.push_back(e);
+    } else {
+      // Last-write weight (see stream_edge.hpp): first arrival position,
+      // most recent weight — a duplicate is a re-observation of the edge.
+      out[it->second].weight = e.weight;
+    }
   }
   return out;
 }

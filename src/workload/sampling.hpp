@@ -61,15 +61,21 @@ struct StreamSchedule {
 /// connected components, triangle counting, Jaccard).
 [[nodiscard]] std::vector<StreamEdge> symmetrize(const std::vector<StreamEdge>& edges);
 
-/// Removes duplicate (src, dst) pairs and self-loops, keeping first weights
-/// (turns an observation stream into a simple directed graph).
+/// Removes duplicate (src, dst) pairs and self-loops, turning an
+/// observation stream into a simple directed graph. Duplicate handling
+/// follows the project-wide last-write rule (see stream_edge.hpp): the
+/// surviving edge sits at the pair's FIRST position in the arrival order
+/// but carries the LAST observed weight — a duplicate is a re-observation,
+/// and the newest observation is canonical (the same weight the on-chip
+/// multiset nets after a delete + re-insert of the pair).
 [[nodiscard]] std::vector<StreamEdge> simplify(const std::vector<StreamEdge>& edges);
 
 /// Canonicalises to a simple *undirected* graph: drops self-loops, dedups
 /// unordered pairs (so {u,v} survives only once even if both directions
 /// were observed), and emits both directions of each surviving pair. The
 /// result has symmetric, duplicate-free adjacency — the precondition for
-/// triangle counting and Jaccard queries.
+/// triangle counting and Jaccard queries. Re-observed pairs keep the last
+/// observed weight on both directions, matching `simplify`.
 [[nodiscard]] std::vector<StreamEdge> undirected_simple(
     const std::vector<StreamEdge>& edges);
 

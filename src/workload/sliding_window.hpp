@@ -1,0 +1,51 @@
+// Sliding-window stream rewriting: turns an insert-only schedule into a
+// windowed stream where edges expire (as delete ops) once they age out.
+//
+// The window is measured in increments: an edge pair observed in increment
+// i is deleted at the start of increment i + window — unless the pair is
+// re-observed in the meantime, which renews its lease (expiry tracks the
+// pair's LATEST arrival, the temporal form of the last-write rule in
+// stream_edge.hpp). Deletes are emitted at the head of their increment,
+// matching the delete-before-insert sub-phase order of
+// StreamingGraph::stream_increment and base::DynamicBfs::apply_increment,
+// so a pair expiring in the same increment it re-arrives nets one live
+// edge on every layer.
+//
+// This is the workload that drives the active-set engine through its
+// shrinking-frontier regime (dense -> sparse collapse, capacity decay):
+// with `drain`, trailing delete-only increments empty the window entirely.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/stream_edge.hpp"
+#include "workload/sampling.hpp"
+
+namespace ccastream::wl {
+
+/// Rewrites `inserts` (an insert-only schedule; op fields are ignored)
+/// into a sliding-window stream. window == 0 disables expiry and returns
+/// the schedule unchanged. With `drain`, enough delete-only increments are
+/// appended to expire every pair still live after the last arrival.
+/// One delete op is emitted per expiring *pair* (on-chip deletes remove
+/// every matching record, so duplicate observations need no extra ops).
+[[nodiscard]] StreamSchedule apply_sliding_window(const StreamSchedule& inserts,
+                                                  std::uint32_t window,
+                                                  bool drain = false);
+
+/// Resolves the sliding-window length: an explicit nonzero `requested`
+/// wins, else the CCASTREAM_WINDOW environment variable (a positive
+/// increment count; unparsable values are ignored with a one-shot
+/// warning), else 0 (windowing disabled).
+[[nodiscard]] std::uint32_t resolve_window(std::uint32_t requested) noexcept;
+
+/// Replays a schedule's ops host-side and returns the live edge multiset
+/// at the end: inserts append; a delete removes every record matching its
+/// (src, dst) pair — the same semantics the chip applies. Increment
+/// sub-phase order (deletes before inserts) is honoured. The result is
+/// what reference oracles should be built from when verifying a windowed
+/// run.
+[[nodiscard]] std::vector<StreamEdge> live_edges(const StreamSchedule& sched);
+
+}  // namespace ccastream::wl

@@ -97,6 +97,87 @@ TEST(DynamicBfs, EdgeIntoSourceDoesNothing) {
   EXPECT_EQ(d.level_of(1), kUnreached);
 }
 
+TEST(DynamicBfs, OutOfRangeEndpointsAreRejectedNotUndefined) {
+  // Regression: insert_edge/flood_from used to index level_ with whatever
+  // ids the caller supplied — an out-of-range id was a heap overrun. They
+  // now reject and count.
+  DynamicBfs d(5, 0);
+  d.insert_edge(0, 1);
+  ASSERT_EQ(d.level_of(1), 1u);
+
+  d.insert_edge(5, 1);      // src one past the end
+  d.insert_edge(1, 1'000'000);  // dst far out
+  d.delete_edge(7, 0);
+  EXPECT_EQ(d.edges_rejected(), 3u);
+  // State is untouched by rejected ops.
+  EXPECT_EQ(d.level_of(0), 0u);
+  EXPECT_EQ(d.level_of(1), 1u);
+  EXPECT_EQ(d.levels(), d.recompute());
+
+  // The batch form skips bad ops and applies the rest.
+  d.apply_increment(std::vector<StreamEdge>{{1, 99, 1}, {1, 2, 1}});
+  EXPECT_EQ(d.edges_rejected(), 4u);
+  EXPECT_EQ(d.level_of(2), 2u);
+}
+
+TEST(DynamicBfs, ResettledCountsActualLevelChangesOnly) {
+  // Regression: flood_from used to bump the counter on every queue pop, so
+  // vertices_resettled over-reported by every non-improving visit. It now
+  // counts exactly the level assignments.
+  DynamicBfs d(5, 0);
+  d.insert_edge(0, 1);  // settles 1
+  d.insert_edge(1, 2);  // settles 2
+  EXPECT_EQ(d.vertices_resettled(), 2u);
+
+  d.insert_edge(0, 1);  // duplicate: no level changes anywhere
+  d.insert_edge(2, 1);  // back edge: 1 is already better
+  EXPECT_EQ(d.vertices_resettled(), 2u);
+
+  d.insert_edge(0, 2);  // shortcut: exactly vertex 2 improves (2 -> 1)
+  EXPECT_EQ(d.vertices_resettled(), 3u);
+}
+
+TEST(DynamicBfs, DeleteEdgeRemovesAllCopiesAndRepairs) {
+  DynamicBfs d(5, 0);
+  d.insert_edge(0, 1);
+  d.insert_edge(0, 1);  // parallel record
+  d.insert_edge(1, 2);
+  d.insert_edge(0, 3);
+  d.insert_edge(3, 2);
+  ASSERT_EQ(d.level_of(2), 2u);
+
+  d.delete_edge(0, 1);  // both copies fall
+  EXPECT_EQ(d.edges_deleted(), 2u);
+  EXPECT_GT(d.vertices_invalidated(), 0u);
+  EXPECT_EQ(d.level_of(1), kUnreached);
+  EXPECT_EQ(d.level_of(2), 2u);  // re-settled through 3
+  EXPECT_EQ(d.levels(), d.recompute());
+}
+
+TEST(DynamicBfs, DeletingTheOnlyPathUnreachesTheSubtree) {
+  DynamicBfs d(4, 0);
+  d.insert_edge(0, 1);
+  d.insert_edge(1, 2);
+  d.insert_edge(2, 3);
+  d.delete_edge(0, 1);
+  EXPECT_EQ(d.level_of(0), 0u);
+  for (std::uint64_t v = 1; v < 4; ++v) EXPECT_EQ(d.level_of(v), kUnreached);
+  EXPECT_EQ(d.levels(), d.recompute());
+}
+
+TEST(DynamicBfs, NonTreeEdgeDeletionLeavesLevelsAlone) {
+  // (2, 1) goes "backwards" (level 2 -> level 1), so no shortest path uses
+  // it; deleting it must not invalidate anything.
+  DynamicBfs d(3, 0);
+  d.insert_edge(0, 1);
+  d.insert_edge(1, 2);
+  d.insert_edge(2, 1);
+  const auto before = d.levels();
+  d.delete_edge(2, 1);
+  EXPECT_EQ(d.vertices_invalidated(), 0u);
+  EXPECT_EQ(d.levels(), before);
+}
+
 class DynamicEqualsRecompute : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(DynamicEqualsRecompute, AfterEveryIncrement) {
@@ -114,6 +195,44 @@ TEST_P(DynamicEqualsRecompute, AfterEveryIncrement) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DynamicEqualsRecompute,
                          ::testing::Values(71, 72, 73, 74, 75));
+
+// The same property with deletions in the mix: after every increment of
+// randomly interleaved inserts and deletes, the incrementally maintained
+// levels equal a from-scratch BFS of the surviving graph.
+class DynamicDeletionsEqualRecompute
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DynamicDeletionsEqualRecompute, AfterEveryIncrement) {
+  rt::Xoshiro256 rng(GetParam());
+  const std::uint64_t n = 60;
+  DynamicBfs d(n, 0);
+  std::vector<StreamEdge> live;
+  for (int inc = 0; inc < 10; ++inc) {
+    std::vector<StreamEdge> ops;
+    for (int i = 0; i < 30; ++i) {
+      if (!live.empty() && rng.below(3) == 0) {
+        const auto& victim = live[rng.below(live.size())];
+        ops.push_back(make_delete_edge(victim.src, victim.dst));
+        std::erase_if(live, [&](const StreamEdge& e) {
+          return e.src == victim.src && e.dst == victim.dst;
+        });
+      } else {
+        const StreamEdge e{rng.below(n), rng.below(n), 1};
+        ops.push_back(e);
+        live.push_back(e);
+      }
+    }
+    d.apply_increment(ops);
+    ASSERT_EQ(d.levels(), d.recompute()) << "increment " << inc;
+  }
+  EXPECT_GT(d.edges_deleted(), 0u);
+  EXPECT_GT(d.vertices_invalidated(), 0u);
+}
+
+// Seeds picked so every one produces both deletions and at least one
+// invalidation cascade (84 deleted only non-tree edges and is skipped).
+INSTANTIATE_TEST_SUITE_P(Seeds, DynamicDeletionsEqualRecompute,
+                         ::testing::Values(81, 82, 83, 85, 86));
 
 }  // namespace
 }  // namespace ccastream::base

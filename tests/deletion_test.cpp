@@ -1,0 +1,405 @@
+// Edge deletion, end to end: the delete-edge protocol on RPVO chains
+// (delete-all-matches, ghost forwarding, deferred parking), the ingest
+// hardening around it (endpoint validation, the rhizome restriction), the
+// four-phase deletion increment driving BFS invalidation + re-settlement,
+// and the v2 snapshot format that persists the deletes_seen counter.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "test_util.hpp"
+
+namespace ccastream::graph {
+namespace {
+
+using test::small_chip_config;
+
+struct Fixture {
+  explicit Fixture(std::uint32_t edge_capacity = 4, std::uint64_t nverts = 8,
+                   sim::ChipConfig cfg = small_chip_config(),
+                   std::uint32_t rhizomes = 1) {
+    chip = std::make_unique<sim::Chip>(cfg);
+    RpvoConfig rc;
+    rc.edge_capacity = edge_capacity;
+    proto = std::make_unique<GraphProtocol>(*chip, rc);
+    GraphConfig gc;
+    gc.num_vertices = nverts;
+    gc.rhizomes = rhizomes;
+    g = std::make_unique<StreamingGraph>(*proto, gc);
+  }
+  std::unique_ptr<sim::Chip> chip;
+  std::unique_ptr<GraphProtocol> proto;
+  std::unique_ptr<StreamingGraph> g;
+};
+
+TEST(Deletion, RemovesStoredRecord) {
+  Fixture f;
+  f.g->stream_increment(std::vector<StreamEdge>{{0, 1, 5}, {0, 2, 7}});
+  ASSERT_EQ(f.g->stored_degree(0), 2u);
+
+  const auto r = f.g->stream_increment(
+      std::vector<StreamEdge>{make_delete_edge(0, 1)});
+  EXPECT_EQ(r.edges, 1u);
+  EXPECT_EQ(r.deletes, 1u);
+  EXPECT_EQ(f.g->stored_degree(0), 1u);
+  const auto nbrs = f.g->neighbors(0);
+  ASSERT_EQ(nbrs.size(), 1u);
+  EXPECT_EQ(nbrs[0].first, 2u);
+  EXPECT_EQ(f.proto->stats().edges_deleted, 1u);
+  EXPECT_EQ(f.proto->stats().deletes_unmatched, 0u);
+
+  // The root observed one delete, mirroring inserts_seen.
+  const auto* root = f.chip->as<VertexFragment>(f.g->root_of(0));
+  EXPECT_EQ(root->inserts_seen, 2u);
+  EXPECT_EQ(root->deletes_seen, 1u);
+}
+
+TEST(Deletion, RemovesEveryMatchingRecord) {
+  // Multigraph semantics on the way in, delete-all-matches on the way out
+  // (see graph/stream_edge.hpp): one delete op clears all three (2, 5)
+  // records and leaves the self-edge alone.
+  Fixture f;
+  f.g->stream_increment(
+      std::vector<StreamEdge>{{2, 5, 1}, {2, 5, 2}, {2, 2, 1}, {2, 5, 3}});
+  ASSERT_EQ(f.g->stored_degree(2), 4u);
+  f.g->stream_increment(std::vector<StreamEdge>{make_delete_edge(2, 5)});
+  EXPECT_EQ(f.g->stored_degree(2), 1u);
+  EXPECT_EQ(f.g->neighbors(2)[0].first, 2u);
+  EXPECT_EQ(f.proto->stats().edges_deleted, 3u);
+}
+
+TEST(Deletion, ForwardsDownGhostChains) {
+  // Capacity-1 fragments scatter the duplicates across a long chain; the
+  // delete must walk every link and clear them all.
+  Fixture f(/*edge_capacity=*/1);
+  std::vector<StreamEdge> edges;
+  for (std::uint64_t i = 0; i < 10; ++i) edges.push_back({0, 1 + (i % 2), 1});
+  f.g->stream_increment(edges);
+  ASSERT_EQ(f.g->stored_degree(0), 10u);
+  ASSERT_GE(f.g->fragments_of(0).size(), 10u);
+
+  f.g->stream_increment(std::vector<StreamEdge>{make_delete_edge(0, 1)});
+  EXPECT_EQ(f.g->stored_degree(0), 5u);  // only the (0, 2) records remain
+  for (const auto& [dst, w] : f.g->neighbors(0)) EXPECT_EQ(dst, 2u);
+  EXPECT_EQ(f.proto->stats().edges_deleted, 5u);
+  EXPECT_GT(f.proto->stats().deletes_forwarded, 0u);
+}
+
+TEST(Deletion, UnmatchedDeleteIsCountedNotFatal) {
+  Fixture f;
+  f.g->stream_increment(std::vector<StreamEdge>{{0, 1, 1}});
+  f.g->stream_increment(std::vector<StreamEdge>{make_delete_edge(0, 7)});
+  EXPECT_TRUE(f.chip->quiescent());
+  EXPECT_EQ(f.g->stored_degree(0), 1u);
+  EXPECT_EQ(f.proto->stats().edges_deleted, 0u);
+  EXPECT_EQ(f.proto->stats().deletes_unmatched, 1u);
+  EXPECT_EQ(f.proto->stats().bad_targets, 0u);
+}
+
+TEST(Deletion, OnEdgeDeletedHookSeesEveryRemovedRecord) {
+  Fixture f;
+  std::uint64_t hook_calls = 0;
+  AppHooks hooks;
+  hooks.on_edge_deleted = [&](rt::Context&, VertexFragment&,
+                              const EdgeRecord&) { ++hook_calls; };
+  f.proto->set_hooks(hooks);
+  f.g->stream_increment(
+      std::vector<StreamEdge>{{3, 4, 1}, {3, 4, 2}, {3, 5, 1}});
+  f.g->stream_increment(std::vector<StreamEdge>{make_delete_edge(3, 4)});
+  EXPECT_EQ(hook_calls, 2u);
+}
+
+TEST(Deletion, StreamIncrementRejectsOutOfRangeEndpoints) {
+  Fixture f(4, /*nverts=*/8);
+  EXPECT_THROW(f.g->stream_increment(std::vector<StreamEdge>{{8, 0, 1}}),
+               std::out_of_range);
+  EXPECT_THROW(f.g->stream_increment(std::vector<StreamEdge>{{0, 99, 1}}),
+               std::out_of_range);
+  EXPECT_THROW(
+      f.g->stream_increment(std::vector<StreamEdge>{make_delete_edge(0, 8)}),
+      std::out_of_range);
+  // Nothing was enqueued by the rejected batches.
+  EXPECT_EQ(f.g->stored_degree(0), 0u);
+  EXPECT_EQ(f.proto->stats().edges_inserted, 0u);
+}
+
+TEST(Deletion, DeletesRequireSingleRhizome) {
+  // Streamed edges round-robin their destination address across rhizome
+  // roots, so a delete aimed at one ring member cannot see records parked
+  // on the others; the façade refuses rather than silently missing them.
+  Fixture f(4, 8, small_chip_config(), /*rhizomes=*/2);
+  f.g->stream_increment(std::vector<StreamEdge>{{0, 1, 1}});
+  EXPECT_THROW(
+      f.g->stream_increment(std::vector<StreamEdge>{make_delete_edge(0, 1)}),
+      std::runtime_error);
+}
+
+TEST(Deletion, SnapshotV2RoundTripsDeletesSeen) {
+  const auto cfg = small_chip_config();
+  Fixture f(4, 8, cfg);
+  f.g->stream_increment(
+      std::vector<StreamEdge>{{0, 1, 1}, {0, 2, 1}, {1, 2, 1}});
+  f.g->stream_increment(std::vector<StreamEdge>{make_delete_edge(0, 1)});
+
+  std::stringstream snap;
+  f.g->save_snapshot(snap);
+  EXPECT_NE(snap.str().find("ccastream-snapshot v2"), std::string::npos);
+
+  Fixture fresh(4, 8, cfg);
+  fresh.chip = std::make_unique<sim::Chip>(cfg);
+  RpvoConfig rc;
+  rc.edge_capacity = 4;
+  fresh.proto = std::make_unique<GraphProtocol>(*fresh.chip, rc);
+  auto restored = StreamingGraph::load_snapshot(*fresh.proto, snap);
+  EXPECT_EQ(restored->stored_degree(0), 1u);
+  const auto* root = fresh.chip->as<VertexFragment>(restored->root_of(0));
+  EXPECT_EQ(root->deletes_seen, 1u);
+  EXPECT_EQ(root->inserts_seen, 2u);
+}
+
+TEST(Deletion, LegacyV1SnapshotLoadsWithZeroDeletesSeen) {
+  const auto cfg = small_chip_config();
+  Fixture f(4, 8, cfg);
+  f.g->stream_increment(std::vector<StreamEdge>{{0, 1, 1}, {1, 2, 1}});
+
+  std::stringstream snap;
+  f.g->save_snapshot(snap);
+  // Re-create the pre-deletion format: v1 header, no deletes_seen column
+  // on the frag lines (it is the last field in v2).
+  std::istringstream v2(snap.str());
+  std::ostringstream v1;
+  std::string line;
+  while (std::getline(v2, line)) {
+    if (line.rfind("ccastream-snapshot", 0) == 0) {
+      line = "ccastream-snapshot v1";
+    } else if (line.rfind("frag ", 0) == 0) {
+      line = line.substr(0, line.rfind(' '));
+    }
+    v1 << line << '\n';
+  }
+
+  Fixture fresh(4, 8, cfg);
+  fresh.chip = std::make_unique<sim::Chip>(cfg);
+  RpvoConfig rc;
+  rc.edge_capacity = 4;
+  fresh.proto = std::make_unique<GraphProtocol>(*fresh.chip, rc);
+  std::istringstream in(v1.str());
+  auto restored = StreamingGraph::load_snapshot(*fresh.proto, in);
+  EXPECT_EQ(restored->stored_degree(0), 1u);
+  const auto* root = fresh.chip->as<VertexFragment>(restored->root_of(0));
+  EXPECT_EQ(root->inserts_seen, 1u);
+  EXPECT_EQ(root->deletes_seen, 0u);  // the v1 world never counted them
+}
+
+TEST(Deletion, DeleteThenReinsertInOneIncrementNetsOneRecord) {
+  // Sub-phase order inside an increment is deletes first, then inserts —
+  // on the chip, the oracle, and RefGraph alike. A same-pair delete +
+  // insert therefore nets exactly one stored record.
+  Fixture f;
+  f.g->stream_increment(std::vector<StreamEdge>{{0, 1, 1}, {0, 1, 2}});
+  ASSERT_EQ(f.g->stored_degree(0), 2u);
+  f.g->stream_increment(
+      std::vector<StreamEdge>{make_delete_edge(0, 1), make_insert_edge(0, 1, 9)});
+  EXPECT_EQ(f.g->stored_degree(0), 1u);
+  EXPECT_EQ(f.g->neighbors(0)[0].second, 9u);
+}
+
+}  // namespace
+}  // namespace ccastream::graph
+
+namespace ccastream::apps {
+namespace {
+
+using test::small_chip_config;
+
+struct BfsFixture {
+  explicit BfsFixture(std::uint64_t nverts,
+                      sim::ChipConfig cfg = small_chip_config(),
+                      graph::RpvoConfig rc = {}) {
+    chip = std::make_unique<sim::Chip>(cfg);
+    proto = std::make_unique<graph::GraphProtocol>(*chip, rc);
+    bfs = std::make_unique<StreamingBfs>(*proto);
+    bfs->install();
+    graph::GraphConfig gc;
+    gc.num_vertices = nverts;
+    gc.root_init = StreamingBfs::initial_state();
+    g = std::make_unique<graph::StreamingGraph>(*proto, gc);
+  }
+
+  void expect_matches_oracle(const base::DynamicBfs& oracle,
+                             const char* when) {
+    for (std::uint64_t v = 0; v < g->num_vertices(); ++v) {
+      const rt::Word want = oracle.level_of(v) == base::kUnreached
+                                ? StreamingBfs::kUnreached
+                                : oracle.level_of(v);
+      ASSERT_EQ(bfs->level_of(*g, v), want) << when << ", vertex " << v;
+    }
+  }
+
+  std::unique_ptr<sim::Chip> chip;
+  std::unique_ptr<graph::GraphProtocol> proto;
+  std::unique_ptr<StreamingBfs> bfs;
+  std::unique_ptr<graph::StreamingGraph> g;
+};
+
+TEST(BfsDeletion, TreeEdgeDeletionRaisesLevelsThroughAlternatePath) {
+  // 0 -> 3 directly (level 1) and 0 -> 1 -> 2 -> 3 the long way. Deleting
+  // the shortcut must raise 3 to its alternate-path level, not orphan it.
+  BfsFixture f(4);
+  f.bfs->set_source(*f.g, 0);
+  f.g->stream_increment(
+      std::vector<StreamEdge>{{0, 1, 1}, {1, 2, 1}, {2, 3, 1}, {0, 3, 1}});
+  ASSERT_EQ(f.bfs->level_of(*f.g, 3), 1u);
+
+  f.g->stream_increment(std::vector<StreamEdge>{make_delete_edge(0, 3)});
+  EXPECT_EQ(f.bfs->level_of(*f.g, 3), 3u);
+  EXPECT_EQ(f.bfs->level_of(*f.g, 1), 1u);
+  EXPECT_EQ(f.bfs->level_of(*f.g, 2), 2u);
+}
+
+TEST(BfsDeletion, DeletionCanDisconnect) {
+  BfsFixture f(4);
+  f.bfs->set_source(*f.g, 0);
+  f.g->stream_increment(
+      std::vector<StreamEdge>{{0, 1, 1}, {1, 2, 1}, {2, 3, 1}});
+  ASSERT_EQ(f.bfs->level_of(*f.g, 3), 3u);
+
+  f.g->stream_increment(std::vector<StreamEdge>{make_delete_edge(1, 2)});
+  EXPECT_EQ(f.bfs->level_of(*f.g, 0), 0u);
+  EXPECT_EQ(f.bfs->level_of(*f.g, 1), 1u);
+  EXPECT_EQ(f.bfs->level_of(*f.g, 2), StreamingBfs::kUnreached);
+  EXPECT_EQ(f.bfs->level_of(*f.g, 3), StreamingBfs::kUnreached);
+}
+
+TEST(BfsDeletion, DuplicateEdgesKeepVertexReachable) {
+  // Two parallel (0, 1) records: deleting the pair removes both (delete-
+  // all-matches), so reachability through them must go in one step.
+  BfsFixture f(3);
+  f.bfs->set_source(*f.g, 0);
+  f.g->stream_increment(
+      std::vector<StreamEdge>{{0, 1, 1}, {0, 1, 2}, {1, 2, 1}});
+  ASSERT_EQ(f.bfs->level_of(*f.g, 2), 2u);
+  f.g->stream_increment(std::vector<StreamEdge>{make_delete_edge(0, 1)});
+  EXPECT_EQ(f.bfs->level_of(*f.g, 1), StreamingBfs::kUnreached);
+  EXPECT_EQ(f.bfs->level_of(*f.g, 2), StreamingBfs::kUnreached);
+}
+
+TEST(BfsDeletion, MixedIncrementMatchesOracle) {
+  // Deletes and inserts in one increment, including a delete + re-insert
+  // of the same pair: both the chip and the oracle apply deletes first.
+  BfsFixture f(6);
+  f.bfs->set_source(*f.g, 0);
+  base::DynamicBfs oracle(6, 0);
+  const std::vector<StreamEdge> inc1{{0, 1, 1}, {1, 2, 1}, {2, 3, 1},
+                                     {3, 4, 1}, {0, 5, 1}};
+  f.g->stream_increment(inc1);
+  oracle.apply_increment(inc1);
+  f.expect_matches_oracle(oracle, "after insert increment");
+
+  const std::vector<StreamEdge> inc2{make_delete_edge(1, 2),
+                                     make_insert_edge(5, 2, 1),
+                                     make_delete_edge(0, 5),
+                                     make_insert_edge(0, 5, 1)};
+  f.g->stream_increment(inc2);
+  oracle.apply_increment(inc2);
+  f.expect_matches_oracle(oracle, "after mixed increment");
+  ASSERT_EQ(oracle.levels(), oracle.recompute());
+}
+
+// Property sweep: random interleavings of inserts and deletes, streamed in
+// increments, across RPVO capacities and seeds — chip levels equal the
+// deletion oracle's after every increment, and the oracle equals its own
+// from-scratch recompute.
+struct DeletionCase {
+  std::uint64_t vertices;
+  std::uint32_t edge_capacity;
+  std::uint64_t seed;
+};
+
+class BfsDeletionEquivalence
+    : public ::testing::TestWithParam<DeletionCase> {};
+
+TEST_P(BfsDeletionEquivalence, MatchesOracleAfterEveryIncrement) {
+  const auto p = GetParam();
+  auto cfg = small_chip_config();
+  cfg.seed = p.seed;
+  graph::RpvoConfig rc;
+  rc.edge_capacity = p.edge_capacity;
+  BfsFixture f(p.vertices, cfg, rc);
+
+  rt::Xoshiro256 rng(p.seed);
+  const std::uint64_t source = rng.below(p.vertices);
+  f.bfs->set_source(*f.g, source);
+  base::DynamicBfs oracle(p.vertices, source);
+
+  std::vector<StreamEdge> live;  // pairs believed present, for deletions
+  for (int inc = 0; inc < 6; ++inc) {
+    std::vector<StreamEdge> ops;
+    for (int i = 0; i < 24; ++i) {
+      const bool del = !live.empty() && rng.below(4) == 0;
+      if (del) {
+        const auto& victim = live[rng.below(live.size())];
+        ops.push_back(make_delete_edge(victim.src, victim.dst));
+        std::erase_if(live, [&](const StreamEdge& e) {
+          return e.src == victim.src && e.dst == victim.dst;
+        });
+      } else {
+        const StreamEdge e{rng.below(p.vertices), rng.below(p.vertices), 1};
+        ops.push_back(e);
+        live.push_back(e);
+      }
+    }
+    f.g->stream_increment(ops);
+    oracle.apply_increment(ops);
+    ASSERT_TRUE(f.chip->quiescent());
+    ASSERT_EQ(oracle.levels(), oracle.recompute())
+        << "oracle self-check, seed " << p.seed << " increment " << inc;
+    for (std::uint64_t v = 0; v < p.vertices; ++v) {
+      const rt::Word want = oracle.level_of(v) == base::kUnreached
+                                ? StreamingBfs::kUnreached
+                                : oracle.level_of(v);
+      ASSERT_EQ(f.bfs->level_of(*f.g, v), want)
+          << "vertex " << v << " seed " << p.seed << " increment " << inc;
+    }
+  }
+  EXPECT_GT(oracle.edges_deleted(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BfsDeletionEquivalence,
+    ::testing::Values(DeletionCase{16, 4, 101}, DeletionCase{24, 2, 102},
+                      DeletionCase{32, 1, 103}, DeletionCase{32, 8, 104},
+                      DeletionCase{48, 4, 105}, DeletionCase{20, 3, 106}));
+
+TEST(BfsDeletion, SlidingWindowScheduleMatchesOracles) {
+  // The tentpole integration: an SBM arrival stream windowed with drain,
+  // streamed increment by increment. The chip must track the deletion
+  // oracle throughout and end on the all-unreached empty graph.
+  BfsFixture f(64);
+  const auto arrivals =
+      wl::make_graphchallenge_like(64, 400, wl::SamplingKind::kEdge, 5, 99);
+  const auto sched = wl::apply_sliding_window(arrivals, /*window=*/2,
+                                              /*drain=*/true);
+  ASSERT_EQ(sched.increments.size(), arrivals.increments.size() + 2);
+  f.bfs->set_source(*f.g, 0);
+  base::DynamicBfs oracle(64, 0);
+  for (const auto& inc : sched.increments) {
+    f.g->stream_increment(inc);
+    oracle.apply_increment(inc);
+    f.expect_matches_oracle(oracle, "windowed increment");
+  }
+  // Drained: every record deleted, only the source still settled.
+  EXPECT_TRUE(wl::live_edges(sched).empty());
+  for (std::uint64_t v = 0; v < 64; ++v) {
+    EXPECT_EQ(f.g->stored_degree(v), 0u) << "vertex " << v;
+    EXPECT_EQ(f.bfs->level_of(*f.g, v),
+              v == 0 ? rt::Word{0} : StreamingBfs::kUnreached);
+  }
+}
+
+}  // namespace
+}  // namespace ccastream::apps

@@ -178,6 +178,70 @@ TEST(Determinism, PartitionShapeMatrixIsCycleIdenticalToSerial) {
   }
 }
 
+// Deletion workloads go through a different protocol path than inserts
+// (S-D delete phase, host-seeded unsettle waves, forced resettle
+// diffusion), so cycle-identity is re-proven here on a sliding-window
+// schedule whose drained tail is pure deletions: every engine, thread
+// count, and partition shape must land on the identical counter block,
+// energy, and per-vertex levels as the serial scan run.
+TEST(Determinism, SlidingWindowDeletionsAreCycleIdenticalToSerial) {
+  auto run = [](sim::EngineKind engine, std::uint32_t threads,
+                const char* partition) {
+    sim::ChipConfig cfg;
+    cfg.width = 8;
+    cfg.height = 8;
+    cfg.threads = threads;
+    cfg.engine = engine;
+    cfg.partition = *sim::PartitionSpec::parse(partition);
+    cfg.seed = 404;
+    sim::Chip chip(cfg);
+    graph::GraphProtocol proto(chip);
+    apps::StreamingBfs bfs(proto);
+    bfs.install();
+    graph::GraphConfig gc;
+    gc.num_vertices = 200;
+    gc.root_init = apps::StreamingBfs::initial_state();
+    graph::StreamingGraph g(proto, gc);
+    bfs.set_source(g, 0);
+    auto sched = wl::make_graphchallenge_like(200, 3'000,
+                                              wl::SamplingKind::kEdge,
+                                              /*increments=*/5, 404);
+    sched = wl::apply_sliding_window(sched, /*window=*/2, /*drain=*/true);
+    std::uint64_t deletes = 0;
+    for (const auto& inc : sched.increments) {
+      deletes += g.stream_increment(inc).deletes;
+    }
+    EXPECT_TRUE(chip.quiescent());
+    EXPECT_GT(deletes, 0u) << "window produced no deletions";
+    MatrixResult r;
+    r.stats = chip.stats();
+    r.energy_pj = chip.energy_pj();
+    for (std::uint64_t v = 0; v < 200; ++v) r.levels.push_back(bfs.level_of(g, v));
+    return r;
+  };
+
+  const MatrixResult serial = run(sim::EngineKind::kScan, 1, "rows");
+  // The drained schedule ends with every edge deleted: only the source
+  // survives, so the comparison covers full invalidation cascades.
+  ASSERT_EQ(serial.levels[0], 0u);
+  for (std::uint64_t v = 1; v < 200; ++v) {
+    ASSERT_EQ(serial.levels[v], apps::StreamingBfs::kUnreached)
+        << "drained graph still reaches vertex " << v;
+  }
+  for (const sim::EngineKind engine :
+       {sim::EngineKind::kScan, sim::EngineKind::kActive}) {
+    for (const char* partition : {"rows", "cols", "tiles+rebalance"}) {
+      for (const std::uint32_t threads : {2u, 4u}) {
+        SCOPED_TRACE(std::string("engine = ") +
+                     std::string(sim::to_string(engine)) +
+                     ", partition = " + partition +
+                     ", threads = " + std::to_string(threads));
+        EXPECT_EQ(run(engine, threads, partition), serial);
+      }
+    }
+  }
+}
+
 // An explicit tile grid pins the partition count independently of the
 // worker request — and still changes nothing.
 TEST(Determinism, ExplicitTileGridIsCycleIdenticalToSerial) {

@@ -3,10 +3,12 @@
 // reporting layer round trip (format -> parse, and file append -> re-read).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "harness.hpp"
@@ -279,12 +281,52 @@ TEST(JsonReporter, AppendsParseableRecordsToEnvNamedFile) {
   const std::string partition = ccastream::sim::resolve_partition({}).to_string();
   const std::string engine{
       ccastream::sim::to_string(ccastream::sim::resolve_engine({}))};
-  EXPECT_EQ(records[0], (bench::BenchRecord{"bench_alpha", "2K(tiny)", 1000,
-                                            1.5, "tiny", backend, 0.0,
-                                            partition, engine}));
-  EXPECT_EQ(records[1], (bench::BenchRecord{"bench_beta", "8K(tiny)", 2000,
-                                            2.5, "tiny", backend, 0.0,
-                                            partition, engine}));
+  bench::BenchRecord alpha{"bench_alpha", "2K(tiny)", 1000,
+                           1.5, "tiny",   backend,    0.0,
+                           partition,     engine};
+  bench::BenchRecord beta{"bench_beta", "8K(tiny)", 2000,
+                          2.5, "tiny",  backend,    0.0,
+                          partition,    engine};
+  // The reporter stamps the measuring host's core count on every record.
+  alpha.host_cores = std::max(1u, std::thread::hardware_concurrency());
+  beta.host_cores = alpha.host_cores;
+  EXPECT_EQ(records[0], alpha);
+  EXPECT_EQ(records[1], beta);
+  std::remove(path.c_str());
+}
+
+TEST(JsonRecord, HostCoresRoundTripsAndLegacyDefaultsToOne) {
+  bench::BenchRecord r{"b", "64x64", 100, 2.5, "tiny"};
+  r.host_cores = 96;
+  const std::string line = bench::format_record(r);
+  EXPECT_NE(line.find("\"host_cores\":96"), std::string::npos);
+  const auto parsed = bench::parse_record(line);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, r);
+
+  // Records written before hardware context existed carry no host_cores
+  // field; they parse as the conservative single-core default, which is
+  // also what a default-constructed record holds — so legacy lines still
+  // round-trip through format_record unchanged.
+  const auto legacy = bench::parse_record(
+      "{\"bench\":\"b\",\"dataset\":\"d\",\"cycles\":5,"
+      "\"energy_uj\":1.0,\"scale\":\"tiny\"}");
+  ASSERT_TRUE(legacy.has_value());
+  EXPECT_EQ(legacy->host_cores, 1u);
+}
+
+TEST(JsonReporter, StampsHostCoresOnEveryRecord) {
+  const std::string path = ::testing::TempDir() + "harness_test_cores.jsonl";
+  std::remove(path.c_str());
+  const ScopedEnv json("CCASTREAM_BENCH_JSON", path.c_str());
+  const bench::JsonReporter reporter("bench_cores", "fixed");
+  reporter.record("ds", 1, 1.0);
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  const auto r = bench::parse_record(line);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->host_cores, std::max(1u, std::thread::hardware_concurrency()));
   std::remove(path.c_str());
 }
 

@@ -14,10 +14,12 @@
 //     exit and entry thresholds.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdlib>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -279,6 +281,68 @@ TEST(HybridEngine, HysteresisHoldsModeInsideTheBand) {
   // more than the burst itself (~30 cycles), proving the hold.
   EXPECT_GT(chip.hybrid_dense_cycles(), 100u);
   EXPECT_EQ(chip.dense_partitions(), 0u);
+}
+
+// The deletion-driven collapse: a bulk ingest pushes the (single) dense
+// partition over the entry threshold; mass deletions then drive live
+// occupancy down through the hysteresis band, and the engine must exit
+// dense mode, end the run sparse, and let the shrink policy decay the
+// active-set capacity it rebuilt on the way out — deletions must *return*
+// memory, not strand the burst-era high-water.
+TEST(HybridEngine, MassDeletionCollapsesDenseToSparseAndShrinks) {
+  sim::ChipConfig cfg = test::small_chip_config();  // 8x8
+  cfg.engine = EngineKind::kActive;
+  cfg.dense_threshold_pct = 20;  // enter dense at >= 12 of 64 live cells
+  cfg.threads = 1;  // one partition: the mode counters below assume it
+  cfg.partition = sim::PartitionSpec{};
+  sim::Chip chip(cfg);
+  graph::GraphProtocol proto(chip);
+  apps::StreamingBfs bfs(proto);
+  bfs.install();
+  graph::GraphConfig gc;
+  gc.num_vertices = 128;
+  gc.root_init = apps::StreamingBfs::initial_state();
+  graph::StreamingGraph g(proto, gc);
+  bfs.set_source(g, 0);
+
+  // Bulk ingest: 1024 edges flood the 64-cell mesh, crossing into dense.
+  wl::SbmParams p;
+  p.num_vertices = 128;
+  p.num_edges = 1024;
+  p.seed = 5;
+  const auto edges = wl::simplify(wl::generate_sbm(p));
+  g.stream_increment(edges);
+  ASSERT_GE(chip.hybrid_dense_switches(), 2u)
+      << "ingest never saturated the partition into dense mode";
+
+  // Mass deletion: every live pair goes, in four delete-heavy increments.
+  // Each one runs the four-phase repair and quiesces; as the graph thins
+  // out the dense episodes must keep terminating in a sparse exit.
+  std::vector<StreamEdge> doomed;
+  doomed.reserve(edges.size());
+  for (const auto& e : edges) doomed.push_back(make_delete_edge(e.src, e.dst));
+  const std::size_t chunk = (doomed.size() + 3) / 4;
+  for (std::size_t i = 0; i < doomed.size(); i += chunk) {
+    const std::size_t n = std::min(chunk, doomed.size() - i);
+    g.stream_increment(std::span<const StreamEdge>(doomed.data() + i, n));
+  }
+  for (std::uint64_t v = 0; v < 128; ++v) ASSERT_EQ(g.stored_degree(v), 0u);
+  EXPECT_EQ(bfs.level_of(g, 0), 0u);  // only the source survives
+
+  ASSERT_TRUE(chip.quiescent());
+  EXPECT_EQ(chip.dense_partitions(), 0u)
+      << "drained chip is still dense: the deletion wave never exited";
+  EXPECT_EQ(chip.hybrid_dense_switches() % 2, 0u);  // every entry exited
+
+  // The memory half of the regression: idle settle after the collapse must
+  // decay whatever sparse-mode capacity the repair waves rebuilt.
+  const std::uint64_t peak = chip.active_set_capacity_peak();
+  for (int i = 0; i < 200; ++i) chip.step();
+  const std::uint64_t end = chip.active_set_capacity();
+  EXPECT_LE(end, 128u) << "capacity did not decay to the floor";
+  if (peak > 128u) {
+    EXPECT_LT(end, peak);
+  }
 }
 
 // Rebalancing moves cells between partitions mid-run; the hybrid state

@@ -30,6 +30,7 @@ struct Instance {
   sim::PartitionSpec partition;
   sim::EngineKind engine = sim::EngineKind::kScan;
   std::uint32_t dense_pct = 0;  // hybrid threshold (0 = resolved default)
+  std::uint32_t window = 0;     // sliding window (0 = insert-only stream)
 
   [[nodiscard]] std::string describe() const {
     return "replay seed=" + std::to_string(seed) +
@@ -44,7 +45,8 @@ struct Instance {
            " app=" + (app == 0 ? "bfs" : app == 1 ? "sssp" : "components") +
            " partition=" + partition.to_string() +
            " engine=" + std::string(sim::to_string(engine)) +
-           " dense_pct=" + std::to_string(dense_pct);
+           " dense_pct=" + std::to_string(dense_pct) +
+           " window=" + std::to_string(window);
   }
 };
 
@@ -79,6 +81,13 @@ Instance make_instance(std::uint64_t seed) {
   // workloads.
   constexpr std::uint32_t kDensePcts[] = {0, 1, 35, 1000};
   in.dense_pct = kDensePcts[rng.below(4)];
+  // Sliding-window draw (appended last, same rule): half the instances
+  // re-run their schedule through wl::apply_sliding_window with drain, so
+  // the fuzzer covers randomized insert/delete interleavings and the
+  // deletion repair protocol. Only BFS instances honor it — the other
+  // apps install no host deletion repair (see run_instance).
+  constexpr std::uint32_t kWindows[] = {0, 0, 1, 2};
+  in.window = kWindows[rng.below(4)];
   return in;
 }
 
@@ -108,12 +117,18 @@ void run_instance(const Instance& in) {
   for (const auto& e : edges) max_vid = std::max({max_vid, e.src, e.dst});
   const std::uint64_t n = std::max(in.vertices, max_vid + 1);
 
-  const wl::StreamSchedule sched =
+  wl::StreamSchedule sched =
       in.sampling == wl::SamplingKind::kSnowball
           ? wl::snowball_sampling(edges, n, in.increments, in.seed)
           : wl::edge_sampling(edges, in.increments, in.seed);
   const std::uint64_t source =
       in.sampling == wl::SamplingKind::kSnowball ? sched.seed_vertex : 0;
+  // BFS instances with a window draw stream expirations too (drained, so
+  // a randomized delete mix hits every increment past the window).
+  const bool windowed = in.app == 0 && in.window > 0;
+  if (windowed) {
+    sched = wl::apply_sliding_window(sched, in.window, /*drain=*/true);
+  }
 
   sim::ChipConfig cfg;
   cfg.width = in.mesh_dim;
@@ -156,12 +171,22 @@ void run_instance(const Instance& in) {
     ASSERT_GT(report.cycles, 0u);
   }
 
-  // Oracle comparison over the full edge set.
+  // Oracle comparison over the full edge set (add_edges is op-aware, so a
+  // windowed schedule leaves ref holding exactly the surviving edges).
   base::RefGraph ref(n);
   for (const auto& inc : sched.increments) ref.add_edges(inc);
   std::uint64_t mismatches = 0;
   if (in.app == 0) {
     const auto want = base::bfs_levels(ref, source);
+    if (windowed) {
+      // Deletion-oracle cross-check: the incrementally maintained
+      // DynamicBfs, fed the same op stream, must agree with the
+      // from-scratch BFS of the survivors before we trust either.
+      base::DynamicBfs dyn(n, source);
+      for (const auto& inc : sched.increments) dyn.apply_increment(inc);
+      ASSERT_EQ(dyn.levels(), want) << "DynamicBfs diverged from recompute";
+      ASSERT_GT(dyn.edges_deleted(), 0u) << "window produced no deletions";
+    }
     for (std::uint64_t v = 0; v < n; ++v) {
       const rt::Word w = want[v] == base::kUnreached
                              ? apps::StreamingBfs::kUnreached

@@ -148,15 +148,119 @@ TEST(Simplify, DropsDupsAndSelfLoops) {
   ASSERT_EQ(simple.size(), 3u);  // (0,1), (1,0), (0,2)
 }
 
+TEST(Simplify, DuplicatePairKeepsLastWeightAtFirstPosition) {
+  // The project-wide last-write rule (graph/stream_edge.hpp): a duplicate
+  // observation renews the pair with its weight, matching what a chip
+  // stream of delete+insert would leave behind. Position stays stable so
+  // schedules remain deterministic.
+  const auto simple = simplify({{0, 1, 1}, {0, 2, 4}, {0, 1, 9}});
+  ASSERT_EQ(simple.size(), 2u);
+  EXPECT_EQ(simple[0], (StreamEdge{0, 1, 9}));
+  EXPECT_EQ(simple[1], (StreamEdge{0, 2, 4}));
+}
+
 TEST(UndirectedSimple, DedupsUnorderedPairs) {
   const auto out = undirected_simple(
       {{0, 1, 1}, {1, 0, 5}, {2, 2, 1}, {3, 1, 1}, {0, 1, 9}});
-  // Pairs {0,1} and {1,3} survive, each emitted in both directions.
+  // Pairs {0,1} and {1,3} survive, each emitted in both directions; the
+  // last observation of {0,1} (weight 9) wins, at the pair's first
+  // position — the same last-write rule simplify applies.
   ASSERT_EQ(out.size(), 4u);
-  EXPECT_EQ(out[0], (StreamEdge{0, 1, 1}));
-  EXPECT_EQ(out[1], (StreamEdge{1, 0, 1}));
+  EXPECT_EQ(out[0], (StreamEdge{0, 1, 9}));
+  EXPECT_EQ(out[1], (StreamEdge{1, 0, 9}));
   EXPECT_EQ(out[2], (StreamEdge{1, 3, 1}));
   EXPECT_EQ(out[3], (StreamEdge{3, 1, 1}));
+}
+
+TEST(SlidingWindow, ExpiresPairsExactlyWindowIncrementsAfterLastSeen) {
+  StreamSchedule arrivals;
+  arrivals.increments = {{{0, 1, 1}}, {{1, 2, 1}}, {}, {}};
+  const auto out = apply_sliding_window(arrivals, /*window=*/2);
+  ASSERT_EQ(out.increments.size(), 4u);
+  // Increment 2: (0,1) from increment 0 ages out, ahead of any arrivals.
+  ASSERT_EQ(out.increments[2].size(), 1u);
+  EXPECT_TRUE(out.increments[2][0].is_delete());
+  EXPECT_EQ(out.increments[2][0].src, 0u);
+  EXPECT_EQ(out.increments[2][0].dst, 1u);
+  // Increment 3: (1,2) follows.
+  ASSERT_EQ(out.increments[3].size(), 1u);
+  EXPECT_EQ(out.increments[3][0].src, 1u);
+}
+
+TEST(SlidingWindow, ReobservationRenewsTheLease) {
+  StreamSchedule arrivals;
+  arrivals.increments = {{{0, 1, 1}}, {{0, 1, 2}}, {}, {}, {}};
+  const auto out = apply_sliding_window(arrivals, /*window=*/2);
+  // The increment-1 re-observation renews (0, 1): nothing expires at
+  // increment 2; the single delete lands at increment 3.
+  EXPECT_TRUE(out.increments[2].empty());
+  ASSERT_EQ(out.increments[3].size(), 1u);
+  EXPECT_TRUE(out.increments[3][0].is_delete());
+  EXPECT_TRUE(out.increments[4].empty());
+  std::uint64_t deletes = 0;
+  for (const auto& inc : out.increments) {
+    for (const auto& e : inc) deletes += e.is_delete() ? 1 : 0;
+  }
+  EXPECT_EQ(deletes, 1u);  // one lease, one expiry, despite two arrivals
+}
+
+TEST(SlidingWindow, DrainAppendsWindowIncrementsAndEmptiesTheGraph) {
+  SbmParams p;
+  p.num_vertices = 40;
+  p.num_edges = 200;
+  const auto sched = edge_sampling(generate_sbm(p), 5, 1);
+  const auto windowed = apply_sliding_window(sched, /*window=*/2,
+                                             /*drain=*/true);
+  EXPECT_EQ(windowed.increments.size(), 7u);  // 5 arrivals + window tail
+  EXPECT_TRUE(live_edges(windowed).empty());
+  // Without drain the last window's pairs are still live.
+  const auto open = apply_sliding_window(sched, /*window=*/2);
+  EXPECT_EQ(open.increments.size(), 5u);
+  EXPECT_FALSE(live_edges(open).empty());
+  // Every insert of the original schedule appears in the windowed one.
+  EXPECT_EQ(windowed.kind, sched.kind);
+  std::uint64_t inserts = 0;
+  for (const auto& inc : windowed.increments) {
+    for (const auto& e : inc) inserts += e.is_delete() ? 0 : 1;
+  }
+  EXPECT_EQ(inserts, sched.total_edges());
+}
+
+TEST(SlidingWindow, WindowZeroIsPassThrough) {
+  StreamSchedule arrivals;
+  arrivals.increments = {{{0, 1, 1}}, {{1, 2, 1}}};
+  const auto out = apply_sliding_window(arrivals, 0);
+  EXPECT_EQ(out.increments.size(), 2u);
+  for (const auto& inc : out.increments) {
+    for (const auto& e : inc) EXPECT_FALSE(e.is_delete());
+  }
+}
+
+TEST(SlidingWindow, LiveEdgesHonorsDeleteAllThenReinsert) {
+  StreamSchedule s;
+  s.increments = {{{0, 1, 1}, {0, 1, 2}},
+                  {make_delete_edge(0, 1), make_insert_edge(0, 1, 7)}};
+  const auto live = live_edges(s);
+  // Deletes apply before the increment's inserts (the chip's sub-phase
+  // order), and remove every matching pair: both weight-1 and weight-2
+  // records fall, the re-insert survives.
+  ASSERT_EQ(live.size(), 1u);
+  EXPECT_EQ(live[0].weight, 7u);
+}
+
+TEST(ResolveWindow, ExplicitRequestWinsOverEnvironment) {
+  const test::ScopedEnv env("CCASTREAM_WINDOW", "5");
+  EXPECT_EQ(resolve_window(3), 3u);
+  EXPECT_EQ(resolve_window(0), 5u);
+}
+
+TEST(ResolveWindow, RejectsMalformedEnvValues) {
+  for (const char* bad : {"0", "-3", "2x", "", "1000001"}) {
+    const test::ScopedEnv env("CCASTREAM_WINDOW", bad);
+    EXPECT_EQ(resolve_window(0), 0u) << "value '" << bad << "'";
+  }
+  const test::ScopedEnv unset("CCASTREAM_WINDOW", nullptr);
+  EXPECT_EQ(resolve_window(0), 0u);
 }
 
 TEST(Rmat, GeneratesSkewedGraph) {

@@ -40,6 +40,8 @@ struct Options {
   std::uint32_t ghost_fanout = 1;
   std::uint32_t rhizomes = 1;
   std::string app = "bfs";  // none|bfs|sssp|components
+  std::uint32_t window = 0;  // 0 = CCASTREAM_WINDOW env, else no expiry
+  bool window_drain = false;
   std::uint64_t source = 0;
   bool source_set = false;
   std::uint64_t seed = 42;
@@ -85,6 +87,13 @@ void usage() {
       "  --ghost-fanout F              ghost futures per fragment (default 1)\n"
       "  --rhizomes R                  roots per vertex (default 1)\n"
       "  --app none|bfs|sssp|components\n"
+      "  --window K                    sliding window: edges expire (as delete\n"
+      "                                ops) K increments after their latest\n"
+      "                                observation (default: CCASTREAM_WINDOW\n"
+      "                                or no expiry; needs --app bfs or none\n"
+      "                                and --rhizomes 1)\n"
+      "  --window-drain                append delete-only increments until the\n"
+      "                                window empties (shrinking-frontier tail)\n"
       "  --source V                    BFS/SSSP source (default snowball seed\n"
       "                                or vertex 0)\n"
       "  --seed X                      workload/chip seed (default 42)\n"
@@ -178,6 +187,19 @@ bool parse(int argc, char** argv, Options& o) {
       o.rhizomes = static_cast<std::uint32_t>(std::strtoul(need(i), nullptr, 10));
     } else if (a == "--app") {
       o.app = need(i);
+    } else if (a == "--window") {
+      // Same validation resolve_window applies to the env var: reject
+      // instead of silently falling back (0 would mean "use the env").
+      const char* v = need(i);
+      char* end = nullptr;
+      const long w = std::strtol(v, &end, 10);
+      if (end == v || *end != '\0' || w < 1 || w > 1'000'000) {
+        std::fprintf(stderr, "invalid --window '%s' (want 1..1000000)\n", v);
+        return false;
+      }
+      o.window = static_cast<std::uint32_t>(w);
+    } else if (a == "--window-drain") {
+      o.window_drain = true;
     } else if (a == "--source") {
       o.source = std::strtoull(need(i), nullptr, 10);
       o.source_set = true;
@@ -224,6 +246,25 @@ int main(int argc, char** argv) {
   }
   if (!o.source_set) {
     o.source = o.sampling == wl::SamplingKind::kSnowball ? sched.seed_vertex : 0;
+  }
+
+  // Sliding window (config > env > disabled): rewrite the schedule so aged
+  // edges expire as delete ops. Deletions are repaired for BFS and applied
+  // structure-only for "none"; the other apps have no deletion story yet.
+  o.window = wl::resolve_window(o.window);
+  if (o.window != 0) {
+    if (o.app != "bfs" && o.app != "none") {
+      std::fprintf(stderr,
+                   "--window requires --app bfs or none (app '%s' has no "
+                   "deletion repair)\n",
+                   o.app.c_str());
+      return 2;
+    }
+    if (o.rhizomes > 1) {
+      std::fprintf(stderr, "--window requires --rhizomes 1\n");
+      return 2;
+    }
+    sched = wl::apply_sliding_window(sched, o.window, o.window_drain);
   }
 
   // --- Chip + graph + app ------------------------------------------------------
@@ -281,10 +322,14 @@ int main(int argc, char** argv) {
     std::printf("  dense-pct %u", chip.dense_threshold_pct());
   }
   std::printf("\n");
-  std::printf("%lu vertices, %lu edges, %s sampling, %u increments, source %lu\n",
+  std::printf("%lu vertices, %lu ops, %s sampling, %zu increments, source %lu",
               o.vertices, sched.total_edges(),
-              std::string(wl::to_string(sched.kind)).c_str(), o.increments,
-              o.source);
+              std::string(wl::to_string(sched.kind)).c_str(),
+              sched.increments.size(), o.source);
+  if (o.window != 0) {
+    std::printf("  window %u%s", o.window, o.window_drain ? "+drain" : "");
+  }
+  std::printf("\n");
   std::printf("%-10s %10s %12s %12s %12s\n", "Increment", "Edges", "Cycles",
               "Energy µJ", "Msgs");
 
