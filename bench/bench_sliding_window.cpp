@@ -1,5 +1,6 @@
-// Sliding-window (insert + expire) streaming-BFS sweep: the same windowed
-// workload through the full-scan oracle and the active-set engine.
+// Sliding-window (insert + expire) sweep for every deletion-repairing app
+// (BFS, SSSP, components): the same windowed workload through the
+// full-scan oracle and the active-set engine.
 //
 // The scenario the deletion path exists for: an SBM arrival stream pushed
 // through wl::apply_sliding_window with drain enabled, so the graph grows
@@ -74,12 +75,12 @@ struct Measurement {
   std::uint64_t cap_end = 0;
 };
 
-Measurement run_once(const Scenario& sc, sim::EngineKind engine) {
+Measurement run_once(const Scenario& sc, bench::AppKind app,
+                     sim::EngineKind engine) {
   sim::ChipConfig cfg = bench::paper_chip_config();
   cfg.engine = engine;
 
-  auto e = bench::make_experiment(cfg, sc.vertices, /*with_bfs=*/true,
-                                  /*bfs_source=*/0);
+  auto e = bench::make_experiment(cfg, sc.vertices, app, /*source=*/0);
   const auto t0 = std::chrono::steady_clock::now();
   const auto reports = bench::run_schedule(e, sc.sched);
   const auto t1 = std::chrono::steady_clock::now();
@@ -138,104 +139,119 @@ int main() {
   }
 
   bench::print_header(
-      (std::string("Sliding-window streaming BFS, scan vs active (scale ") +
+      (std::string(
+           "Sliding-window streaming BFS/SSSP/components, scan vs active "
+           "(scale ") +
        bench::to_string(scale) + ")")
           .c_str());
-  std::printf("%-14s %-8s %10s %10s %12s %14s %10s %10s\n", "Dataset",
+  std::printf("%-22s %-8s %10s %10s %12s %14s %10s %10s\n", "Dataset",
               "Engine", "Inserts", "Deletes", "SimCycles", "CellVisits",
               "Wall ms", "Identical");
 
+  // Every deletion-repairing app rides the same windowed schedule; BFS
+  // keeps its historical dataset label, the newer apps suffix theirs.
+  constexpr bench::AppKind kApps[] = {bench::AppKind::kBfs,
+                                      bench::AppKind::kSssp,
+                                      bench::AppKind::kComponents};
+
   bool ok = true;
   for (const Scenario& sc : scenarios) {
-    const Measurement scan = run_once(sc, sim::EngineKind::kScan);
-    const Measurement active = run_once(sc, sim::EngineKind::kActive);
+    for (const bench::AppKind app : kApps) {
+      const std::string label =
+          app == bench::AppKind::kBfs
+              ? sc.label
+              : sc.label + "/" + bench::to_string(app);
+      const Measurement scan = run_once(sc, app, sim::EngineKind::kScan);
+      const Measurement active = run_once(sc, app, sim::EngineKind::kActive);
 
-    const bool identical = active.cycles == scan.cycles &&
-                           active.stats == scan.stats &&
-                           active.energy_uj == scan.energy_uj;
-    const auto row = [&](const char* name, const Measurement& m,
-                         const char* ident) {
-      std::printf("%-14s %-8s %10lu %10lu %12lu %14lu %10.1f %10s\n",
-                  sc.label.c_str(), name,
-                  static_cast<unsigned long>(sc.inserts),
-                  static_cast<unsigned long>(sc.deletes),
-                  static_cast<unsigned long>(m.cycles),
-                  static_cast<unsigned long>(m.cell_visits), m.wall_ms,
-                  ident);
-    };
-    row("scan", scan, "-");
-    row("active", active, identical ? "yes" : "NO!");
-    if (!identical) {
-      std::fprintf(stderr,
-                   "DETERMINISM VIOLATION: active engine diverged from scan "
-                   "on windowed workload %s\n",
-                   sc.label.c_str());
-      ok = false;
-      continue;
-    }
-    // Sanity: the drain really emptied the chip — every stored record that
-    // the windowed schedule deleted must have been removed on-cell.
-    if (scan.edges_deleted == 0 || scan.edges_deleted != active.edges_deleted) {
-      std::fprintf(stderr,
-                   "DELETION MISMATCH: scan removed %lu records, active %lu "
-                   "on %s\n",
-                   static_cast<unsigned long>(scan.edges_deleted),
-                   static_cast<unsigned long>(active.edges_deleted),
-                   sc.label.c_str());
-      ok = false;
-    }
+      const bool identical = active.cycles == scan.cycles &&
+                             active.stats == scan.stats &&
+                             active.energy_uj == scan.energy_uj;
+      const auto row = [&](const char* name, const Measurement& m,
+                           const char* ident) {
+        std::printf("%-22s %-8s %10lu %10lu %12lu %14lu %10.1f %10s\n",
+                    label.c_str(), name,
+                    static_cast<unsigned long>(sc.inserts),
+                    static_cast<unsigned long>(sc.deletes),
+                    static_cast<unsigned long>(m.cycles),
+                    static_cast<unsigned long>(m.cell_visits), m.wall_ms,
+                    ident);
+      };
+      row("scan", scan, "-");
+      row("active", active, identical ? "yes" : "NO!");
+      if (!identical) {
+        std::fprintf(stderr,
+                     "DETERMINISM VIOLATION: active engine diverged from scan "
+                     "on windowed workload %s\n",
+                     label.c_str());
+        ok = false;
+        continue;
+      }
+      // Sanity: the drain really emptied the chip — every stored record that
+      // the windowed schedule deleted must have been removed on-cell.
+      if (scan.edges_deleted == 0 ||
+          scan.edges_deleted != active.edges_deleted) {
+        std::fprintf(stderr,
+                     "DELETION MISMATCH: scan removed %lu records, active %lu "
+                     "on %s\n",
+                     static_cast<unsigned long>(scan.edges_deleted),
+                     static_cast<unsigned long>(active.edges_deleted),
+                     label.c_str());
+        ok = false;
+      }
 
-    // The shrinking-regime gate: across grow/churn/drain the hybrid engine
-    // must not do meaningfully more host work than the scan oracle. This
-    // is the deletion-path analogue of bench_active_set's dense gate — the
-    // repair waves keep occupancy high, so a hybrid that thrashed modes on
-    // the way down would show up here as excess visits.
-    if (static_cast<double>(active.cell_visits) >
-        1.1 * static_cast<double>(scan.cell_visits)) {
-      std::fprintf(stderr,
-                   "SHRINK-REGIME GATE MISSED: hybrid visits %lu > 1.1x scan "
-                   "visits %lu on %s\n",
-                   static_cast<unsigned long>(active.cell_visits),
-                   static_cast<unsigned long>(scan.cell_visits),
-                   sc.label.c_str());
-      ok = false;
-    }
-    std::printf(
-        "%-14s hybrid: dense-pct %u, %lu dense partition-cycles, "
-        "active-set capacity peak %lu -> %lu entries after drain+settle\n",
-        sc.label.c_str(), active.dense_pct,
-        static_cast<unsigned long>(active.dense_cycles),
-        static_cast<unsigned long>(active.cap_peak),
-        static_cast<unsigned long>(active.cap_end));
-    // Same shrink-policy floor as bench_active_set: below it nothing is
-    // shrink-eligible and cap_end == cap_peak is correct behaviour.
-    const std::uint64_t shrinkable_floor = active.threads * 2 * 2 * 64;
-    if (active.cap_peak > shrinkable_floor &&
-        active.cap_end >= active.cap_peak) {
-      std::fprintf(stderr,
-                   "SHRINK GATE MISSED: capacity %lu did not drop below its "
-                   "peak %lu on %s\n",
-                   static_cast<unsigned long>(active.cap_end),
-                   static_cast<unsigned long>(active.cap_peak),
-                   sc.label.c_str());
-      ok = false;
-    }
+      // The shrinking-regime gate: across grow/churn/drain the hybrid engine
+      // must not do meaningfully more host work than the scan oracle. This
+      // is the deletion-path analogue of bench_active_set's dense gate — the
+      // repair waves keep occupancy high, so a hybrid that thrashed modes on
+      // the way down would show up here as excess visits.
+      if (static_cast<double>(active.cell_visits) >
+          1.1 * static_cast<double>(scan.cell_visits)) {
+        std::fprintf(stderr,
+                     "SHRINK-REGIME GATE MISSED: hybrid visits %lu > 1.1x "
+                     "scan visits %lu on %s\n",
+                     static_cast<unsigned long>(active.cell_visits),
+                     static_cast<unsigned long>(scan.cell_visits),
+                     label.c_str());
+        ok = false;
+      }
+      std::printf(
+          "%-22s hybrid: dense-pct %u, %lu dense partition-cycles, "
+          "active-set capacity peak %lu -> %lu entries after drain+settle\n",
+          label.c_str(), active.dense_pct,
+          static_cast<unsigned long>(active.dense_cycles),
+          static_cast<unsigned long>(active.cap_peak),
+          static_cast<unsigned long>(active.cap_end));
+      // Same shrink-policy floor as bench_active_set: below it nothing is
+      // shrink-eligible and cap_end == cap_peak is correct behaviour.
+      const std::uint64_t shrinkable_floor = active.threads * 2 * 2 * 64;
+      if (active.cap_peak > shrinkable_floor &&
+          active.cap_end >= active.cap_peak) {
+        std::fprintf(stderr,
+                     "SHRINK GATE MISSED: capacity %lu did not drop below its "
+                     "peak %lu on %s\n",
+                     static_cast<unsigned long>(active.cap_end),
+                     static_cast<unsigned long>(active.cap_peak),
+                     label.c_str());
+        ok = false;
+      }
 
-    reporter.record(sc.label, scan.cycles, scan.energy_uj, scan.threads,
-                    scan.wall_ms, scan.partition, "scan", scan.cell_visits);
-    bench::BenchRecord rec;
-    rec.dataset = sc.label;
-    rec.cycles = active.cycles;
-    rec.energy_uj = active.energy_uj;
-    rec.threads = active.threads;
-    rec.wall_ms = active.wall_ms;
-    rec.partition = active.partition;
-    rec.engine = "active";
-    rec.cell_visits = active.cell_visits;
-    rec.dense_pct = active.dense_pct;
-    rec.cap_peak = active.cap_peak;
-    rec.cap_end = active.cap_end;
-    reporter.record(rec);
+      reporter.record(label, scan.cycles, scan.energy_uj, scan.threads,
+                      scan.wall_ms, scan.partition, "scan", scan.cell_visits);
+      bench::BenchRecord rec;
+      rec.dataset = label;
+      rec.cycles = active.cycles;
+      rec.energy_uj = active.energy_uj;
+      rec.threads = active.threads;
+      rec.wall_ms = active.wall_ms;
+      rec.partition = active.partition;
+      rec.engine = "active";
+      rec.cell_visits = active.cell_visits;
+      rec.dense_pct = active.dense_pct;
+      rec.cap_peak = active.cap_peak;
+      rec.cap_end = active.cap_end;
+      reporter.record(rec);
+    }
   }
   return ok ? 0 : 1;
 }

@@ -69,37 +69,81 @@ inline sim::ChipConfig paper_chip_config() {
   return cfg;
 }
 
-/// One assembled experiment: chip + protocol + BFS app + graph.
+/// Which vertex program an experiment installs. kNone is the ingestion-only
+/// variant (hooks disabled — the paper's "disabling the subsequent
+/// propagation of bfs-action").
+enum class AppKind { kNone, kBfs, kSssp, kComponents };
+
+inline const char* to_string(AppKind app) {
+  switch (app) {
+    case AppKind::kNone: return "none";
+    case AppKind::kBfs: return "bfs";
+    case AppKind::kSssp: return "sssp";
+    case AppKind::kComponents: return "components";
+  }
+  return "none";
+}
+
+/// One assembled experiment: chip + protocol + installed app + graph. `bfs`
+/// is always constructed (the protocol-level benches read its state even in
+/// ingestion-only runs); `sssp`/`comps` exist only when requested, so
+/// BFS-era measurements stay byte-for-byte what they were.
 struct Experiment {
   std::unique_ptr<sim::Chip> chip;
   std::unique_ptr<graph::GraphProtocol> proto;
   std::unique_ptr<apps::StreamingBfs> bfs;
+  std::unique_ptr<apps::StreamingSssp> sssp;
+  std::unique_ptr<apps::StreamingComponents> comps;
   std::unique_ptr<graph::StreamingGraph> graph;
 };
 
-/// Builds the streaming-BFS experiment of the paper. `with_bfs` false gives
-/// the ingestion-only variant (hooks disabled — the paper's "disabling the
-/// subsequent propagation of bfs-action").
+/// Builds a streaming experiment running `app`. `source` seeds BFS/SSSP
+/// (components self-seeds every vertex with its own label).
 inline Experiment make_experiment(const sim::ChipConfig& cfg,
-                                  std::uint64_t num_vertices, bool with_bfs,
-                                  std::uint64_t bfs_source) {
+                                  std::uint64_t num_vertices, AppKind app,
+                                  std::uint64_t source) {
   Experiment e;
   e.chip = std::make_unique<sim::Chip>(cfg);
   e.proto = std::make_unique<graph::GraphProtocol>(*e.chip);
   e.bfs = std::make_unique<apps::StreamingBfs>(*e.proto);
-  if (with_bfs) {
-    e.bfs->install();
-  } else {
-    graph::AppHooks hooks;  // ingestion only; keep levels inert
-    hooks.ghost_init = apps::StreamingBfs::initial_state();
-    e.proto->set_hooks(hooks);
-  }
   graph::GraphConfig gc;
   gc.num_vertices = num_vertices;
   gc.root_init = apps::StreamingBfs::initial_state();
+  switch (app) {
+    case AppKind::kNone: {
+      graph::AppHooks hooks;  // ingestion only; keep levels inert
+      hooks.ghost_init = apps::StreamingBfs::initial_state();
+      e.proto->set_hooks(hooks);
+      break;
+    }
+    case AppKind::kBfs:
+      e.bfs->install();
+      break;
+    case AppKind::kSssp:
+      e.sssp = std::make_unique<apps::StreamingSssp>(*e.proto);
+      e.sssp->install();
+      gc.root_init = apps::StreamingSssp::initial_state();
+      break;
+    case AppKind::kComponents:
+      e.comps = std::make_unique<apps::StreamingComponents>(*e.proto);
+      e.comps->install();
+      gc.root_init = apps::StreamingComponents::initial_state();
+      break;
+  }
   e.graph = std::make_unique<graph::StreamingGraph>(*e.proto, gc);
-  if (with_bfs) e.bfs->set_source(*e.graph, bfs_source);
+  if (app == AppKind::kBfs) e.bfs->set_source(*e.graph, source);
+  if (app == AppKind::kSssp) e.sssp->set_source(*e.graph, source);
+  if (app == AppKind::kComponents) e.comps->seed_labels(*e.graph);
   return e;
+}
+
+/// Builds the streaming-BFS experiment of the paper (or its ingestion-only
+/// variant). Legacy form kept for the single-app benches.
+inline Experiment make_experiment(const sim::ChipConfig& cfg,
+                                  std::uint64_t num_vertices, bool with_bfs,
+                                  std::uint64_t bfs_source) {
+  return make_experiment(cfg, num_vertices,
+                         with_bfs ? AppKind::kBfs : AppKind::kNone, bfs_source);
 }
 
 /// Streams every increment of a schedule; returns per-increment reports.

@@ -1,22 +1,23 @@
 #include "apps/bfs.hpp"
 
-#include <algorithm>
-#include <vector>
-
 namespace ccastream::apps {
 
 using graph::VertexFragment;
 
-StreamingBfs::StreamingBfs(graph::GraphProtocol& protocol) : proto_(protocol) {
-  h_bfs_ = proto_.chip().handlers().register_handler(
-      "app.bfs", [this](rt::Context& ctx, const rt::Action& a) { handle_bfs(ctx, a); });
-  h_unsettle_ = proto_.chip().handlers().register_handler(
-      "app.bfs-unsettle",
-      [this](rt::Context& ctx, const rt::Action& a) { handle_unsettle(ctx, a); });
-  h_resettle_ = proto_.chip().handlers().register_handler(
-      "app.bfs-resettle",
-      [this](rt::Context& ctx, const rt::Action& a) { handle_resettle(ctx, a); });
-}
+StreamingBfs::StreamingBfs(graph::GraphProtocol& protocol)
+    : proto_(protocol),
+      h_bfs_(protocol.chip().handlers().register_handler(
+          "app.bfs",
+          [this](rt::Context& ctx, const rt::Action& a) { handle_bfs(ctx, a); })),
+      repair_(protocol,
+              MonotoneRaiseRepair::Policy{
+                  .name = "bfs",
+                  .word = kLevelWord,
+                  .unsettled = kUnreached,
+                  .value_handler = h_bfs_,
+                  .step = MonotoneRaiseRepair::EdgeStep::kPlusOne,
+                  .seed = MonotoneRaiseRepair::SeedWhen::kExactPlusOne,
+                  .reset = MonotoneRaiseRepair::ResetTo::kUnsettled}) {}
 
 graph::AppHooks StreamingBfs::make_hooks() const {
   graph::AppHooks hooks;
@@ -39,18 +40,10 @@ graph::AppHooks StreamingBfs::make_hooks() const {
       ctx.charge(1);
     }
   };
-  // Deletion repair (see the header comment): stream_increment suppresses
-  // the on-cell hooks for the structural phases and calls these host-side
+  // Deletion repair (see repair.hpp): stream_increment suppresses the
+  // on-cell hooks for the structural phases and calls these host-side
   // seeds between quiescent runs.
-  hooks.host_repair.invalidate = [this](graph::StreamingGraph& g,
-                                        std::span<const StreamEdge> ops) {
-    return seed_invalidation(g, ops);
-  };
-  hooks.host_repair.resettle = [this](graph::StreamingGraph& g,
-                                      std::span<const StreamEdge> ops,
-                                      bool invalidated) {
-    seed_resettle(g, ops, invalidated);
-  };
+  repair_.attach(hooks);
   return hooks;
 }
 
@@ -96,113 +89,6 @@ void StreamingBfs::handle_bfs(rt::Context& ctx, const rt::Action& a) {
   // root already holds this level).
   if (!frag->rhizome_next.is_null()) {
     ctx.propagate(rt::make_action(h_bfs_, frag->rhizome_next, lvl));
-  }
-}
-
-// bfs-unsettle(v, expected): exact-level invalidation wave (header comment).
-// Only fires when the fragment still sits exactly at `expected`; at chain
-// quiescence every fragment of a vertex holds the vertex's level, so the
-// whole chain clears together (the ghost forward keeps `expected`, the
-// edge cascade uses expected + 1).
-void StreamingBfs::handle_unsettle(rt::Context& ctx, const rt::Action& a) {
-  auto* frag = ctx.as<VertexFragment>(a.target);
-  if (frag == nullptr) return;
-  const rt::Word expected = a.args[0];
-  ctx.charge(1);
-  if (frag->app[kLevelWord] != expected) return;  // survived, or already cleared
-
-  frag->app[kLevelWord] = kUnreached;
-  ctx.charge(static_cast<std::uint32_t>(frag->edges.size()));
-  for (const graph::EdgeRecord& e : frag->edges) {
-    ctx.propagate(rt::make_action(h_unsettle_, e.dst, expected + 1));
-  }
-  for (rt::FutureAddr& ghost : frag->ghosts) {
-    if (ghost.is_ready() && !ghost.value().is_null()) {
-      ctx.propagate(rt::make_action(h_unsettle_, ghost.value(), expected));
-    } else if (ghost.is_pending()) {
-      ghost.enqueue(rt::make_action(h_unsettle_, rt::kNullAddress, expected));
-    }
-  }
-}
-
-// bfs-resettle(v, lvl): adopt lvl if better, then re-diffuse the current
-// level along all local edges WITHOUT requiring an improvement at this
-// fragment — the seed that lets monotone diffusion flow back into the
-// invalidated region (and perform diffusion for edges inserted while the
-// on-cell hooks were suppressed). Ghost links forward the resettle itself,
-// carrying the settled level so cleared/fresh ghosts re-sync; the rhizome
-// ring is intentionally not traversed (deletions require rhizomes == 1).
-void StreamingBfs::handle_resettle(rt::Context& ctx, const rt::Action& a) {
-  auto* frag = ctx.as<VertexFragment>(a.target);
-  if (frag == nullptr) return;
-  const rt::Word lvl = a.args[0];
-  ctx.charge(1);
-  if (lvl < frag->app[kLevelWord]) frag->app[kLevelWord] = lvl;
-  const rt::Word level = frag->app[kLevelWord];
-  if (level == kUnreached) return;
-
-  ctx.charge(static_cast<std::uint32_t>(frag->edges.size()));
-  for (const graph::EdgeRecord& e : frag->edges) {
-    ctx.propagate(rt::make_action(h_bfs_, e.dst, level + 1));
-  }
-  for (rt::FutureAddr& ghost : frag->ghosts) {
-    if (ghost.is_ready() && !ghost.value().is_null()) {
-      ctx.propagate(rt::make_action(h_resettle_, ghost.value(), level));
-    } else if (ghost.is_pending()) {
-      ghost.enqueue(rt::make_action(h_resettle_, rt::kNullAddress, level));
-    }
-  }
-}
-
-// Phase I seed: a deleted edge (u, v) can only have carried v's level if v
-// sits exactly one below u in the *pre-increment* fixed point (app state is
-// frozen through the structural phases, so reading it here reads exactly
-// that). Duplicate seeds for the same v are harmless — the wave is
-// idempotent (the second arrival finds the level already cleared).
-bool StreamingBfs::seed_invalidation(graph::StreamingGraph& g,
-                                     std::span<const StreamEdge> ops) const {
-  bool any = false;
-  for (const StreamEdge& e : ops) {
-    if (!e.is_delete()) continue;
-    const rt::Word lu = g.app_word(e.src, kLevelWord);
-    if (lu == kUnreached) continue;
-    const rt::Word lv = g.app_word(e.dst, kLevelWord);
-    if (lv == lu + 1) {
-      g.chip().io_enqueue(rt::make_action(h_unsettle_, g.root_of(e.dst), lv));
-      any = true;
-    }
-  }
-  return any;
-}
-
-// Phase R seed. When anything was invalidated, every still-settled vertex
-// re-diffuses (its level is provably exact, and collectively the surviving
-// frontier dominates every shortest path into the cleared region). When
-// nothing was invalidated, only the increment's insert sources need a kick
-// — their diffusion was deferred while hooks were suppressed.
-void StreamingBfs::seed_resettle(graph::StreamingGraph& g,
-                                 std::span<const StreamEdge> ops,
-                                 bool invalidated) const {
-  if (invalidated) {
-    for (std::uint64_t vid = 0; vid < g.num_vertices(); ++vid) {
-      const rt::Word lvl = g.app_word(vid, kLevelWord);
-      if (lvl != kUnreached) {
-        g.chip().io_enqueue(rt::make_action(h_resettle_, g.root_of(vid), lvl));
-      }
-    }
-    return;
-  }
-  std::vector<std::uint64_t> srcs;
-  for (const StreamEdge& e : ops) {
-    if (!e.is_delete()) srcs.push_back(e.src);
-  }
-  std::sort(srcs.begin(), srcs.end());
-  srcs.erase(std::unique(srcs.begin(), srcs.end()), srcs.end());
-  for (const std::uint64_t vid : srcs) {
-    const rt::Word lvl = g.app_word(vid, kLevelWord);
-    if (lvl != kUnreached) {
-      g.chip().io_enqueue(rt::make_action(h_resettle_, g.root_of(vid), lvl));
-    }
   }
 }
 

@@ -8,27 +8,15 @@
 // scratch. Ghost fragments keep a level copy; the ghost link forwards the
 // level unchanged (a ghost is the same logical vertex).
 //
-// Deletions break monotonicity (removing a tree edge must RAISE levels),
-// so the app adds two more actions and a host-orchestrated repair, run by
-// StreamingGraph::stream_increment for op-mixed increments:
-//
-//   bfs-unsettle(v, expected): if v still sits exactly at `expected`, its
-//     level may have depended on a severed edge — clear it to unreached
-//     and cascade unsettle(w, expected+1) along local edges (forwarding
-//     down the ghost chain with `expected` unchanged). The wave follows
-//     exact level(+1) edges only, so it is order-independent and can never
-//     touch the source (expected >= 1 always). It over-approximates —
-//     a cleared vertex may have had another intact parent — but provably
-//     covers every vertex whose every shortest path used a deleted edge.
-//
-//   bfs-resettle(v, lvl): adopt lvl if better, then re-diffuse the current
-//     level along ALL local edges even though nothing improved (the plain
-//     bfs-action only diffuses on improvement). Host repair seeds this at
-//     every surviving vertex; monotone diffusion then restores the exact
-//     BFS fixed point of the post-increment graph: surviving levels are
-//     still exact (deletions cannot shorten paths), and each invalidated
-//     vertex regains its true level from its shortest-path predecessor by
-//     induction along that path.
+// Deletions break monotonicity (removing a tree edge must RAISE levels).
+// BFS instantiates the shared monotone-raise repair framework
+// (apps/repair.hpp) with the level policy: the bfs-unsettle wave follows
+// exact level(+1) edges from each deleted tree edge's destination, and
+// bfs-resettle re-diffuses every surviving level until monotone diffusion
+// restores the exact BFS fixed point of the post-increment graph.
+// StreamingGraph::stream_increment orchestrates the phases for op-mixed
+// increments; see repair.hpp for the wave semantics and the correctness
+// argument.
 //
 // Deletion repair requires rhizomes == 1 (enforced by StreamingGraph);
 // resettle intentionally does not traverse the rhizome ring, which would
@@ -36,11 +24,10 @@
 #pragma once
 
 #include <cstdint>
-#include <span>
 
+#include "apps/repair.hpp"
 #include "graph/builder.hpp"
 #include "graph/protocol.hpp"
-#include "graph/stream_edge.hpp"
 
 namespace ccastream::apps {
 
@@ -51,7 +38,8 @@ class StreamingBfs {
   /// App word that stores the level.
   static constexpr std::size_t kLevelWord = 0;
 
-  /// Registers the bfs-action handler on the protocol's chip.
+  /// Registers the bfs-action handler (and the repair framework's
+  /// unsettle/resettle pair) on the protocol's chip.
   explicit StreamingBfs(graph::GraphProtocol& protocol);
 
   /// Installs the BFS hooks on the protocol (insert-edge will chain into
@@ -80,25 +68,21 @@ class StreamingBfs {
                                   std::uint64_t vid) const;
 
   [[nodiscard]] rt::HandlerId handler() const noexcept { return h_bfs_; }
-  [[nodiscard]] rt::HandlerId unsettle_handler() const noexcept { return h_unsettle_; }
-  [[nodiscard]] rt::HandlerId resettle_handler() const noexcept { return h_resettle_; }
+  [[nodiscard]] rt::HandlerId unsettle_handler() const noexcept {
+    return repair_.unsettle_handler();
+  }
+  [[nodiscard]] rt::HandlerId resettle_handler() const noexcept {
+    return repair_.resettle_handler();
+  }
 
  private:
   void handle_bfs(rt::Context& ctx, const rt::Action& a);
-  void handle_unsettle(rt::Context& ctx, const rt::Action& a);
-  void handle_resettle(rt::Context& ctx, const rt::Action& a);
-
-  /// Host repair phase I: seed un-settle waves for the increment's deletes.
-  bool seed_invalidation(graph::StreamingGraph& g,
-                         std::span<const StreamEdge> ops) const;
-  /// Host repair phase R: seed re-settlement kicks.
-  void seed_resettle(graph::StreamingGraph& g, std::span<const StreamEdge> ops,
-                     bool invalidated) const;
 
   graph::GraphProtocol& proto_;
   rt::HandlerId h_bfs_ = 0;
-  rt::HandlerId h_unsettle_ = 0;
-  rt::HandlerId h_resettle_ = 0;
+  /// Deletion repair: level policy over the shared framework. Constructed
+  /// after h_bfs_ so handler-id order stays (bfs, unsettle, resettle).
+  MonotoneRaiseRepair repair_;
 };
 
 }  // namespace ccastream::apps

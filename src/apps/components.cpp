@@ -5,11 +5,19 @@ namespace ccastream::apps {
 using graph::VertexFragment;
 
 StreamingComponents::StreamingComponents(graph::GraphProtocol& protocol)
-    : proto_(protocol) {
-  h_cc_ = proto_.chip().handlers().register_handler(
-      "app.components",
-      [this](rt::Context& ctx, const rt::Action& a) { handle_label(ctx, a); });
-}
+    : proto_(protocol),
+      h_cc_(protocol.chip().handlers().register_handler(
+          "app.components",
+          [this](rt::Context& ctx, const rt::Action& a) { handle_label(ctx, a); })),
+      repair_(protocol,
+              MonotoneRaiseRepair::Policy{
+                  .name = "components",
+                  .word = kLabelWord,
+                  .unsettled = kNoLabel,
+                  .value_handler = h_cc_,
+                  .step = MonotoneRaiseRepair::EdgeStep::kSame,
+                  .seed = MonotoneRaiseRepair::SeedWhen::kSameLabel,
+                  .reset = MonotoneRaiseRepair::ResetTo::kSelfId}) {}
 
 graph::AppHooks StreamingComponents::make_hooks() const {
   graph::AppHooks hooks;
@@ -28,6 +36,9 @@ graph::AppHooks StreamingComponents::make_hooks() const {
       ctx.charge(1);
     }
   };
+  // Deletion repair (see repair.hpp; reset-to-self-id keeps every label
+  // valid, so the resettle phase re-seeds the whole graph).
+  repair_.attach(hooks);
   return hooks;
 }
 

@@ -5,10 +5,25 @@
 // directions (use workload::symmetrize) — the algorithm then converges to
 // the minimum vertex id of each connected component, updating incrementally
 // as new edges merge components.
+//
+// Deletion repair instantiates the monotone-raise framework
+// (apps/repair.hpp) with the label policy: a deleted edge (u, v) where
+// label(v) == label(u) may have carried v's label, so the unsettle wave
+// clears the equal-label region downstream of v — resetting each cleared
+// vertex to its OWN vid (every root is its own label seed, so labels are
+// never unsettled), and protecting self-labelled vertices, whose label
+// depends on no edge. Resettle then re-diffuses every label and min wins
+// again. Note the fixed point is that of the *directed* stream: the label
+// of v is the minimum vid that reaches v along streamed arcs. With a
+// symmetrized stream that equals the undirected component minimum, but a
+// sliding window can expire the two arcs of a pair in different
+// increments, so windowed runs are checked against the directed oracle
+// (base::DynamicComponents), not union-find.
 #pragma once
 
 #include <cstdint>
 
+#include "apps/repair.hpp"
 #include "graph/builder.hpp"
 #include "graph/protocol.hpp"
 
@@ -39,12 +54,20 @@ class StreamingComponents {
                                   std::uint64_t vid) const;
 
   [[nodiscard]] rt::HandlerId handler() const noexcept { return h_cc_; }
+  [[nodiscard]] rt::HandlerId unsettle_handler() const noexcept {
+    return repair_.unsettle_handler();
+  }
+  [[nodiscard]] rt::HandlerId resettle_handler() const noexcept {
+    return repair_.resettle_handler();
+  }
 
  private:
   void handle_label(rt::Context& ctx, const rt::Action& a);
 
   graph::GraphProtocol& proto_;
   rt::HandlerId h_cc_ = 0;
+  /// Deletion repair: label policy over the shared framework.
+  MonotoneRaiseRepair repair_;
 };
 
 }  // namespace ccastream::apps

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "runtime/check.hpp"
+
 namespace ccastream::apps {
 
 using graph::VertexFragment;
@@ -26,6 +28,14 @@ void PageRank::seed(graph::StreamingGraph& g) const {
     throw std::invalid_argument(
         "PageRank requires rhizomes == 1: the degree normalisation relies on "
         "a single root observing every insert");
+  }
+  if (g.protocol().stats().edges_deleted > 0 ||
+      g.protocol().stats().deletes_unmatched > 0) {
+    // inserts_seen is the degree normalisation; deletions make it stale
+    // and there is no repair story. Better a loud deterministic abort than
+    // a silently wrong rank vector.
+    rt::fatal_misuse("PageRank::seed on a graph that streamed deletions",
+                     __FILE__, __LINE__);
   }
   sim::Chip& chip = g.chip();
   for (std::uint64_t vid = 0; vid < g.num_vertices(); ++vid) {

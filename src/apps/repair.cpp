@@ -1,0 +1,159 @@
+#include "apps/repair.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace ccastream::apps {
+
+using graph::VertexFragment;
+
+MonotoneRaiseRepair::MonotoneRaiseRepair(graph::GraphProtocol& protocol,
+                                         Policy policy)
+    : proto_(protocol), policy_(std::move(policy)) {
+  h_unsettle_ = proto_.chip().handlers().register_handler(
+      "app." + policy_.name + "-unsettle",
+      [this](rt::Context& ctx, const rt::Action& a) { handle_unsettle(ctx, a); });
+  h_resettle_ = proto_.chip().handlers().register_handler(
+      "app." + policy_.name + "-resettle",
+      [this](rt::Context& ctx, const rt::Action& a) { handle_resettle(ctx, a); });
+}
+
+void MonotoneRaiseRepair::attach(graph::AppHooks& hooks) const {
+  hooks.host_repair.invalidate = [this](graph::StreamingGraph& g,
+                                        std::span<const StreamEdge> ops) {
+    return seed_invalidation(g, ops);
+  };
+  hooks.host_repair.resettle = [this](graph::StreamingGraph& g,
+                                      std::span<const StreamEdge> ops,
+                                      bool invalidated) {
+    seed_resettle(g, ops, invalidated);
+  };
+}
+
+// <name>-unsettle(v, expected): exact-derivation invalidation wave (header
+// comment). Only fires when the fragment still sits exactly at `expected`;
+// at chain quiescence every fragment of a vertex holds the vertex's value,
+// so the whole chain clears together (the ghost forward keeps `expected`,
+// the edge cascade applies EdgeStep).
+void MonotoneRaiseRepair::handle_unsettle(rt::Context& ctx,
+                                          const rt::Action& a) const {
+  auto* frag = ctx.as<VertexFragment>(a.target);
+  if (frag == nullptr) return;
+  const rt::Word expected = a.args[0];
+  ctx.charge(1);
+  // A self-derived value (components: label == own vid) depends on no edge
+  // and must survive every wave.
+  if (policy_.reset == ResetTo::kSelfId && frag->vid == expected) return;
+  if (frag->app[policy_.word] != expected) return;  // survived, or cleared
+
+  frag->app[policy_.word] =
+      policy_.reset == ResetTo::kSelfId ? frag->vid : policy_.unsettled;
+  ctx.charge(static_cast<std::uint32_t>(frag->edges.size()));
+  for (const graph::EdgeRecord& e : frag->edges) {
+    ctx.propagate(rt::make_action(h_unsettle_, e.dst, step(expected, e)));
+  }
+  for (rt::FutureAddr& ghost : frag->ghosts) {
+    if (ghost.is_ready() && !ghost.value().is_null()) {
+      ctx.propagate(rt::make_action(h_unsettle_, ghost.value(), expected));
+    } else if (ghost.is_pending()) {
+      ghost.enqueue(rt::make_action(h_unsettle_, rt::kNullAddress, expected));
+    }
+  }
+}
+
+// <name>-resettle(v, val): adopt val if better, then re-diffuse the current
+// value along all local edges through the app's plain value handler WITHOUT
+// requiring an improvement at this fragment — the seed that lets monotone
+// diffusion flow back into the invalidated region (and perform diffusion
+// for edges inserted while the on-cell hooks were suppressed).
+void MonotoneRaiseRepair::handle_resettle(rt::Context& ctx,
+                                          const rt::Action& a) const {
+  auto* frag = ctx.as<VertexFragment>(a.target);
+  if (frag == nullptr) return;
+  const rt::Word val = a.args[0];
+  ctx.charge(1);
+  if (val < frag->app[policy_.word]) frag->app[policy_.word] = val;
+  const rt::Word value = frag->app[policy_.word];
+  if (value == policy_.unsettled) return;
+
+  ctx.charge(static_cast<std::uint32_t>(frag->edges.size()));
+  for (const graph::EdgeRecord& e : frag->edges) {
+    ctx.propagate(rt::make_action(policy_.value_handler, e.dst, step(value, e)));
+  }
+  for (rt::FutureAddr& ghost : frag->ghosts) {
+    if (ghost.is_ready() && !ghost.value().is_null()) {
+      ctx.propagate(rt::make_action(h_resettle_, ghost.value(), value));
+    } else if (ghost.is_pending()) {
+      ghost.enqueue(rt::make_action(h_resettle_, rt::kNullAddress, value));
+    }
+  }
+}
+
+// Phase I seed: a deleted edge (u, v) can only have carried v's value if
+// the frozen pre-increment pair (value(u), value(v)) satisfies the
+// policy's SeedWhen (app state is frozen through the structural phases, so
+// reading it here reads exactly the pre-increment fixed point). Duplicate
+// seeds for the same v are harmless — the wave is idempotent (the second
+// arrival finds the value already cleared).
+bool MonotoneRaiseRepair::seed_invalidation(
+    graph::StreamingGraph& g, std::span<const StreamEdge> ops) const {
+  bool any = false;
+  for (const StreamEdge& e : ops) {
+    if (!e.is_delete()) continue;
+    const rt::Word vu = g.app_word(e.src, policy_.word);
+    const rt::Word vv = g.app_word(e.dst, policy_.word);
+    bool hit = false;
+    switch (policy_.seed) {
+      case SeedWhen::kExactPlusOne:
+        hit = vu != policy_.unsettled && vv == vu + 1;
+        break;
+      case SeedWhen::kDownstream:
+        hit = vu != policy_.unsettled && vv != policy_.unsettled && vv > vu;
+        break;
+      case SeedWhen::kSameLabel:
+        // A label equal to dst's own vid is self-derived; it cannot have
+        // crossed the deleted edge (see ResetTo::kSelfId).
+        hit = vv == vu && vv != e.dst;
+        break;
+    }
+    if (hit) {
+      g.chip().io_enqueue(rt::make_action(h_unsettle_, g.root_of(e.dst), vv));
+      any = true;
+    }
+  }
+  return any;
+}
+
+// Phase R seed. When anything was invalidated, every still-settled vertex
+// re-diffuses (its value is provably exact, and collectively the surviving
+// frontier dominates every derivation path into the cleared region). When
+// nothing was invalidated, only the increment's insert sources need a kick
+// — their diffusion was deferred while hooks were suppressed.
+void MonotoneRaiseRepair::seed_resettle(graph::StreamingGraph& g,
+                                        std::span<const StreamEdge> ops,
+                                        bool invalidated) const {
+  if (invalidated) {
+    for (std::uint64_t vid = 0; vid < g.num_vertices(); ++vid) {
+      const rt::Word value = g.app_word(vid, policy_.word);
+      if (value != policy_.unsettled) {
+        g.chip().io_enqueue(rt::make_action(h_resettle_, g.root_of(vid), value));
+      }
+    }
+    return;
+  }
+  std::vector<std::uint64_t> srcs;
+  for (const StreamEdge& e : ops) {
+    if (!e.is_delete()) srcs.push_back(e.src);
+  }
+  std::sort(srcs.begin(), srcs.end());
+  srcs.erase(std::unique(srcs.begin(), srcs.end()), srcs.end());
+  for (const std::uint64_t vid : srcs) {
+    const rt::Word value = g.app_word(vid, policy_.word);
+    if (value != policy_.unsettled) {
+      g.chip().io_enqueue(rt::make_action(h_resettle_, g.root_of(vid), value));
+    }
+  }
+}
+
+}  // namespace ccastream::apps

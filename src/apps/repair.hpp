@@ -1,0 +1,146 @@
+// Monotone-raise deletion repair, factored out of the streaming BFS of
+// PR 7 so every monotone diffusion app (BFS, SSSP, components) shares one
+// invalidate/resettle implementation.
+//
+// The shape of the problem is identical across the three apps: each
+// maintains a per-vertex value that only ever *improves* (level, distance,
+// min label) under insert-driven diffusion, so deleting an edge — which can
+// only make values *worse* — breaks the monotone update rule. The repair is
+// the same two-wave protocol in every case, run host-seeded by
+// StreamingGraph::stream_increment between quiescent chip runs (phases I
+// and R of the four-phase deletion increment):
+//
+//   <name>-unsettle(v, expected): the invalidation wave. If v still holds
+//     exactly `expected` (read from the pre-increment fixed point, frozen
+//     through the structural phases), its value may have been derived
+//     through a severed edge: reset it and cascade unsettle along local
+//     edges with the value the neighbour would have derived from this one
+//     (EdgeStep). Ghost links forward `expected` unchanged — a ghost is the
+//     same logical vertex. The wave follows exact derivation edges only, so
+//     it is order-independent and composes across any number of deletes in
+//     one increment; it over-approximates (a cleared vertex may have had
+//     another intact derivation) but provably covers every vertex whose
+//     every derivation path used a deleted edge.
+//
+//   <name>-resettle(v, val): the re-diffusion seed. Adopt `val` if better,
+//     then push the current value along ALL local edges through the app's
+//     plain value handler even though nothing improved here (the plain
+//     handler only diffuses on improvement). Host repair seeds this at
+//     every surviving vertex; monotone diffusion then converges on the
+//     exact fixed point of the post-increment graph — surviving values are
+//     still exact (deletions cannot improve a value), and each invalidated
+//     vertex regains its true value from a surviving derivation by
+//     induction along that path. Ghost links forward the resettle itself,
+//     carrying the settled value so cleared/fresh ghosts re-sync; the
+//     rhizome ring is intentionally not traversed (deletions require
+//     rhizomes == 1).
+//
+// What differs per app is captured in Policy:
+//   * EdgeStep — how a value derives across an edge (level + 1, distance +
+//     weight, same label).
+//   * SeedWhen — which frozen (src, dst) value pairs of a deleted edge mark
+//     dst's value as possibly derived through it. SSSP uses the
+//     conservative `dist(dst) > dist(src)` form: the deleted records (and
+//     their weights) are already gone when phase I runs, so the host
+//     cannot test dist(dst) == dist(src) + w exactly; the over-
+//     approximation is safe because resettle restores exact values. This
+//     relies on edge weights >= 1 — with dist(src) < dist(dst) the source
+//     (distance 0) can never be seeded.
+//   * ResetTo — the cleared value: the app's unsettled sentinel, or the
+//     vertex's own id (components, where every root is its own label
+//     seed). ResetTo::kSelfId additionally *protects* a fragment whose
+//     expected value equals its vid: a self-derived label cannot have
+//     depended on any edge, so the wave must not clear it (and deleting an
+//     edge into such a vertex needs no invalidation at all — SeedWhen
+//     skips it).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "graph/builder.hpp"
+#include "graph/protocol.hpp"
+#include "graph/stream_edge.hpp"
+
+namespace ccastream::apps {
+
+class MonotoneRaiseRepair {
+ public:
+  /// How a value derives across an edge record.
+  enum class EdgeStep : std::uint8_t {
+    kPlusOne,     ///< BFS: level(dst) = level(src) + 1.
+    kPlusWeight,  ///< SSSP: dist(dst) = dist(src) + weight.
+    kSame,        ///< Components: label(dst) = label(src).
+  };
+
+  /// Phase I seed condition over the frozen (value(src), value(dst)) pair
+  /// of a deleted edge.
+  enum class SeedWhen : std::uint8_t {
+    kExactPlusOne,  ///< value(dst) == value(src) + 1 (BFS tree edge).
+    kDownstream,    ///< value(dst) > value(src), both settled (SSSP: the
+                    ///< deleted weights are unknown host-side).
+    kSameLabel,     ///< value(dst) == value(src), and dst's label is not
+                    ///< its own vid (components).
+  };
+
+  /// What an invalidated fragment's value resets to.
+  enum class ResetTo : std::uint8_t {
+    kUnsettled,  ///< The app's unreached/unsettled sentinel.
+    kSelfId,     ///< The fragment's own vertex id (components).
+  };
+
+  struct Policy {
+    std::string name;             ///< Handler-name stem, e.g. "bfs".
+    std::size_t word = 0;         ///< App word holding the value.
+    rt::Word unsettled = ~0ull;   ///< The app's unsettled sentinel.
+    rt::HandlerId value_handler;  ///< The app's plain diffusion handler.
+    EdgeStep step = EdgeStep::kPlusOne;
+    SeedWhen seed = SeedWhen::kExactPlusOne;
+    ResetTo reset = ResetTo::kUnsettled;
+  };
+
+  /// Registers "app.<name>-unsettle" and "app.<name>-resettle" on the
+  /// protocol's chip. Construct after registering the app's value handler
+  /// so handler-id order stays (value, unsettle, resettle).
+  MonotoneRaiseRepair(graph::GraphProtocol& protocol, Policy policy);
+
+  /// Fills hooks.host_repair with this repair's phase I/R seeds.
+  void attach(graph::AppHooks& hooks) const;
+
+  [[nodiscard]] rt::HandlerId unsettle_handler() const noexcept {
+    return h_unsettle_;
+  }
+  [[nodiscard]] rt::HandlerId resettle_handler() const noexcept {
+    return h_resettle_;
+  }
+
+ private:
+  void handle_unsettle(rt::Context& ctx, const rt::Action& a) const;
+  void handle_resettle(rt::Context& ctx, const rt::Action& a) const;
+
+  /// Host repair phase I: seed un-settle waves for the increment's deletes.
+  bool seed_invalidation(graph::StreamingGraph& g,
+                         std::span<const StreamEdge> ops) const;
+  /// Host repair phase R: seed re-settlement kicks.
+  void seed_resettle(graph::StreamingGraph& g, std::span<const StreamEdge> ops,
+                     bool invalidated) const;
+
+  /// The value an out-neighbour would have derived from `value` across `e`.
+  [[nodiscard]] rt::Word step(rt::Word value,
+                              const graph::EdgeRecord& e) const noexcept {
+    switch (policy_.step) {
+      case EdgeStep::kPlusOne: return value + 1;
+      case EdgeStep::kPlusWeight: return value + e.weight;
+      case EdgeStep::kSame: return value;
+    }
+    return value;
+  }
+
+  graph::GraphProtocol& proto_;
+  Policy policy_;
+  rt::HandlerId h_unsettle_ = 0;
+  rt::HandlerId h_resettle_ = 0;
+};
+
+}  // namespace ccastream::apps

@@ -4,11 +4,20 @@ namespace ccastream::apps {
 
 using graph::VertexFragment;
 
-StreamingSssp::StreamingSssp(graph::GraphProtocol& protocol) : proto_(protocol) {
-  h_sssp_ = proto_.chip().handlers().register_handler(
-      "app.sssp",
-      [this](rt::Context& ctx, const rt::Action& a) { handle_sssp(ctx, a); });
-}
+StreamingSssp::StreamingSssp(graph::GraphProtocol& protocol)
+    : proto_(protocol),
+      h_sssp_(protocol.chip().handlers().register_handler(
+          "app.sssp",
+          [this](rt::Context& ctx, const rt::Action& a) { handle_sssp(ctx, a); })),
+      repair_(protocol,
+              MonotoneRaiseRepair::Policy{
+                  .name = "sssp",
+                  .word = kDistWord,
+                  .unsettled = kUnreached,
+                  .value_handler = h_sssp_,
+                  .step = MonotoneRaiseRepair::EdgeStep::kPlusWeight,
+                  .seed = MonotoneRaiseRepair::SeedWhen::kDownstream,
+                  .reset = MonotoneRaiseRepair::ResetTo::kUnsettled}) {}
 
 graph::AppHooks StreamingSssp::make_hooks() const {
   graph::AppHooks hooks;
@@ -28,6 +37,9 @@ graph::AppHooks StreamingSssp::make_hooks() const {
       ctx.charge(1);
     }
   };
+  // Deletion repair (see repair.hpp and the header comment for why the
+  // invalidation seed is conservative).
+  repair_.attach(hooks);
   return hooks;
 }
 

@@ -6,10 +6,20 @@
 // weight: sssp-action(v, d) lowers v's tentative distance and re-diffuses
 // d + w(e) along each edge. Monotonic min-updates make the asynchronous,
 // unordered message delivery safe (chaotic relaxation).
+//
+// Deletion repair instantiates the monotone-raise framework
+// (apps/repair.hpp) with the distance policy. Because deleted edge records
+// (and their weights) are gone by the time phase I runs, the invalidation
+// seed is the conservative `dist(dst) > dist(src)` test rather than the
+// exact `dist(dst) == dist(src) + w`; the over-approximation is corrected
+// by resettle. This relies on edge weights >= 1 (every generator in
+// workload/ emits weight >= 1), which keeps the source (distance 0) out of
+// every wave.
 #pragma once
 
 #include <cstdint>
 
+#include "apps/repair.hpp"
 #include "graph/builder.hpp"
 #include "graph/protocol.hpp"
 
@@ -41,12 +51,20 @@ class StreamingSssp {
                                      std::uint64_t vid) const;
 
   [[nodiscard]] rt::HandlerId handler() const noexcept { return h_sssp_; }
+  [[nodiscard]] rt::HandlerId unsettle_handler() const noexcept {
+    return repair_.unsettle_handler();
+  }
+  [[nodiscard]] rt::HandlerId resettle_handler() const noexcept {
+    return repair_.resettle_handler();
+  }
 
  private:
   void handle_sssp(rt::Context& ctx, const rt::Action& a);
 
   graph::GraphProtocol& proto_;
   rt::HandlerId h_sssp_ = 0;
+  /// Deletion repair: distance policy over the shared framework.
+  MonotoneRaiseRepair repair_;
 };
 
 }  // namespace ccastream::apps

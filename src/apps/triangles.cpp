@@ -3,6 +3,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "runtime/check.hpp"
+
 namespace ccastream::apps {
 
 using graph::VertexFragment;
@@ -47,6 +49,14 @@ void TriangleCounter::start(graph::StreamingGraph& g) const {
     throw std::invalid_argument(
         "TriangleCounter requires rhizomes == 1: probes only walk one "
         "rhizome's chain");
+  }
+  if (g.protocol().stats().edges_deleted > 0 ||
+      g.protocol().stats().deletes_unmatched > 0) {
+    // Wedge counts accumulated during streaming are not unwound by
+    // structural deletion — a deleted graph would report phantom
+    // triangles. Better a loud deterministic abort than a wrong count.
+    rt::fatal_misuse("TriangleCounter::start on a graph that streamed deletions",
+                     __FILE__, __LINE__);
   }
   sim::Chip& chip = g.chip();
   for (std::uint64_t vid = 0; vid < g.num_vertices(); ++vid) {

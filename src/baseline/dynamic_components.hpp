@@ -1,0 +1,93 @@
+// Incremental (streaming) min-label propagation on the CPU: the deletion
+// oracle for the chip's streaming components, mirroring base::DynamicBfs.
+//
+// The fixed point is *directed*: label(v) = min{ u : u reaches v along
+// stored arcs } (every vertex reaches itself, so labels are never
+// unsettled). On a symmetrized stream this equals the undirected component
+// minimum (base::component_min_labels), but a sliding window can expire
+// the two arcs of a symmetric pair in different increments, so windowed
+// runs must be pinned against this directed oracle.
+//
+// Insertion rule: when arc (u, v) arrives and label(u) < label(v), v
+// adopts label(u) and the improvement floods forward.
+//
+// Deletion rule: removing (u, v) erases every stored (u, v) arc. If
+// label(v) == label(u) and v is not its own label source, v's label may
+// have been carried across the deleted arc: the equal-label closure
+// forward of v is invalidated — each cleared vertex resets to its OWN id,
+// and the label's source vertex (vid == label) is protected, its label
+// depends on no arc — then every vertex re-floods its current label.
+// Surviving labels still name a vertex that reaches them (at a min-label
+// fixed point, every vertex on a derivation path of label L holds exactly
+// L, so the closure covers the whole severed region), which makes the
+// re-flood converge to the true directed fixed point. `recompute()` is the
+// from-scratch ground truth: ascending-id BFS sweeps, each skipping
+// already-labelled vertices, O(V + E).
+//
+// Hardening mirrors DynamicBfs: out-of-range endpoint ids are rejected and
+// counted, never indexed.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/stream_edge.hpp"
+
+namespace ccastream::base {
+
+class DynamicComponents {
+ public:
+  explicit DynamicComponents(std::uint64_t num_vertices);
+
+  /// Inserts one arc and repairs labels incrementally (weight ignored).
+  void insert_edge(std::uint64_t src, std::uint64_t dst);
+
+  /// Deletes every stored (src, dst) arc and repairs labels via
+  /// invalidate + re-flood. Unknown pairs and out-of-range ids are no-ops
+  /// (the latter counted as rejected).
+  void delete_edge(std::uint64_t src, std::uint64_t dst);
+
+  /// Applies one stream op according to its kind.
+  void apply(const StreamEdge& e);
+
+  /// Applies a batch (one streaming increment): deletes first, then
+  /// inserts — the chip's stream_increment sub-phase order.
+  void apply_increment(std::span<const StreamEdge> edges);
+
+  [[nodiscard]] const std::vector<std::uint64_t>& labels() const noexcept {
+    return label_;
+  }
+  [[nodiscard]] std::uint64_t label_of(std::uint64_t v) const { return label_[v]; }
+
+  /// Vertices whose label actually changed during incremental repair.
+  [[nodiscard]] std::uint64_t vertices_resettled() const noexcept {
+    return resettled_;
+  }
+  /// Vertices reset to their own id by deletion invalidation waves so far.
+  [[nodiscard]] std::uint64_t vertices_invalidated() const noexcept {
+    return invalidated_;
+  }
+  /// Stored arcs removed by `delete_edge` so far.
+  [[nodiscard]] std::uint64_t edges_deleted() const noexcept { return deleted_; }
+  /// Ops dropped because an endpoint id was out of range.
+  [[nodiscard]] std::uint64_t edges_rejected() const noexcept { return rejected_; }
+
+  /// The same final labels computed from scratch.
+  [[nodiscard]] std::vector<std::uint64_t> recompute() const;
+
+ private:
+  [[nodiscard]] bool in_range(std::uint64_t src, std::uint64_t dst) noexcept;
+  void flood_from(std::uint64_t v);
+  void invalidate_from(std::uint64_t v, std::uint64_t expected);
+  void reflood_all();
+
+  std::vector<std::vector<std::uint64_t>> adj_;
+  std::vector<std::uint64_t> label_;
+  std::uint64_t resettled_ = 0;
+  std::uint64_t invalidated_ = 0;
+  std::uint64_t deleted_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace ccastream::base

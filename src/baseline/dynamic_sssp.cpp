@@ -1,0 +1,143 @@
+#include "baseline/dynamic_sssp.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <utility>
+
+#include "baseline/graph.hpp"
+
+namespace ccastream::base {
+
+DynamicSssp::DynamicSssp(std::uint64_t num_vertices, std::uint64_t source)
+    : adj_(num_vertices), dist_(num_vertices, kUnreached), source_(source) {
+  if (source_ < num_vertices) dist_[source_] = 0;
+}
+
+bool DynamicSssp::in_range(std::uint64_t src, std::uint64_t dst) noexcept {
+  if (src < adj_.size() && dst < adj_.size()) return true;
+  ++rejected_;
+  return false;
+}
+
+void DynamicSssp::insert_edge(std::uint64_t src, std::uint64_t dst,
+                              std::uint32_t weight) {
+  if (!in_range(src, dst)) return;
+  adj_[src].push_back({dst, weight});
+  if (dist_[src] != kUnreached && dist_[src] + weight < dist_[dst]) {
+    dist_[dst] = dist_[src] + weight;
+    ++resettled_;
+    flood_from(dst);
+  }
+}
+
+void DynamicSssp::delete_edge(std::uint64_t src, std::uint64_t dst) {
+  if (!in_range(src, dst)) return;
+  auto& out = adj_[src];
+  // Delete-all-matches; remember whether any removed arc could have carried
+  // dst's distance (a shortest-path tree arc: dist(src) + w == dist(dst)).
+  bool tree_arc = false;
+  const auto removed =
+      static_cast<std::uint64_t>(std::erase_if(out, [&](const Arc& a) {
+        if (a.dst != dst) return false;
+        if (dist_[src] != kUnreached && dist_[src] + a.weight == dist_[dst]) {
+          tree_arc = true;
+        }
+        return true;
+      }));
+  if (removed == 0) return;
+  deleted_ += removed;
+  if (tree_arc) {
+    invalidate_from(dst);
+    reflood_survivors();
+  }
+}
+
+void DynamicSssp::apply(const StreamEdge& e) {
+  if (e.is_delete()) {
+    delete_edge(e.src, e.dst);
+  } else {
+    insert_edge(e.src, e.dst, e.weight);
+  }
+}
+
+void DynamicSssp::apply_increment(std::span<const StreamEdge> edges) {
+  for (const auto& e : edges) {
+    if (e.is_delete()) apply(e);
+  }
+  for (const auto& e : edges) {
+    if (!e.is_delete()) apply(e);
+  }
+}
+
+void DynamicSssp::flood_from(std::uint64_t v) {
+  if (v >= adj_.size()) return;
+  std::deque<std::uint64_t> q{v};
+  while (!q.empty()) {
+    const std::uint64_t u = q.front();
+    q.pop_front();
+    for (const Arc& a : adj_[u]) {
+      if (dist_[u] + a.weight < dist_[a.dst]) {
+        dist_[a.dst] = dist_[u] + a.weight;
+        ++resettled_;
+        q.push_back(a.dst);
+      }
+    }
+  }
+}
+
+// Forward closure over exact derivation arcs, using the frozen pre-deletion
+// distances: a vertex whose old distance was D un-settles every
+// out-neighbor still sitting exactly at D + w across a surviving arc.
+// Distances only move valid -> unreached here, so the closure is
+// order-independent; it over-approximates (the neighbor may have another
+// intact derivation) but never misses a vertex whose every shortest path
+// crossed the deleted arc. The source (distance 0) is never cleared when
+// weights are >= 1 — every wave target sits at a strictly larger distance.
+void DynamicSssp::invalidate_from(std::uint64_t v) {
+  std::deque<std::pair<std::uint64_t, std::uint64_t>> q;  // (vertex, old dist)
+  q.emplace_back(v, dist_[v]);
+  dist_[v] = kUnreached;
+  ++invalidated_;
+  while (!q.empty()) {
+    const auto [u, old] = q.front();
+    q.pop_front();
+    for (const Arc& a : adj_[u]) {
+      if (dist_[a.dst] != kUnreached && dist_[a.dst] == old + a.weight) {
+        q.emplace_back(a.dst, dist_[a.dst]);
+        dist_[a.dst] = kUnreached;
+        ++invalidated_;
+      }
+    }
+  }
+}
+
+// Multi-source re-flood from every still-settled vertex; surviving
+// distances are exact, so monotone relaxation restores the true shortest
+// paths of the current adjacency.
+void DynamicSssp::reflood_survivors() {
+  std::deque<std::uint64_t> q;
+  for (std::uint64_t u = 0; u < adj_.size(); ++u) {
+    if (dist_[u] != kUnreached) q.push_back(u);
+  }
+  while (!q.empty()) {
+    const std::uint64_t u = q.front();
+    q.pop_front();
+    for (const Arc& a : adj_[u]) {
+      if (dist_[u] + a.weight < dist_[a.dst]) {
+        dist_[a.dst] = dist_[u] + a.weight;
+        ++resettled_;
+        q.push_back(a.dst);
+      }
+    }
+  }
+}
+
+std::vector<std::uint64_t> DynamicSssp::recompute() const {
+  RefGraph g(adj_.size());
+  for (std::uint64_t u = 0; u < adj_.size(); ++u) {
+    for (const Arc& a : adj_[u]) g.add_edge(u, a.dst, a.weight);
+  }
+  return sssp_distances(g, source_);
+}
+
+}  // namespace ccastream::base

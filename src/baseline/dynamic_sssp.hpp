@@ -1,0 +1,93 @@
+// Incremental (streaming) single-source shortest paths on the CPU: the
+// deletion oracle for the chip's streaming SSSP, mirroring
+// base::DynamicBfs with weighted relaxation.
+//
+// Insertion rule: when arc (u, v, w) arrives and dist(u) + w < dist(v),
+// v improves and the improvement floods forward (chaotic relaxation —
+// order does not matter for the fixed point on non-negative weights).
+//
+// Deletion rule: removing (u, v) erases every stored (u, v) arc (the
+// chip's delete-all-matches semantics). If any removed arc was a potential
+// shortest-path tree arc (dist(u) + w == dist(v)), the affected region is
+// invalidated by following exact-derivation arcs forward from v over the
+// *surviving* adjacency — clearing every vertex whose stored distance may
+// have been carried across the deleted arc, using the frozen pre-deletion
+// distances — then re-flooded from every still-settled vertex. Surviving
+// distances are exact (deleting an arc cannot shorten a path), so the
+// re-flood restores the true fixed point. `recompute()` is the from-scratch
+// Dijkstra ground truth.
+//
+// Hardening mirrors DynamicBfs: out-of-range endpoint ids are rejected and
+// counted, never indexed.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "baseline/algorithms.hpp"
+#include "graph/stream_edge.hpp"
+
+namespace ccastream::base {
+
+class DynamicSssp {
+ public:
+  DynamicSssp(std::uint64_t num_vertices, std::uint64_t source);
+
+  /// Inserts one weighted arc and repairs distances incrementally.
+  void insert_edge(std::uint64_t src, std::uint64_t dst, std::uint32_t weight = 1);
+
+  /// Deletes every stored (src, dst) arc and repairs distances via
+  /// invalidate + re-flood. Unknown pairs and out-of-range ids are no-ops
+  /// (the latter counted as rejected).
+  void delete_edge(std::uint64_t src, std::uint64_t dst);
+
+  /// Applies one stream op according to its kind.
+  void apply(const StreamEdge& e);
+
+  /// Applies a batch (one streaming increment): deletes first, then
+  /// inserts — the chip's stream_increment sub-phase order.
+  void apply_increment(std::span<const StreamEdge> edges);
+
+  [[nodiscard]] const std::vector<std::uint64_t>& distances() const noexcept {
+    return dist_;
+  }
+  [[nodiscard]] std::uint64_t distance_of(std::uint64_t v) const { return dist_[v]; }
+
+  /// Vertices whose distance actually changed during incremental repair.
+  [[nodiscard]] std::uint64_t vertices_resettled() const noexcept {
+    return resettled_;
+  }
+  /// Vertices un-settled by deletion invalidation waves so far.
+  [[nodiscard]] std::uint64_t vertices_invalidated() const noexcept {
+    return invalidated_;
+  }
+  /// Stored arcs removed by `delete_edge` so far.
+  [[nodiscard]] std::uint64_t edges_deleted() const noexcept { return deleted_; }
+  /// Ops dropped because an endpoint id was out of range.
+  [[nodiscard]] std::uint64_t edges_rejected() const noexcept { return rejected_; }
+
+  /// The same final distances computed from scratch (Dijkstra).
+  [[nodiscard]] std::vector<std::uint64_t> recompute() const;
+
+ private:
+  struct Arc {
+    std::uint64_t dst;
+    std::uint32_t weight;
+  };
+
+  [[nodiscard]] bool in_range(std::uint64_t src, std::uint64_t dst) noexcept;
+  void flood_from(std::uint64_t v);
+  void invalidate_from(std::uint64_t v);
+  void reflood_survivors();
+
+  std::vector<std::vector<Arc>> adj_;
+  std::vector<std::uint64_t> dist_;
+  std::uint64_t source_;
+  std::uint64_t resettled_ = 0;
+  std::uint64_t invalidated_ = 0;
+  std::uint64_t deleted_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace ccastream::base

@@ -38,6 +38,7 @@
 #include "apps/components.hpp"
 #include "apps/pagerank.hpp"
 #include "apps/reach.hpp"
+#include "apps/repair.hpp"
 #include "apps/sssp.hpp"
 #include "apps/triangles.hpp"
 
@@ -48,6 +49,8 @@
 
 #include "baseline/algorithms.hpp"
 #include "baseline/dynamic_bfs.hpp"
+#include "baseline/dynamic_components.hpp"
+#include "baseline/dynamic_sssp.hpp"
 #include "baseline/graph.hpp"
 
 #include "io/csv.hpp"

@@ -3,6 +3,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "runtime/check.hpp"
 #include "runtime/rng.hpp"
 #include "sim/energy.hpp"
 
@@ -82,12 +83,7 @@ void StreamingGraph::enqueue_edge(const StreamEdge& e) {
         std::to_string(cfg_.num_vertices) + " vertices)");
   }
   if (e.is_delete()) {
-    if (rhizomes_ > 1) {
-      // Stored records point at round-robin-chosen destination roots, so a
-      // delete could not find its matches on-cell; see protocol.hpp.
-      throw std::runtime_error(
-          "StreamingGraph: delete ops require rhizomes == 1");
-    }
+    if (rhizomes_ > 1) throw DeletionRhizomeError(rhizomes_);
     chip_.io_enqueue(proto_.make_delete(roots_[e.src], roots_[e.dst]));
     return;
   }
@@ -109,6 +105,23 @@ IncrementReport StreamingGraph::stream_increment(std::span<const StreamEdge> edg
   std::uint64_t deletes = 0;
   for (const StreamEdge& e : edges) {
     if (e.is_delete()) ++deletes;
+  }
+
+  if (deletes > 0) {
+    // Validate the whole increment before any op is enqueued so a
+    // misconfiguration surfaces as one structured error, not a fatal (or a
+    // half-streamed batch) mid-increment.
+    if (rhizomes_ > 1) throw DeletionRhizomeError(rhizomes_);
+    const AppHooks& h = proto_.hooks();
+    if (h.on_edge_inserted && !h.host_repair.invalidate && !h.on_edge_deleted) {
+      // An app is chaining computation off inserts but has no deletion
+      // story at all: structure-only deletion would silently leave its
+      // state stale. Fail loudly (see the header comment).
+      rt::fatal_misuse(
+          "stream_increment: deleting increment under an app without "
+          "deletion repair (no host_repair/on_edge_deleted hook)",
+          __FILE__, __LINE__);
+    }
   }
 
   if (deletes == 0) {

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <stdexcept>
 #include <unordered_map>
 #include <vector>
 
@@ -40,6 +41,23 @@ struct GraphConfig {
   /// SSSP, components, reachability) forward improved state around the
   /// ring; PageRank/triangles/Jaccard require rhizomes == 1.
   std::uint32_t rhizomes = 1;
+};
+
+/// A delete op reached a graph built with rhizomes > 1. Stored edge
+/// records point at round-robin-chosen destination roots, so a delete
+/// could not find all its matches on-cell (see protocol.hpp); the
+/// configurations are mutually exclusive, and the conflict is reported
+/// up front as this structured error (a std::runtime_error, so generic
+/// handlers keep working) rather than a fatal mid-increment.
+class DeletionRhizomeError : public std::runtime_error {
+ public:
+  explicit DeletionRhizomeError(std::uint32_t rhizomes)
+      : std::runtime_error(
+            "deletion requires rhizomes == 1, but this graph was built with "
+            "rhizomes == " +
+            std::to_string(rhizomes) +
+            "; drop the sliding window (--window 0 / unset CCASTREAM_WINDOW) "
+            "or build the graph with --rhizomes 1") {}
 };
 
 /// Summary of one streamed increment (one paper data point of Fig 8/9).
@@ -81,7 +99,7 @@ class StreamingGraph {
   /// Queues one edge op on the IO channels without running (inserts and
   /// structural deletes alike; no repair orchestration). Throws
   /// std::out_of_range when an endpoint id is outside the graph and
-  /// std::runtime_error for a delete with rhizomes > 1.
+  /// DeletionRhizomeError for a delete with rhizomes > 1.
   void enqueue_edge(const StreamEdge& e);
 
   /// Queues a batch and runs the chip to quiescence — one streaming
@@ -100,8 +118,13 @@ class StreamingGraph {
   ///        severed dependencies; the chip runs them to quiescence;
   ///   R    AppHooks::host_repair.resettle seeds re-settlement and the
   ///        monotone diffusion converges on the repaired fixed point.
-  /// Apps without host_repair get structure-only deletion (their on-cell
-  /// hooks run unsuppressed; stale app state is the app's concern).
+  /// Deleting increments are validated up front: rhizomes > 1 throws
+  /// DeletionRhizomeError before any op is enqueued, and an app that
+  /// chains on inserts (on_edge_inserted set) but has neither host_repair
+  /// nor on_edge_deleted is a fatal misuse — silently deleting structure
+  /// under it would leave its state stale with no repair story. Hook-free
+  /// structural streaming (no app installed) still gets plain
+  /// structure-only deletion.
   /// The report's cycle/energy deltas span all phases.
   IncrementReport stream_increment(std::span<const StreamEdge> edges,
                                    std::uint64_t max_cycles = sim::Chip::kNoLimit);

@@ -1,8 +1,11 @@
 // Edge deletion, end to end: the delete-edge protocol on RPVO chains
 // (delete-all-matches, ghost forwarding, deferred parking), the ingest
 // hardening around it (endpoint validation, the rhizome restriction), the
-// four-phase deletion increment driving BFS invalidation + re-settlement,
-// and the v2 snapshot format that persists the deletes_seen counter.
+// four-phase deletion increment driving the monotone-raise repair
+// framework for BFS/SSSP/components (invalidation + re-settlement pinned
+// against the dynamic oracles), the fail-loud contract for apps without a
+// deletion story (PageRank, triangles, hook-chaining apps), and the v2
+// snapshot format that persists the deletes_seen counter.
 #include <gtest/gtest.h>
 
 #include <memory>
@@ -136,6 +139,27 @@ TEST(Deletion, DeletesRequireSingleRhizome) {
   EXPECT_THROW(
       f.g->stream_increment(std::vector<StreamEdge>{make_delete_edge(0, 1)}),
       std::runtime_error);
+}
+
+TEST(Deletion, RhizomeConflictIsStructuredAndActionable) {
+  // The precondition surfaces as the typed DeletionRhizomeError (still a
+  // std::runtime_error for generic handlers), thrown before anything is
+  // enqueued, with a message that names both knobs involved.
+  Fixture f(4, 8, small_chip_config(), /*rhizomes=*/3);
+  f.g->stream_increment(std::vector<StreamEdge>{{0, 1, 1}});
+  const std::uint64_t inserted = f.proto->stats().edges_inserted;
+  try {
+    f.g->stream_increment(std::vector<StreamEdge>{
+        make_insert_edge(1, 2), make_delete_edge(0, 1)});
+    FAIL() << "deleting increment with rhizomes > 1 must throw";
+  } catch (const DeletionRhizomeError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("rhizomes == 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("--window"), std::string::npos) << what;
+    EXPECT_NE(what.find("--rhizomes 1"), std::string::npos) << what;
+  }
+  // Upfront validation: the batch's insert was not half-streamed.
+  EXPECT_EQ(f.proto->stats().edges_inserted, inserted);
 }
 
 TEST(Deletion, SnapshotV2RoundTripsDeletesSeen) {
@@ -399,6 +423,351 @@ TEST(BfsDeletion, SlidingWindowScheduleMatchesOracles) {
     EXPECT_EQ(f.bfs->level_of(*f.g, v),
               v == 0 ? rt::Word{0} : StreamingBfs::kUnreached);
   }
+}
+
+// ---------------------------------------------------------------------------
+// SSSP deletion repair (distance policy of the monotone-raise framework)
+// ---------------------------------------------------------------------------
+
+struct SsspFixture {
+  explicit SsspFixture(std::uint64_t nverts,
+                       sim::ChipConfig cfg = small_chip_config(),
+                       graph::RpvoConfig rc = {}) {
+    chip = std::make_unique<sim::Chip>(cfg);
+    proto = std::make_unique<graph::GraphProtocol>(*chip, rc);
+    sssp = std::make_unique<StreamingSssp>(*proto);
+    sssp->install();
+    graph::GraphConfig gc;
+    gc.num_vertices = nverts;
+    gc.root_init = StreamingSssp::initial_state();
+    g = std::make_unique<graph::StreamingGraph>(*proto, gc);
+  }
+
+  void expect_matches_oracle(const base::DynamicSssp& oracle,
+                             const char* when) {
+    for (std::uint64_t v = 0; v < g->num_vertices(); ++v) {
+      const rt::Word want = oracle.distance_of(v) == base::kUnreached
+                                ? StreamingSssp::kUnreached
+                                : oracle.distance_of(v);
+      ASSERT_EQ(sssp->distance_of(*g, v), want) << when << ", vertex " << v;
+    }
+  }
+
+  std::unique_ptr<sim::Chip> chip;
+  std::unique_ptr<graph::GraphProtocol> proto;
+  std::unique_ptr<StreamingSssp> sssp;
+  std::unique_ptr<graph::StreamingGraph> g;
+};
+
+TEST(SsspDeletion, TreeArcDeletionRaisesDistanceThroughAlternatePath) {
+  // 0 -> 3 with weight 2 (the shortest path) and 0 -> 1 -> 2 -> 3 at total
+  // weight 4. Deleting the shortcut must raise 3 to the alternate cost.
+  SsspFixture f(4);
+  f.sssp->set_source(*f.g, 0);
+  f.g->stream_increment(std::vector<StreamEdge>{
+      {0, 1, 1}, {1, 2, 2}, {2, 3, 1}, {0, 3, 2}});
+  ASSERT_EQ(f.sssp->distance_of(*f.g, 3), 2u);
+
+  f.g->stream_increment(std::vector<StreamEdge>{make_delete_edge(0, 3)});
+  EXPECT_EQ(f.sssp->distance_of(*f.g, 3), 4u);
+  EXPECT_EQ(f.sssp->distance_of(*f.g, 1), 1u);
+  EXPECT_EQ(f.sssp->distance_of(*f.g, 2), 3u);
+}
+
+TEST(SsspDeletion, NonTreeArcDeletionLeavesDistancesAlone) {
+  // The conservative host seed (dist(dst) > dist(src)) fires for the
+  // deleted heavy arc even though it carried nothing; resettle must
+  // restore the exact distances it cleared.
+  SsspFixture f(3);
+  f.sssp->set_source(*f.g, 0);
+  f.g->stream_increment(
+      std::vector<StreamEdge>{{0, 1, 1}, {1, 2, 1}, {0, 2, 7}});
+  ASSERT_EQ(f.sssp->distance_of(*f.g, 2), 2u);
+  f.g->stream_increment(std::vector<StreamEdge>{make_delete_edge(0, 2)});
+  EXPECT_EQ(f.sssp->distance_of(*f.g, 1), 1u);
+  EXPECT_EQ(f.sssp->distance_of(*f.g, 2), 2u);
+}
+
+TEST(SsspDeletion, DeletionCanDisconnect) {
+  SsspFixture f(4);
+  f.sssp->set_source(*f.g, 0);
+  f.g->stream_increment(
+      std::vector<StreamEdge>{{0, 1, 3}, {1, 2, 2}, {2, 3, 4}});
+  ASSERT_EQ(f.sssp->distance_of(*f.g, 3), 9u);
+  f.g->stream_increment(std::vector<StreamEdge>{make_delete_edge(1, 2)});
+  EXPECT_EQ(f.sssp->distance_of(*f.g, 1), 3u);
+  EXPECT_EQ(f.sssp->distance_of(*f.g, 2), StreamingSssp::kUnreached);
+  EXPECT_EQ(f.sssp->distance_of(*f.g, 3), StreamingSssp::kUnreached);
+}
+
+class SsspDeletionEquivalence
+    : public ::testing::TestWithParam<DeletionCase> {};
+
+TEST_P(SsspDeletionEquivalence, MatchesOracleAfterEveryIncrement) {
+  const auto p = GetParam();
+  auto cfg = small_chip_config();
+  cfg.seed = p.seed;
+  graph::RpvoConfig rc;
+  rc.edge_capacity = p.edge_capacity;
+  SsspFixture f(p.vertices, cfg, rc);
+
+  rt::Xoshiro256 rng(p.seed);
+  const std::uint64_t source = rng.below(p.vertices);
+  f.sssp->set_source(*f.g, source);
+  base::DynamicSssp oracle(p.vertices, source);
+
+  std::vector<StreamEdge> live;
+  for (int inc = 0; inc < 6; ++inc) {
+    std::vector<StreamEdge> ops;
+    for (int i = 0; i < 24; ++i) {
+      const bool del = !live.empty() && rng.below(4) == 0;
+      if (del) {
+        const auto& victim = live[rng.below(live.size())];
+        ops.push_back(make_delete_edge(victim.src, victim.dst));
+        std::erase_if(live, [&](const StreamEdge& e) {
+          return e.src == victim.src && e.dst == victim.dst;
+        });
+      } else {
+        // Weighted arcs, 1..4 — parallel records of one pair may carry
+        // different weights, and delete-all-matches clears them together.
+        const StreamEdge e{rng.below(p.vertices), rng.below(p.vertices),
+                           static_cast<std::uint32_t>(1 + rng.below(4))};
+        ops.push_back(e);
+        live.push_back(e);
+      }
+    }
+    f.g->stream_increment(ops);
+    oracle.apply_increment(ops);
+    ASSERT_TRUE(f.chip->quiescent());
+    ASSERT_EQ(oracle.distances(), oracle.recompute())
+        << "oracle self-check, seed " << p.seed << " increment " << inc;
+    for (std::uint64_t v = 0; v < p.vertices; ++v) {
+      const rt::Word want = oracle.distance_of(v) == base::kUnreached
+                                ? StreamingSssp::kUnreached
+                                : oracle.distance_of(v);
+      ASSERT_EQ(f.sssp->distance_of(*f.g, v), want)
+          << "vertex " << v << " seed " << p.seed << " increment " << inc;
+    }
+  }
+  EXPECT_GT(oracle.edges_deleted(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SsspDeletionEquivalence,
+    ::testing::Values(DeletionCase{16, 4, 201}, DeletionCase{24, 2, 202},
+                      DeletionCase{32, 1, 203}, DeletionCase{32, 8, 204},
+                      DeletionCase{48, 4, 205}, DeletionCase{20, 3, 206}));
+
+TEST(SsspDeletion, SlidingWindowScheduleMatchesOracles) {
+  SsspFixture f(64);
+  const auto arrivals =
+      wl::make_graphchallenge_like(64, 400, wl::SamplingKind::kEdge, 5, 99);
+  const auto sched = wl::apply_sliding_window(arrivals, /*window=*/2,
+                                              /*drain=*/true);
+  f.sssp->set_source(*f.g, 0);
+  base::DynamicSssp oracle(64, 0);
+  for (const auto& inc : sched.increments) {
+    f.g->stream_increment(inc);
+    oracle.apply_increment(inc);
+    f.expect_matches_oracle(oracle, "windowed increment");
+  }
+  EXPECT_TRUE(wl::live_edges(sched).empty());
+  for (std::uint64_t v = 0; v < 64; ++v) {
+    EXPECT_EQ(f.g->stored_degree(v), 0u) << "vertex " << v;
+    EXPECT_EQ(f.sssp->distance_of(*f.g, v),
+              v == 0 ? rt::Word{0} : StreamingSssp::kUnreached);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Components deletion repair (label policy: reset-to-self-id, protect the
+// label source)
+// ---------------------------------------------------------------------------
+
+struct ComponentsFixture {
+  explicit ComponentsFixture(std::uint64_t nverts,
+                             sim::ChipConfig cfg = small_chip_config(),
+                             graph::RpvoConfig rc = {}) {
+    chip = std::make_unique<sim::Chip>(cfg);
+    proto = std::make_unique<graph::GraphProtocol>(*chip, rc);
+    comps = std::make_unique<StreamingComponents>(*proto);
+    comps->install();
+    graph::GraphConfig gc;
+    gc.num_vertices = nverts;
+    gc.root_init = StreamingComponents::initial_state();
+    g = std::make_unique<graph::StreamingGraph>(*proto, gc);
+    comps->seed_labels(*g);
+  }
+
+  void expect_matches_oracle(const base::DynamicComponents& oracle,
+                             const char* when) {
+    for (std::uint64_t v = 0; v < g->num_vertices(); ++v) {
+      ASSERT_EQ(comps->label_of(*g, v), oracle.label_of(v))
+          << when << ", vertex " << v;
+    }
+  }
+
+  std::unique_ptr<sim::Chip> chip;
+  std::unique_ptr<graph::GraphProtocol> proto;
+  std::unique_ptr<StreamingComponents> comps;
+  std::unique_ptr<graph::StreamingGraph> g;
+};
+
+TEST(ComponentsDeletion, SplittingAComponentRestoresPerSideMinima) {
+  // 0 <-> 1 <-> 2 as symmetric pairs plus the bridge 1 -> 3 -> 4 side.
+  // Cutting the bridge must give the severed side its own minimum back.
+  ComponentsFixture f(5);
+  f.g->stream_increment(std::vector<StreamEdge>{
+      {0, 1, 1}, {1, 0, 1}, {1, 2, 1}, {2, 1, 1}, {1, 3, 1}, {3, 4, 1}});
+  ASSERT_EQ(f.comps->label_of(*f.g, 3), 0u);
+  ASSERT_EQ(f.comps->label_of(*f.g, 4), 0u);
+
+  f.g->stream_increment(std::vector<StreamEdge>{make_delete_edge(1, 3)});
+  EXPECT_EQ(f.comps->label_of(*f.g, 0), 0u);
+  EXPECT_EQ(f.comps->label_of(*f.g, 1), 0u);
+  EXPECT_EQ(f.comps->label_of(*f.g, 2), 0u);
+  EXPECT_EQ(f.comps->label_of(*f.g, 3), 3u);
+  EXPECT_EQ(f.comps->label_of(*f.g, 4), 3u);
+}
+
+TEST(ComponentsDeletion, LabelSourceSurvivesWaveThroughIt) {
+  // 5 -> 0 -> 6 all labelled 0... except the wave for deleting (5, 0)
+  // must protect vertex 0 (its label is its own id) and therefore leave
+  // the 0-derived label at 6 intact too.
+  ComponentsFixture f(7);
+  f.g->stream_increment(std::vector<StreamEdge>{{5, 0, 1}, {0, 6, 1}});
+  ASSERT_EQ(f.comps->label_of(*f.g, 0), 0u);
+  ASSERT_EQ(f.comps->label_of(*f.g, 6), 0u);
+  ASSERT_EQ(f.comps->label_of(*f.g, 5), 5u);
+
+  f.g->stream_increment(std::vector<StreamEdge>{make_delete_edge(5, 0)});
+  EXPECT_EQ(f.comps->label_of(*f.g, 0), 0u);
+  EXPECT_EQ(f.comps->label_of(*f.g, 6), 0u);
+  EXPECT_EQ(f.comps->label_of(*f.g, 5), 5u);
+}
+
+class ComponentsDeletionEquivalence
+    : public ::testing::TestWithParam<DeletionCase> {};
+
+TEST_P(ComponentsDeletionEquivalence, MatchesOracleAfterEveryIncrement) {
+  const auto p = GetParam();
+  auto cfg = small_chip_config();
+  cfg.seed = p.seed;
+  graph::RpvoConfig rc;
+  rc.edge_capacity = p.edge_capacity;
+  ComponentsFixture f(p.vertices, cfg, rc);
+
+  rt::Xoshiro256 rng(p.seed);
+  base::DynamicComponents oracle(p.vertices);
+
+  std::vector<StreamEdge> live;
+  for (int inc = 0; inc < 6; ++inc) {
+    std::vector<StreamEdge> ops;
+    for (int i = 0; i < 24; ++i) {
+      const bool del = !live.empty() && rng.below(4) == 0;
+      if (del) {
+        const auto& victim = live[rng.below(live.size())];
+        ops.push_back(make_delete_edge(victim.src, victim.dst));
+        std::erase_if(live, [&](const StreamEdge& e) {
+          return e.src == victim.src && e.dst == victim.dst;
+        });
+      } else {
+        const StreamEdge e{rng.below(p.vertices), rng.below(p.vertices), 1};
+        ops.push_back(e);
+        live.push_back(e);
+      }
+    }
+    f.g->stream_increment(ops);
+    oracle.apply_increment(ops);
+    ASSERT_TRUE(f.chip->quiescent());
+    ASSERT_EQ(oracle.labels(), oracle.recompute())
+        << "oracle self-check, seed " << p.seed << " increment " << inc;
+    for (std::uint64_t v = 0; v < p.vertices; ++v) {
+      ASSERT_EQ(f.comps->label_of(*f.g, v), oracle.label_of(v))
+          << "vertex " << v << " seed " << p.seed << " increment " << inc;
+    }
+  }
+  EXPECT_GT(oracle.edges_deleted(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ComponentsDeletionEquivalence,
+    ::testing::Values(DeletionCase{16, 4, 301}, DeletionCase{24, 2, 302},
+                      DeletionCase{32, 1, 303}, DeletionCase{32, 8, 304},
+                      DeletionCase{48, 4, 305}, DeletionCase{20, 3, 306}));
+
+TEST(ComponentsDeletion, SlidingWindowScheduleMatchesOracles) {
+  ComponentsFixture f(64);
+  const auto arrivals =
+      wl::make_graphchallenge_like(64, 400, wl::SamplingKind::kEdge, 5, 99);
+  const auto sched = wl::apply_sliding_window(arrivals, /*window=*/2,
+                                              /*drain=*/true);
+  base::DynamicComponents oracle(64);
+  for (const auto& inc : sched.increments) {
+    f.g->stream_increment(inc);
+    oracle.apply_increment(inc);
+    f.expect_matches_oracle(oracle, "windowed increment");
+  }
+  // Drained: the empty graph's labels are each vertex's own id.
+  EXPECT_TRUE(wl::live_edges(sched).empty());
+  for (std::uint64_t v = 0; v < 64; ++v) {
+    EXPECT_EQ(f.g->stored_degree(v), 0u) << "vertex " << v;
+    EXPECT_EQ(f.comps->label_of(*f.g, v), v);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fail-loud contract: apps without a deletion story must abort
+// deterministically on a deleting increment, not give silent wrong answers.
+// ---------------------------------------------------------------------------
+
+using DeletionDeathTest = ::testing::Test;
+
+TEST(DeletionDeathTest, PageRankRefusesToSeedAfterDeletions) {
+  auto chip = std::make_unique<sim::Chip>(small_chip_config());
+  graph::GraphProtocol proto(*chip, {});
+  PageRank pr(proto);  // installs no hooks: structure-only deletion runs
+  graph::GraphConfig gc;
+  gc.num_vertices = 8;
+  graph::StreamingGraph g(proto, gc);
+  g.stream_increment(std::vector<StreamEdge>{{0, 1, 1}, {1, 2, 1}});
+  g.stream_increment(std::vector<StreamEdge>{make_delete_edge(0, 1)});
+  EXPECT_DEATH(pr.seed(g),
+               "fatal misuse: PageRank::seed on a graph that streamed "
+               "deletions");
+}
+
+TEST(DeletionDeathTest, TriangleCounterRefusesToStartAfterDeletions) {
+  auto chip = std::make_unique<sim::Chip>(small_chip_config());
+  graph::GraphProtocol proto(*chip, {});
+  TriangleCounter tri(proto);
+  graph::GraphConfig gc;
+  gc.num_vertices = 8;
+  graph::StreamingGraph g(proto, gc);
+  g.stream_increment(
+      std::vector<StreamEdge>{{0, 1, 1}, {1, 2, 1}, {2, 0, 1}});
+  g.stream_increment(std::vector<StreamEdge>{make_delete_edge(2, 0)});
+  EXPECT_DEATH(tri.start(g),
+               "fatal misuse: TriangleCounter::start on a graph that "
+               "streamed deletions");
+}
+
+TEST(DeletionDeathTest, InsertChainingAppWithoutRepairDiesOnDeletes) {
+  // An app that chains computation off on_edge_inserted but provides
+  // neither host_repair nor on_edge_deleted (reachability is the in-tree
+  // example) must hit the stream_increment misuse check up front.
+  auto chip = std::make_unique<sim::Chip>(small_chip_config());
+  graph::GraphProtocol proto(*chip, {});
+  MultiSourceReach reach(proto);
+  reach.install();
+  graph::GraphConfig gc;
+  gc.num_vertices = 8;
+  graph::StreamingGraph g(proto, gc);
+  g.stream_increment(std::vector<StreamEdge>{{0, 1, 1}});
+  EXPECT_DEATH(
+      g.stream_increment(std::vector<StreamEdge>{make_delete_edge(0, 1)}),
+      "fatal misuse: stream_increment: deleting increment under an app "
+      "without deletion repair");
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "test_util.hpp"
@@ -181,11 +182,15 @@ TEST(Determinism, PartitionShapeMatrixIsCycleIdenticalToSerial) {
 // Deletion workloads go through a different protocol path than inserts
 // (S-D delete phase, host-seeded unsettle waves, forced resettle
 // diffusion), so cycle-identity is re-proven here on a sliding-window
-// schedule whose drained tail is pure deletions: every engine, thread
-// count, and partition shape must land on the identical counter block,
-// energy, and per-vertex levels as the serial scan run.
+// schedule whose drained tail is pure deletions — for every app the
+// monotone-raise repair framework instantiates (BFS, SSSP, components):
+// every engine, thread count, and partition shape must land on the
+// identical counter block, energy, and per-vertex results as the serial
+// scan run.
+enum class WindowedApp { kBfs, kSssp, kComponents };
+
 TEST(Determinism, SlidingWindowDeletionsAreCycleIdenticalToSerial) {
-  auto run = [](sim::EngineKind engine, std::uint32_t threads,
+  auto run = [](WindowedApp app, sim::EngineKind engine, std::uint32_t threads,
                 const char* partition) {
     sim::ChipConfig cfg;
     cfg.width = 8;
@@ -197,12 +202,30 @@ TEST(Determinism, SlidingWindowDeletionsAreCycleIdenticalToSerial) {
     sim::Chip chip(cfg);
     graph::GraphProtocol proto(chip);
     apps::StreamingBfs bfs(proto);
-    bfs.install();
+    apps::StreamingSssp sssp(proto);
+    apps::StreamingComponents comps(proto);
     graph::GraphConfig gc;
     gc.num_vertices = 200;
-    gc.root_init = apps::StreamingBfs::initial_state();
+    switch (app) {
+      case WindowedApp::kBfs:
+        bfs.install();
+        gc.root_init = apps::StreamingBfs::initial_state();
+        break;
+      case WindowedApp::kSssp:
+        sssp.install();
+        gc.root_init = apps::StreamingSssp::initial_state();
+        break;
+      case WindowedApp::kComponents:
+        comps.install();
+        gc.root_init = apps::StreamingComponents::initial_state();
+        break;
+    }
     graph::StreamingGraph g(proto, gc);
-    bfs.set_source(g, 0);
+    switch (app) {
+      case WindowedApp::kBfs: bfs.set_source(g, 0); break;
+      case WindowedApp::kSssp: sssp.set_source(g, 0); break;
+      case WindowedApp::kComponents: comps.seed_labels(g); break;
+    }
     auto sched = wl::make_graphchallenge_like(200, 3'000,
                                               wl::SamplingKind::kEdge,
                                               /*increments=*/5, 404);
@@ -216,27 +239,49 @@ TEST(Determinism, SlidingWindowDeletionsAreCycleIdenticalToSerial) {
     MatrixResult r;
     r.stats = chip.stats();
     r.energy_pj = chip.energy_pj();
-    for (std::uint64_t v = 0; v < 200; ++v) r.levels.push_back(bfs.level_of(g, v));
+    for (std::uint64_t v = 0; v < 200; ++v) {
+      switch (app) {
+        case WindowedApp::kBfs: r.levels.push_back(bfs.level_of(g, v)); break;
+        case WindowedApp::kSssp:
+          r.levels.push_back(sssp.distance_of(g, v));
+          break;
+        case WindowedApp::kComponents:
+          r.levels.push_back(comps.label_of(g, v));
+          break;
+      }
+    }
     return r;
   };
 
-  const MatrixResult serial = run(sim::EngineKind::kScan, 1, "rows");
-  // The drained schedule ends with every edge deleted: only the source
-  // survives, so the comparison covers full invalidation cascades.
-  ASSERT_EQ(serial.levels[0], 0u);
-  for (std::uint64_t v = 1; v < 200; ++v) {
-    ASSERT_EQ(serial.levels[v], apps::StreamingBfs::kUnreached)
-        << "drained graph still reaches vertex " << v;
-  }
-  for (const sim::EngineKind engine :
-       {sim::EngineKind::kScan, sim::EngineKind::kActive}) {
-    for (const char* partition : {"rows", "cols", "tiles+rebalance"}) {
-      for (const std::uint32_t threads : {2u, 4u}) {
-        SCOPED_TRACE(std::string("engine = ") +
-                     std::string(sim::to_string(engine)) +
-                     ", partition = " + partition +
-                     ", threads = " + std::to_string(threads));
-        EXPECT_EQ(run(engine, threads, partition), serial);
+  for (const auto [app, name] :
+       {std::pair{WindowedApp::kBfs, "bfs"}, {WindowedApp::kSssp, "sssp"},
+        {WindowedApp::kComponents, "components"}}) {
+    SCOPED_TRACE(std::string("app = ") + name);
+    const MatrixResult serial = run(app, sim::EngineKind::kScan, 1, "rows");
+    // The drained schedule ends with every edge deleted, so the comparison
+    // covers full invalidation cascades: only the source survives for
+    // BFS/SSSP, and every component label collapses back to its own id.
+    if (app == WindowedApp::kComponents) {
+      for (std::uint64_t v = 0; v < 200; ++v) {
+        ASSERT_EQ(serial.levels[v], v) << "drained label not self at " << v;
+      }
+    } else {
+      ASSERT_EQ(serial.levels[0], 0u);
+      for (std::uint64_t v = 1; v < 200; ++v) {
+        ASSERT_EQ(serial.levels[v], apps::StreamingBfs::kUnreached)
+            << "drained graph still reaches vertex " << v;
+      }
+    }
+    for (const sim::EngineKind engine :
+         {sim::EngineKind::kScan, sim::EngineKind::kActive}) {
+      for (const char* partition : {"rows", "cols", "tiles+rebalance"}) {
+        for (const std::uint32_t threads : {2u, 4u}) {
+          SCOPED_TRACE(std::string("engine = ") +
+                       std::string(sim::to_string(engine)) +
+                       ", partition = " + partition +
+                       ", threads = " + std::to_string(threads));
+          EXPECT_EQ(run(app, engine, threads, partition), serial);
+        }
       }
     }
   }

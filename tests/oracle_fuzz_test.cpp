@@ -84,8 +84,9 @@ Instance make_instance(std::uint64_t seed) {
   // Sliding-window draw (appended last, same rule): half the instances
   // re-run their schedule through wl::apply_sliding_window with drain, so
   // the fuzzer covers randomized insert/delete interleavings and the
-  // deletion repair protocol. Only BFS instances honor it — the other
-  // apps install no host deletion repair (see run_instance).
+  // deletion repair protocol — for every app, each pinned against its
+  // dynamic deletion oracle (DynamicBfs/DynamicSssp/DynamicComponents)
+  // in run_instance.
   constexpr std::uint32_t kWindows[] = {0, 0, 1, 2};
   in.window = kWindows[rng.below(4)];
   return in;
@@ -123,9 +124,10 @@ void run_instance(const Instance& in) {
           : wl::edge_sampling(edges, in.increments, in.seed);
   const std::uint64_t source =
       in.sampling == wl::SamplingKind::kSnowball ? sched.seed_vertex : 0;
-  // BFS instances with a window draw stream expirations too (drained, so
-  // a randomized delete mix hits every increment past the window).
-  const bool windowed = in.app == 0 && in.window > 0;
+  // Instances with a window draw stream expirations too (drained, so a
+  // randomized delete mix hits every increment past the window). All
+  // three apps repair deletions through the monotone-raise framework.
+  const bool windowed = in.window > 0;
   if (windowed) {
     sched = wl::apply_sliding_window(sched, in.window, /*drain=*/true);
   }
@@ -195,11 +197,34 @@ void run_instance(const Instance& in) {
     }
   } else if (in.app == 1) {
     const auto want = base::sssp_distances(ref, source);
+    if (windowed) {
+      // Same cross-check for SSSP: DynamicSssp replays the op stream
+      // increment by increment and must land on the survivors' Dijkstra.
+      base::DynamicSssp dyn(n, source);
+      for (const auto& inc : sched.increments) dyn.apply_increment(inc);
+      ASSERT_EQ(dyn.distances(), want)
+          << "DynamicSssp diverged from recompute";
+      ASSERT_GT(dyn.edges_deleted(), 0u) << "window produced no deletions";
+    }
     for (std::uint64_t v = 0; v < n; ++v) {
       const rt::Word w = want[v] == base::kUnreached
                              ? apps::StreamingSssp::kUnreached
                              : want[v];
       if (sssp.distance_of(g, v) != w) ++mismatches;
+    }
+  } else if (windowed) {
+    // Windowed components can expire the two arcs of a symmetrized pair
+    // in different increments, so the undirected union-find is not a
+    // valid oracle mid-stream; use the directed deletion oracle, checked
+    // against its own from-scratch recompute first.
+    base::DynamicComponents dyn(n);
+    for (const auto& inc : sched.increments) dyn.apply_increment(inc);
+    ASSERT_EQ(dyn.labels(), dyn.recompute())
+        << "DynamicComponents diverged from recompute";
+    ASSERT_GT(dyn.edges_deleted(), 0u) << "window produced no deletions";
+    const auto& want = dyn.labels();
+    for (std::uint64_t v = 0; v < n; ++v) {
+      if (comps.label_of(g, v) != want[v]) ++mismatches;
     }
   } else {
     const auto want = base::component_min_labels(ref);

@@ -90,8 +90,9 @@ void usage() {
       "  --window K                    sliding window: edges expire (as delete\n"
       "                                ops) K increments after their latest\n"
       "                                observation (default: CCASTREAM_WINDOW\n"
-      "                                or no expiry; needs --app bfs or none\n"
-      "                                and --rhizomes 1)\n"
+      "                                or no expiry; every app repairs\n"
+      "                                deletions except pagerank/triangles;\n"
+      "                                needs --rhizomes 1)\n"
       "  --window-drain                append delete-only increments until the\n"
       "                                window empties (shrinking-frontier tail)\n"
       "  --source V                    BFS/SSSP source (default snowball seed\n"
@@ -249,21 +250,12 @@ int main(int argc, char** argv) {
   }
 
   // Sliding window (config > env > disabled): rewrite the schedule so aged
-  // edges expire as delete ops. Deletions are repaired for BFS and applied
-  // structure-only for "none"; the other apps have no deletion story yet.
+  // edges expire as delete ops. Deletions are repaired by the monotone-raise
+  // framework for bfs/sssp/components and applied structure-only for
+  // "none". The rhizomes > 1 conflict is reported by the streaming layer as
+  // graph::DeletionRhizomeError — caught around the increment loop below.
   o.window = wl::resolve_window(o.window);
   if (o.window != 0) {
-    if (o.app != "bfs" && o.app != "none") {
-      std::fprintf(stderr,
-                   "--window requires --app bfs or none (app '%s' has no "
-                   "deletion repair)\n",
-                   o.app.c_str());
-      return 2;
-    }
-    if (o.rhizomes > 1) {
-      std::fprintf(stderr, "--window requires --rhizomes 1\n");
-      return 2;
-    }
     sched = wl::apply_sliding_window(sched, o.window, o.window_drain);
   }
 
@@ -340,7 +332,13 @@ int main(int argc, char** argv) {
                                 "messages"});
   }
   for (std::size_t i = 0; i < sched.increments.size(); ++i) {
-    const auto r = g.stream_increment(sched.increments[i]);
+    graph::IncrementReport r;
+    try {
+      r = g.stream_increment(sched.increments[i]);
+    } catch (const graph::DeletionRhizomeError& e) {
+      std::fprintf(stderr, "ccastream_cli: %s\n", e.what());
+      return 2;
+    }
     std::printf("%-10zu %10lu %12lu %12.2f %12lu\n", i + 1, r.edges, r.cycles,
                 r.energy_uj, r.stats_delta.actions_created);
     if (csv) {
@@ -390,7 +388,12 @@ int main(int argc, char** argv) {
         if (sssp.distance_of(g, v) != w) ++mismatches;
       }
     } else if (o.app == "components") {
-      const auto want = base::component_min_labels(ref);
+      // The streamed fixed point is the *directed* min-reaching label (the
+      // CLI does not symmetrize the stream), so compare against the
+      // directed oracle's from-scratch sweep, not undirected union-find.
+      base::DynamicComponents oracle(o.vertices);
+      for (const auto& inc : sched.increments) oracle.apply_increment(inc);
+      const auto want = oracle.recompute();
       for (std::uint64_t v = 0; v < o.vertices; ++v) {
         if (comps.label_of(g, v) != want[v]) ++mismatches;
       }
