@@ -38,6 +38,26 @@ inline Scale scale_from_env() {
   return Scale::kPaper;
 }
 
+/// Peak resident set of this process in KiB (`VmHWM` from
+/// /proc/self/status), or 0 where the procfs interface is unavailable.
+/// The counter is a process-lifetime high-water mark — it never resets —
+/// so benches that sweep several footprints should run them in ascending
+/// size order, making each sample the current scenario's peak.
+inline std::uint64_t peak_rss_kb() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::uint64_t kb = 0;
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      kb = std::strtoull(line + 6, nullptr, 10);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+}
+
 /// The two dataset rows of paper Table 1, at the configured scale.
 inline std::vector<DatasetSpec> datasets(Scale scale) {
   switch (scale) {
@@ -206,7 +226,12 @@ inline const char* to_string(Scale scale) {
 /// (`Chip::active_set_capacity_peak()` — the active-set memory high-water,
 /// in entries) and `cap_end` (`Chip::active_set_capacity()` at measurement
 /// end — below `cap_peak` when the shrink policy returned memory); all
-/// three omitted when 0. `host_cores` records the host machine's logical
+/// three omitted when 0. `rss_kb` is the process's peak resident set
+/// (`VmHWM` from /proc/self/status, in KiB) sampled right after the
+/// measurement — the memory-side currency for the mesh-scale benches,
+/// where per-cell state dominates the footprint; 0 means unmeasured
+/// (e.g. a non-Linux host) and the field is omitted. `host_cores`
+/// records the host machine's logical
 /// core count (`std::thread::hardware_concurrency()`), giving the wall_ms
 /// numbers in aggregated files the hardware context needed to compare
 /// them across machines; the reporter stamps it on every record it
@@ -226,6 +251,7 @@ struct BenchRecord {
   std::uint32_t dense_pct = 0;
   std::uint64_t cap_peak = 0;
   std::uint64_t cap_end = 0;
+  std::uint64_t rss_kb = 0;
   std::uint64_t host_cores = 1;
 
   friend bool operator==(const BenchRecord&, const BenchRecord&) = default;
@@ -304,6 +330,11 @@ inline std::string format_record(const BenchRecord& r) {
     std::snprintf(num, sizeof num, "%llu",
                   static_cast<unsigned long long>(r.cap_end));
     out += std::string(",\"cap_end\":") + num;
+  }
+  if (r.rss_kb != 0) {
+    std::snprintf(num, sizeof num, "%llu",
+                  static_cast<unsigned long long>(r.rss_kb));
+    out += std::string(",\"rss_kb\":") + num;
   }
   if (r.host_cores != 0) {
     std::snprintf(num, sizeof num, "%llu",
@@ -416,6 +447,9 @@ inline std::optional<BenchRecord> parse_record(const std::string& line) {
       detail::parse_uint_field(line, "dense_pct").value_or(0));
   r.cap_peak = detail::parse_uint_field(line, "cap_peak").value_or(0);
   r.cap_end = detail::parse_uint_field(line, "cap_end").value_or(0);
+  // Absent before the mesh-scale benches: earlier records measured time
+  // and visits only, never the resident footprint.
+  r.rss_kb = detail::parse_uint_field(line, "rss_kb").value_or(0);
   // Absent before hardware context was recorded; legacy records came from
   // machines whose core count is unknown, so the conservative 1 (also the
   // field's default) marks their wall_ms as "single unknown core".

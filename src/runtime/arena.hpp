@@ -1,4 +1,6 @@
-// Per-compute-cell scratchpad object arena.
+// Arena storage of the runtime: the per-compute-cell scratchpad object
+// arena, and the chip-wide slab arena backing the struct-of-arrays cell
+// state.
 //
 // Each AM-CCA compute cell owns a fixed-capacity scratchpad memory. The
 // runtime models it as an object arena: vertex fragments (and any other
@@ -9,13 +11,97 @@
 #pragma once
 
 #include <cstddef>
-#include <deque>
+#include <cstdint>
+#include <cstdlib>
 #include <memory>
 #include <optional>
+#include <type_traits>
+#include <vector>
 
+#include "runtime/check.hpp"
 #include "runtime/types.hpp"
 
 namespace ccastream::rt {
+
+/// Chip-lifetime bump allocator for the struct-of-arrays cell state: one
+/// zero-initialised byte slab carved into typed, cache-line-aligned
+/// parallel arrays (hot words, FIFO message lanes, snapshot latches — see
+/// sim/cell_soa.hpp). Two properties matter at the million-cell scale the
+/// slab exists for:
+///
+///   * the backing store comes from calloc, so the kernel hands out
+///     copy-on-write zero pages — a 1024x1024 mesh *reserves* its worst
+///     case FIFO storage up front but only pages in what traffic actually
+///     touches, and the first touch happens on the worker that owns the
+///     cell (the NUMA-friendly placement the SoA layout was built for);
+///   * every span is allocated exactly once, before the first cycle, and
+///     never moves — so raw pointers into the slab are stable for the
+///     chip's lifetime (the property the FIFO views rely on).
+///
+/// All spans must be reserved before the first allocate() (reserve() sums
+/// span_bytes() for the planned layout); exceeding the reservation is a
+/// fatal misuse, not a growth path — growth would invalidate every
+/// outstanding pointer.
+class SlabArena {
+ public:
+  /// Cache-line alignment of every span: no allocated array ever shares a
+  /// line with its neighbour, so adjacent spans never false-share.
+  static constexpr std::size_t kSpanAlign = 64;
+
+  SlabArena() = default;
+
+  /// Bytes allocate<T>(count) will consume: the array footprint rounded up
+  /// to whole cache lines. Callers sum these to size reserve().
+  template <typename T>
+  [[nodiscard]] static constexpr std::size_t span_bytes(
+      std::size_t count) noexcept {
+    static_assert(alignof(T) <= kSpanAlign);
+    return (count * sizeof(T) + kSpanAlign - 1) / kSpanAlign * kSpanAlign;
+  }
+
+  /// (Re)establishes the slab at `bytes` capacity, discarding any previous
+  /// contents. Zero-page-backed: untouched spans cost address space, not
+  /// resident memory.
+  void reserve(std::size_t bytes) {
+    buf_.reset(static_cast<std::byte*>(std::calloc(bytes, 1)));
+    if (bytes != 0 && buf_ == nullptr) {
+      fatal_misuse("SlabArena::reserve allocation failed", __FILE__, __LINE__);
+    }
+    capacity_ = bytes;
+    used_ = 0;
+  }
+
+  /// Carves the next `count`-element array of T out of the slab,
+  /// zero-filled and kSpanAlign-aligned. T must be trivially copyable: the
+  /// slab never runs constructors or destructors — the zero fill IS the
+  /// initial state (which is why every SoA field is designed so that
+  /// all-zero means "idle").
+  template <typename T>
+  [[nodiscard]] T* allocate(std::size_t count) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::size_t bytes = span_bytes<T>(count);
+    if (used_ + bytes > capacity_) {
+      fatal_misuse("SlabArena::allocate beyond the reservation", __FILE__,
+                   __LINE__);
+    }
+    T* span = reinterpret_cast<T*>(buf_.get() + used_);
+    used_ += bytes;
+    return span;
+  }
+
+  [[nodiscard]] std::size_t bytes_used() const noexcept { return used_; }
+  [[nodiscard]] std::size_t bytes_capacity() const noexcept {
+    return capacity_;
+  }
+
+ private:
+  struct FreeDeleter {
+    void operator()(std::byte* p) const noexcept { std::free(p); }
+  };
+  std::unique_ptr<std::byte, FreeDeleter> buf_;
+  std::size_t capacity_ = 0;
+  std::size_t used_ = 0;
+};
 
 /// Base class of every object that can live in a compute cell's scratchpad.
 class ArenaObject {
@@ -54,7 +140,12 @@ class ObjectArena {
   void clear();
 
  private:
-  std::deque<std::unique_ptr<ArenaObject>> slots_;
+  /// unique_ptr indirection keeps pointee addresses stable across slot
+  /// growth (the get() contract above). A vector of them — unlike the
+  /// deque it replaced — costs nothing while empty, which is what an idle
+  /// cell's arena is; at a million cells the empty-deque block allocations
+  /// alone were ~0.5 GiB.
+  std::vector<std::unique_ptr<ArenaObject>> slots_;
   std::size_t capacity_;
   std::size_t used_ = 0;
 };

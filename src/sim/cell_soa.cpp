@@ -1,0 +1,39 @@
+#include "sim/cell_soa.hpp"
+
+namespace ccastream::sim {
+
+void CellSoA::init(std::uint32_t cell_count, std::uint32_t fifo_depth) {
+  cells_ = cell_count;
+  depth_ = fifo_depth;
+  const std::size_t n = cell_count;
+  const std::size_t lanes = n * kLanes;
+  const std::size_t words = (n + 63) / 64;
+
+  // One reservation for the whole layout; the slab is calloc-backed, so
+  // the worst-case message storage below is address space until traffic
+  // actually touches it.
+  std::size_t bytes = 0;
+  bytes += rt::SlabArena::span_bytes<std::uint64_t>(n);               // hot_
+  bytes += rt::SlabArena::span_bytes<std::uint32_t>(n);               // fifo_msgs_
+  bytes += rt::SlabArena::span_bytes<std::uint32_t>(n * kMeshDirections);
+  bytes += rt::SlabArena::span_bytes<std::uint8_t>(n);                // arb_next_
+  bytes += rt::SlabArena::span_bytes<std::uint64_t>(words);           // active_
+  bytes += rt::SlabArena::span_bytes<Message>(lanes * fifo_depth);    // lanes_
+  bytes += rt::SlabArena::span_bytes<std::uint32_t>(lanes);           // lane_head_
+  bytes += rt::SlabArena::span_bytes<std::uint32_t>(lanes);           // lane_size_
+  slab_.reserve(bytes);
+
+  hot_ = slab_.allocate<std::uint64_t>(n);
+  fifo_msgs_ = slab_.allocate<std::uint32_t>(n);
+  snapshot_ = slab_.allocate<std::uint32_t>(n * kMeshDirections);
+  arb_next_ = slab_.allocate<std::uint8_t>(n);
+  active_ = slab_.allocate<std::uint64_t>(words);
+  lanes_ = slab_.allocate<Message>(lanes * fifo_depth);
+  lane_head_ = slab_.allocate<std::uint32_t>(lanes);
+  lane_size_ = slab_.allocate<std::uint32_t>(lanes);
+  if (slab_.bytes_used() != slab_.bytes_capacity()) {
+    rt::fatal_misuse("CellSoA::init slab layout mismatch", __FILE__, __LINE__);
+  }
+}
+
+}  // namespace ccastream::sim

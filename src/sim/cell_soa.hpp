@@ -1,0 +1,275 @@
+// Struct-of-arrays hot cell state, owned by the Chip and keyed by cell id.
+//
+// ComputeCell used to be an array-of-structs object dragging six Fifo
+// containers, three deques, an ObjectArena, and an RNG through every cache
+// line the engines touch; at 512x512-1024x1024 meshes the dense-mode
+// rectangle walks and per-cycle idle sweeps were memory-bound on state
+// they never read. CellSoA splits the *hot* per-cell state into parallel
+// arrays carved out of one rt::SlabArena:
+//
+//   hot_       one packed word per cell: busy cycles in the high half,
+//              total queued work items (FIFO messages + staged + task +
+//              action queue entries) in the low half. idle() is exactly
+//              `hot == 0` — one aligned load per cell for the sweeps that
+//              used to touch a whole object.
+//   fifo_msgs_ the exact router-occupancy counter (all six lanes) the
+//              checked build cross-checks at every sanctioned mutation.
+//   snapshot_  the four phase-start router-input latches per cell that
+//              neighbour room/occupancy decisions read.
+//   arb_next_  the round-robin arbitration pointer per cell.
+//   active_    the activity-flag BITMAP of the event-driven engine: bit i
+//              is cell i's in_active_set flag. Dense-mode phase walks
+//              sweep these words directly (64 cells per load +
+//              countr_zero) instead of testing a bool per cell object.
+//   lanes_ / lane_head_ / lane_size_
+//              the six per-cell message FIFOs (4 router ports, the IO
+//              port, the local outport) as slab storage indexed by
+//              (cell, lane), mutated only through FifoView — per-object
+//              heap ring buffers are gone entirely.
+//
+// Concurrency: every array except `active_` is single-writer — only the
+// partition that owns a cell writes its words, and cross-phase visibility
+// comes from the engine's barriers, exactly as with the old per-cell
+// members. The activity bitmap alone is written bit-per-owner but
+// word-across-partitions (a 64-cell word can straddle a partition
+// boundary), so all flag access goes through relaxed std::atomic_ref
+// read-modify-writes; each *bit* still has a single writer, which is what
+// keeps the engine deterministic.
+//
+// All-zero is the idle state of every array, so the slab's calloc zero
+// pages ARE the initial state: a fresh million-cell mesh reserves its
+// worst-case FIFO storage without paging any of it in, and each page is
+// first touched by the worker that owns the cell (NUMA-friendly first
+// touch; see docs/ARCHITECTURE.md "Memory layout").
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cassert>
+#include <cstdint>
+
+#include "runtime/arena.hpp"
+#include "runtime/check.hpp"
+#include "sim/fifo.hpp"
+#include "sim/message.hpp"
+#include "sim/routing.hpp"
+
+namespace ccastream::sim {
+
+class CellSoA {
+ public:
+  /// FIFO lanes per cell, in arbitration order: router ports 0..3
+  /// (kMeshDirections), then the IO input, then the local outport.
+  static constexpr std::size_t kLanes = kMeshDirections + 2;
+  static constexpr std::size_t kIoLane = kMeshDirections;
+  static constexpr std::size_t kLocalOutLane = kMeshDirections + 1;
+
+  CellSoA() = default;
+  CellSoA(const CellSoA&) = delete;
+  CellSoA& operator=(const CellSoA&) = delete;
+
+  /// Reserves and carves the slab for `cell_count` cells with
+  /// `fifo_depth`-deep lanes. Called exactly once, from the Chip
+  /// constructor, before any cell exists; the returned spans never move.
+  void init(std::uint32_t cell_count, std::uint32_t fifo_depth);
+
+  [[nodiscard]] std::uint32_t cell_count() const noexcept { return cells_; }
+  [[nodiscard]] std::uint32_t fifo_depth() const noexcept { return depth_; }
+
+  // --- The packed hot word -------------------------------------------------
+  // hot = busy << 32 | work_items. work_items counts everything the cell
+  // holds: FIFO messages plus staged/task/action queue entries. A cell is
+  // idle iff its hot word is zero.
+
+  [[nodiscard]] std::uint64_t hot_word(std::uint32_t cc) const noexcept {
+    return hot_[cc];
+  }
+  [[nodiscard]] std::uint32_t busy(std::uint32_t cc) const noexcept {
+    return static_cast<std::uint32_t>(hot_[cc] >> 32);
+  }
+  void set_busy(std::uint32_t cc, std::uint32_t cycles) noexcept {
+    hot_[cc] = (hot_[cc] & 0xFFFFFFFFull) |
+               (static_cast<std::uint64_t>(cycles) << 32);
+  }
+  void dec_busy(std::uint32_t cc) noexcept {
+    assert(busy(cc) > 0);
+    hot_[cc] -= 1ull << 32;
+  }
+  [[nodiscard]] std::uint32_t work_items(std::uint32_t cc) const noexcept {
+    return static_cast<std::uint32_t>(hot_[cc]);
+  }
+  void add_work(std::uint32_t cc) noexcept { ++hot_[cc]; }
+  void sub_work(std::uint32_t cc) noexcept {
+    assert(work_items(cc) > 0);
+    --hot_[cc];
+  }
+
+  // --- The exact FIFO occupancy counter ------------------------------------
+
+  [[nodiscard]] std::uint32_t fifo_msgs(std::uint32_t cc) const noexcept {
+    return fifo_msgs_[cc];
+  }
+  void inc_fifo_msgs(std::uint32_t cc) noexcept {
+    ++fifo_msgs_[cc];
+    add_work(cc);
+  }
+  void dec_fifo_msgs(std::uint32_t cc) noexcept {
+    assert(fifo_msgs_[cc] > 0);
+    --fifo_msgs_[cc];
+    sub_work(cc);
+  }
+
+  // --- Router-input snapshot latches ---------------------------------------
+
+  [[nodiscard]] std::uint32_t* snapshot(std::uint32_t cc) noexcept {
+    return &snapshot_[static_cast<std::size_t>(cc) * kMeshDirections];
+  }
+  [[nodiscard]] const std::uint32_t* snapshot(std::uint32_t cc) const noexcept {
+    return &snapshot_[static_cast<std::size_t>(cc) * kMeshDirections];
+  }
+  /// Latches the cell's four router-input sizes (the phase-start values
+  /// every neighbour room/occupancy decision reads this cycle).
+  void latch_snapshot(std::uint32_t cc) noexcept {
+    const std::uint32_t* sz = &lane_size_[static_cast<std::size_t>(cc) * kLanes];
+    std::uint32_t* snap = snapshot(cc);
+    for (std::size_t d = 0; d < kMeshDirections; ++d) snap[d] = sz[d];
+  }
+  /// Re-establishes the inactive-cell invariant: a cell outside the active
+  /// set must hold all-zero latches, indistinguishable from a fresh latch
+  /// of its (empty) FIFOs.
+  void zero_snapshot(std::uint32_t cc) noexcept {
+    std::uint32_t* snap = snapshot(cc);
+    for (std::size_t d = 0; d < kMeshDirections; ++d) snap[d] = 0;
+  }
+
+  // --- Arbitration pointers ------------------------------------------------
+
+  [[nodiscard]] std::uint8_t arb_next(std::uint32_t cc) const noexcept {
+    return arb_next_[cc];
+  }
+  void advance_arb(std::uint32_t cc) noexcept {
+    arb_next_[cc] = static_cast<std::uint8_t>((arb_next_[cc] + 1) % kLanes);
+  }
+
+  // --- The activity-flag bitmap (active-set engine) ------------------------
+  // Bit cc of word cc/64. Each bit has a single writer (the owning
+  // partition's worker) but a word can straddle a partition boundary, so
+  // the read-modify-writes are relaxed atomics — deterministic because no
+  // two workers ever race on the same *bit*.
+
+  [[nodiscard]] bool is_active(std::uint32_t cc) const noexcept {
+    const std::uint64_t word = std::atomic_ref<const std::uint64_t>(
+                                   active_[cc >> 6])
+                                   .load(std::memory_order_relaxed);
+    return (word >> (cc & 63)) & 1u;
+  }
+  void set_active(std::uint32_t cc) noexcept {
+    std::atomic_ref<std::uint64_t>(active_[cc >> 6])
+        .fetch_or(1ull << (cc & 63), std::memory_order_relaxed);
+  }
+  void clear_active(std::uint32_t cc) noexcept {
+    std::atomic_ref<std::uint64_t>(active_[cc >> 6])
+        .fetch_and(~(1ull << (cc & 63)), std::memory_order_relaxed);
+  }
+
+  /// Sweeps the set bits of the half-open cell-index span [begin, end) in
+  /// ascending order — the vectorizable core of every dense-mode phase
+  /// walk (a partition rectangle is one such span per row). Loads each
+  /// 64-cell word once; `f` receives the cell index. Bits set *by f
+  /// itself* after the containing word was loaded are not revisited, which
+  /// matches the engines' phase semantics (a cell activated mid-phase is
+  /// first visited next cycle; its visit this cycle would be a no-op).
+  template <typename F>
+  void for_each_active(std::uint32_t begin, std::uint32_t end, F&& f) const {
+    if (begin >= end) return;
+    std::uint32_t w = begin >> 6;
+    const std::uint32_t w_last = (end - 1) >> 6;
+    for (; w <= w_last; ++w) {
+      std::uint64_t word =
+          std::atomic_ref<const std::uint64_t>(active_[w])
+              .load(std::memory_order_relaxed);
+      if (w == begin >> 6) word &= ~0ull << (begin & 63);
+      if (w == w_last && (end & 63) != 0) word &= ~0ull >> (64 - (end & 63));
+      while (word != 0) {
+        const int bit = std::countr_zero(word);
+        word &= word - 1;
+        f((w << 6) | static_cast<std::uint32_t>(bit));
+      }
+    }
+  }
+
+  /// Set bits in [begin, end) — the dense-mode live count over a span.
+  [[nodiscard]] std::uint64_t count_active(std::uint32_t begin,
+                                           std::uint32_t end) const noexcept {
+    std::uint64_t n = 0;
+    for_each_active(begin, end, [&n](std::uint32_t) { ++n; });
+    return n;
+  }
+
+  // --- The FIFO lane slab --------------------------------------------------
+
+  /// The (cell, lane) ring-buffer view; lane in [0, kLanes) follows the
+  /// arbitration order above. All mutation goes through ComputeCell's
+  /// sanctioned helpers, which maintain fifo_msgs_ and the hot word.
+  [[nodiscard]] FifoView<Message> lane(std::uint32_t cc,
+                                       std::size_t l) const noexcept {
+    const std::size_t li = static_cast<std::size_t>(cc) * kLanes + l;
+    return FifoView<Message>(lanes_ + li * depth_, &lane_head_[li],
+                             &lane_size_[li], depth_);
+  }
+
+  /// True iff `view` is one of cell `cc`'s six lanes — the cheap-level
+  /// guard that pop_input is not handed a neighbour's lane (which would
+  /// silently desynchronise two fifo_msgs counters).
+  [[nodiscard]] bool owns_lane(std::uint32_t cc,
+                               const FifoView<Message>& view) const noexcept {
+    const std::uint32_t* base =
+        &lane_size_[static_cast<std::size_t>(cc) * kLanes];
+    return view.size_word() >= base && view.size_word() < base + kLanes;
+  }
+
+  /// Messages currently buffered across all six lanes of cell `cc` — the
+  /// ground truth fifo_msgs(cc) caches.
+  [[nodiscard]] std::uint32_t lane_occupancy(std::uint32_t cc) const noexcept {
+    const std::uint32_t* sz = &lane_size_[static_cast<std::size_t>(cc) * kLanes];
+    std::uint32_t n = 0;
+    for (std::size_t l = 0; l < kLanes; ++l) n += sz[l];
+    return n;
+  }
+
+  // --- Test/introspection backdoors ----------------------------------------
+  // The checked-build death tests corrupt these directly to prove the
+  // full-level sweeps still have teeth (tests/check_test.cpp).
+
+  [[nodiscard]] std::uint32_t& fifo_msgs_ref(std::uint32_t cc) noexcept {
+    return fifo_msgs_[cc];
+  }
+  /// Forces the activity flag without maintaining partition structures —
+  /// deliberately corrupting, test-only.
+  void corrupt_active_flag(std::uint32_t cc, bool on) noexcept {
+    if (on) {
+      set_active(cc);
+    } else {
+      clear_active(cc);
+    }
+  }
+
+  [[nodiscard]] std::size_t slab_bytes() const noexcept {
+    return slab_.bytes_capacity();
+  }
+
+ private:
+  rt::SlabArena slab_;
+  std::uint32_t cells_ = 0;
+  std::uint32_t depth_ = 0;
+  std::uint64_t* hot_ = nullptr;
+  std::uint32_t* fifo_msgs_ = nullptr;
+  std::uint32_t* snapshot_ = nullptr;
+  std::uint8_t* arb_next_ = nullptr;
+  std::uint64_t* active_ = nullptr;
+  Message* lanes_ = nullptr;
+  std::uint32_t* lane_head_ = nullptr;
+  std::uint32_t* lane_size_ = nullptr;
+};
+
+}  // namespace ccastream::sim

@@ -150,13 +150,13 @@ class CellContext final : public rt::Context {
     m.action = action;
     m.src_cc = cell_.index();
     m.birth_cycle = chip_.cycle_;
-    cell_.staged.push_back(m);
+    cell_.push_staged(m);
     ++st_.outstanding;
     ++st_.stats.actions_created;
   }
 
   void schedule_local(const rt::Action& action) override {
-    cell_.task_queue.push_back(action);
+    cell_.push_task(action);
     ++st_.outstanding;
     ++st_.stats.tasks_scheduled;
   }
@@ -211,12 +211,15 @@ Chip::Chip(ChipConfig cfg)
       io_(mesh_, cfg.io_sides) {
   assert(cfg.width > 0 && cfg.height > 0);
   check_level_ = rt::resolve_check_level(cfg_.check_level);
-  cells_.reserve(mesh_.cell_count());
+  // The SoA slab first (the cells hold a pointer into it), then the cell
+  // array — both sized exactly once from the config dimensions; neither
+  // ever grows or relocates.
+  soa_.init(mesh_.cell_count(), cfg.fifo_depth);
   rt::SplitMix64 seeder(cfg.seed);
-  for (std::uint32_t i = 0; i < mesh_.cell_count(); ++i) {
-    cells_.emplace_back(i, cfg.cc_memory_bytes, cfg.fifo_depth, seeder.next(),
-                        check_level_);
-  }
+  cells_.build(mesh_.cell_count(), [&](ComputeCell* slot, std::uint32_t i) {
+    new (slot) ComputeCell(i, cfg.cc_memory_bytes, &soa_, seeder.next(),
+                           check_level_);
+  });
   trace_.set_enabled(cfg.record_activation);
   cell_load_.assign(mesh_.cell_count(), 0);
   load_at_rebalance_.assign(mesh_.cell_count(), 0);
@@ -272,14 +275,13 @@ void Chip::rebuild_active_sets() {
     // mode across the relayout (update_hybrid_mode corrects it at the next
     // compute if the new rectangle changed the occupancy picture).
     for (std::uint32_t y = st.rect.y0; y < st.rect.y1; ++y) {
-      for (std::uint32_t x = st.rect.x0; x < st.rect.x1; ++x) {
-        const std::uint32_t idx = y * cfg_.width + x;
-        if (!cells_[idx].in_active_set) continue;
-        if (st.dense) {
-          ++st.active_count;
-        } else {
+      const auto span = st.rect.row_span(y, cfg_.width);
+      if (st.dense) {
+        st.active_count += soa_.count_active(span.begin, span.end);
+      } else {
+        soa_.for_each_active(span.begin, span.end, [&st](std::uint32_t idx) {
           st.active.push_back(idx);
-        }
+        });
       }
     }
   }
@@ -287,9 +289,8 @@ void Chip::rebuild_active_sets() {
 
 void Chip::activate_cell(std::uint32_t idx) {
   if (!engine_active_) return;
-  ComputeCell& cell = cells_[idx];
-  if (cell.in_active_set) return;
-  cell.in_active_set = true;
+  if (soa_.is_active(idx)) return;
+  soa_.set_active(idx);
   PartitionState& st = parts_[layout_.owner(idx)];
   if (st.dense) {
     ++st.active_count;
@@ -355,7 +356,7 @@ void Chip::io_enqueue(const rt::Action& action) {
 
 void Chip::inject_local(const rt::Action& action) {
   assert(!action.target.is_null() && action.target.cc < cells_.size());
-  cells_[action.target.cc].action_queue.push_back(action);
+  cells_[action.target.cc].push_action(action);
   ++outstanding_;
   ++stats_.actions_created;
   activate_cell(action.target.cc);
@@ -367,7 +368,7 @@ void Chip::inject_via(std::uint32_t at_cc, const rt::Action& action) {
   m.action = action;
   m.src_cc = at_cc;
   m.birth_cycle = cycle_;
-  cells_[at_cc].staged.push_back(m);
+  cells_[at_cc].push_staged(m);
   ++outstanding_;
   ++stats_.actions_created;
   activate_cell(at_cc);
@@ -388,8 +389,10 @@ bool Chip::quiescent() const {
     }
     return true;
   }
-  for (const auto& c : cells_) {
-    if (!c.idle()) return false;
+  // Scan engine: one packed hot word per cell — zero iff idle — so the
+  // O(mesh) sweep is a linear pass over one uint64 array.
+  for (std::uint32_t i = 0; i < cells_.size(); ++i) {
+    if (soa_.hot_word(i) != 0) return false;
   }
   return true;
 }
@@ -402,8 +405,8 @@ std::uint64_t Chip::active_cells() const noexcept {
     }
     return n;
   }
-  for (const auto& c : cells_) {
-    if (c.has_work()) ++n;
+  for (std::uint32_t i = 0; i < cells_.size(); ++i) {
+    if (soa_.hot_word(i) != 0) ++n;
   }
   return n;
 }
@@ -520,32 +523,22 @@ void Chip::serial_cycle() {
 void Chip::cycle_snapshot(PartitionState& st) {
   if (engine_active_) {
     if (st.dense) {
-      // Dense mode: membership is the per-cell flags, so the phase is a
-      // rectangle walk testing them — the same cells in the same ascending
-      // order as sparse mode, at scan-engine host cost (which is the
-      // point: no vector to maintain while most cells are live).
+      // Dense mode: membership is the activity bitmap, so the phase is a
+      // word sweep over the rectangle's rows — the same cells in the same
+      // ascending order as sparse mode, testing 64 flags per load (cost
+      // still billed as the full rectangle: the sweep IS the scan-shaped
+      // walk, it just skips dead cells 64 at a time).
       st.cell_visits += st.rect.cells();
       for (std::uint32_t y = st.rect.y0; y < st.rect.y1; ++y) {
-        for (std::uint32_t x = st.rect.x0; x < st.rect.x1; ++x) {
-          ComputeCell& cell =
-              cells_[static_cast<std::size_t>(y) * cfg_.width + x];
-          if (!cell.in_active_set) continue;
-          for (std::size_t d = 0; d < kMeshDirections; ++d) {
-            cell.in_size_snapshot[d] =
-                static_cast<std::uint32_t>(cell.router_in[d].size());
-          }
-        }
+        const auto span = st.rect.row_span(y, cfg_.width);
+        soa_.for_each_active(span.begin, span.end, [this](std::uint32_t idx) {
+          soa_.latch_snapshot(idx);
+        });
       }
       return;
     }
     st.cell_visits += st.active.size();
-    for (const std::uint32_t idx : st.active) {
-      ComputeCell& cell = cells_[idx];
-      for (std::size_t d = 0; d < kMeshDirections; ++d) {
-        cell.in_size_snapshot[d] =
-            static_cast<std::uint32_t>(cell.router_in[d].size());
-      }
-    }
+    for (const std::uint32_t idx : st.active) soa_.latch_snapshot(idx);
     // Inactive cells need no latch: leaving the set zeroed their snapshot
     // (cycle_compute), and an idle cell's live sizes are all zero, so the
     // stored values already equal what a full scan would latch.
@@ -553,18 +546,15 @@ void Chip::cycle_snapshot(PartitionState& st) {
   }
   st.cell_visits += st.rect.cells();
   for (std::uint32_t y = st.rect.y0; y < st.rect.y1; ++y) {
-    for (std::uint32_t x = st.rect.x0; x < st.rect.x1; ++x) {
-      ComputeCell& cell = cells_[static_cast<std::size_t>(y) * cfg_.width + x];
-      for (std::size_t d = 0; d < kMeshDirections; ++d) {
-        cell.in_size_snapshot[d] =
-            static_cast<std::uint32_t>(cell.router_in[d].size());
-      }
+    const auto span = st.rect.row_span(y, cfg_.width);
+    for (std::uint32_t idx = span.begin; idx < span.end; ++idx) {
+      soa_.latch_snapshot(idx);
     }
   }
 }
 
 void Chip::deliver(PartitionState& st, ComputeCell& cell, const Message& msg) {
-  cell.action_queue.push_back(msg.action);
+  cell.push_action(msg.action);
   ++st.stats.deliveries;
   st.stats.total_delivery_latency += cycle_ - msg.birth_cycle;
 }
@@ -578,11 +568,17 @@ void Chip::cycle_route(PartitionState& st) {
       st.cell_visits += st.rect.cells();
       // A flagged-but-empty-router cell is handled by route_cell's
       // occupancy early-return, identical to the scan engine's visit.
+      // Cells another partition's push flags mid-sweep may or may not land
+      // in an already-loaded word; either is correct — a cell activated
+      // this phase has zero snapshot latches and empty io/local_out, so
+      // its route visit is the same early-return no-op (and does not
+      // advance its arbitration pointer).
       for (std::uint32_t y = st.rect.y0; y < st.rect.y1; ++y) {
-        for (std::uint32_t x = st.rect.x0; x < st.rect.x1; ++x) {
-          const std::uint32_t idx = y * cfg_.width + x;
-          if (cells_[idx].in_active_set) route_cell(st, idx, adaptive);
-        }
+        const auto span = st.rect.row_span(y, cfg_.width);
+        soa_.for_each_active(span.begin, span.end,
+                             [this, &st, adaptive](std::uint32_t idx) {
+                               route_cell(st, idx, adaptive);
+                             });
       }
       return;
     }
@@ -598,8 +594,9 @@ void Chip::cycle_route(PartitionState& st) {
   }
   st.cell_visits += st.rect.cells();
   for (std::uint32_t cy = st.rect.y0; cy < st.rect.y1; ++cy) {
-    for (std::uint32_t cx = st.rect.x0; cx < st.rect.x1; ++cx) {
-      route_cell(st, cy * cfg_.width + cx, adaptive);
+    const auto span = st.rect.row_span(cy, cfg_.width);
+    for (std::uint32_t idx = span.begin; idx < span.end; ++idx) {
+      route_cell(st, idx, adaptive);
     }
   }
 }
@@ -612,10 +609,11 @@ void Chip::route_cell(PartitionState& st, std::uint32_t idx, bool adaptive) {
   // depend on cell visit order and the mesh partitioning. io_in and
   // local_out are only written in later phases, so their live sizes are
   // their phase-start sizes.
-  std::uint32_t start_occupancy = static_cast<std::uint32_t>(
-      cell.io_in.size() + cell.local_out.size());
+  const std::uint32_t* snap = soa_.snapshot(idx);
+  std::uint32_t start_occupancy =
+      cell.io_in().size() + cell.local_out().size();
   for (std::size_t d = 0; d < kMeshDirections; ++d) {
-    start_occupancy += cell.in_size_snapshot[d];
+    start_occupancy += snap[d];
   }
   if (start_occupancy == 0) return;
   const rt::Coord cur = mesh_.coord_of(idx);
@@ -636,35 +634,29 @@ void Chip::route_cell(PartitionState& st, std::uint32_t idx, bool adaptive) {
       const rt::Coord n = ccastream::sim::step(cur, dir);
       occ[d] = mesh_.contains(n) && !(dir == Direction::kNorth && cur.y == 0) &&
                        !(dir == Direction::kWest && cur.x == 0)
-                   ? cells_[mesh_.index_of(n)]
-                         .in_size_snapshot[static_cast<std::size_t>(opposite(dir))]
+                   ? soa_.snapshot(mesh_.index_of(n))[static_cast<std::size_t>(
+                         opposite(dir))]
                    : ~0u;
     }
   }
 
   // Six input sources arbitrated round-robin: four neighbour ports, the
-  // IO port, and locally staged traffic.
-  constexpr std::size_t kSources = kMeshDirections + 2;
+  // IO port, and locally staged traffic — the SoA lane order, so the
+  // arbitration index IS the lane index.
+  constexpr std::size_t kSources = CellSoA::kLanes;
   for (std::size_t s = 0; s < kSources; ++s) {
-    const std::size_t src_idx = (cell.arb_next + s) % kSources;
-    Fifo<Message>* src = nullptr;
-    if (src_idx < kMeshDirections) {
-      src = &cell.router_in[src_idx];
-    } else if (src_idx == kMeshDirections) {
-      src = &cell.io_in;
-    } else {
-      src = &cell.local_out;
-    }
-    if (src->empty()) continue;
+    const std::size_t src_idx = (soa_.arb_next(idx) + s) % kSources;
+    FifoView<Message> src = soa_.lane(idx, src_idx);
+    if (src.empty()) continue;
 
-    Message& m = src->front();
+    Message& m = src.front();
     if (m.last_move_cycle == cycle_ && m.hops > 0) continue;  // already hopped
 
     const rt::Coord dst = mesh_.coord_of(m.action.target.cc);
     if (dst == cur) {
       if (ejections_left == 0) continue;
       deliver(st, cell, m);
-      cell.pop_input(*src);
+      cell.pop_input(src);
       --ejections_left;
       continue;
     }
@@ -677,13 +669,12 @@ void Chip::route_cell(PartitionState& st, std::uint32_t idx, bool adaptive) {
     const rt::Coord next = ccastream::sim::step(cur, dir);
     assert(mesh_.contains(next));
     const std::uint32_t next_idx = mesh_.index_of(next);
-    ComputeCell& neighbour = cells_[next_idx];
     const auto port = static_cast<std::size_t>(opposite(dir));
     // Room check against the neighbour's phase-start snapshot. This cell
-    // is the only writer of that port FIFO and used_out caps it at one
+    // is the only writer of that port lane and used_out caps it at one
     // push per cycle, so snapshot-room guarantees real room; pops by the
     // owner during this phase only free additional space.
-    if (neighbour.in_size_snapshot[port] >= neighbour.router_in[port].capacity()) {
+    if (soa_.snapshot(next_idx)[port] >= soa_.fifo_depth()) {
       continue;
     }
 
@@ -704,14 +695,14 @@ void Chip::route_cell(PartitionState& st, std::uint32_t idx, bool adaptive) {
       box.pushes.push_back(
           {next_idx, static_cast<std::uint8_t>(port), m});
     } else {
-      neighbour.push_router(port, m);
+      cells_[next_idx].push_router(port, m);
       if (engine_active_) mark_active(st, next_idx);
     }
-    cell.pop_input(*src);
+    cell.pop_input(src);
     used_out[d] = true;
     ++st.stats.hops;
   }
-  cell.arb_next = static_cast<std::uint8_t>((cell.arb_next + 1) % kSources);
+  soa_.advance_arb(idx);
 }
 
 void Chip::cycle_apply(PartitionState& st) {
@@ -740,7 +731,7 @@ void Chip::cycle_io(PartitionState& st) {
     IoCell& ioc = io_.cell(i);
     if (ioc.pending.empty()) continue;
     ComputeCell& cc = cells_[ioc.attached_cc];
-    if (!cc.io_in.has_room()) continue;
+    if (!cc.io_in().has_room()) continue;
     Message m;
     m.action = ioc.pending.front();
     m.src_cc = ioc.attached_cc;
@@ -759,28 +750,28 @@ void Chip::cycle_compute(PartitionState& st) {
   if (engine_active_) {
     if (st.dense) {
       // Dense mode's counting merge: cells activated since the route phase
-      // began already carry their flag (mark_active), so one rectangle
-      // walk over the flags visits exactly the cells the sparse merge
-      // would have produced — in the same ascending order — without any
-      // sort/inplace_merge.
+      // began already carry their bitmap flag (mark_active), so one word
+      // sweep over the rectangle's rows visits exactly the cells the
+      // sparse merge would have produced — in the same ascending order —
+      // without any sort/inplace_merge. The compute phase never activates
+      // a cell other than the one executing (propagate/schedule_local
+      // target the executing cell), so no flag is set ahead of the sweep
+      // mid-phase and the loaded word copies are exact.
       st.cell_visits += st.rect.cells();
       std::uint64_t live = 0;
       for (std::uint32_t y = st.rect.y0; y < st.rect.y1; ++y) {
-        for (std::uint32_t x = st.rect.x0; x < st.rect.x1; ++x) {
-          const std::uint32_t idx = y * cfg_.width + x;
-          ComputeCell& cell = cells_[idx];
-          if (!cell.in_active_set) continue;
-          if (compute_one(st, idx, tracing)) {
-            ++live;
-          } else {
-            cell.in_active_set = false;
-            // Same invariant as the sparse path: an inactive cell must
-            // hold all-zero snapshot latches for its neighbours' reads.
-            for (std::size_t d = 0; d < kMeshDirections; ++d) {
-              cell.in_size_snapshot[d] = 0;
-            }
-          }
-        }
+        const auto span = st.rect.row_span(y, cfg_.width);
+        soa_.for_each_active(
+            span.begin, span.end, [&](std::uint32_t idx) {
+              if (compute_one(st, idx, tracing)) {
+                ++live;
+              } else {
+                soa_.clear_active(idx);
+                // Same invariant as the sparse path: an inactive cell must
+                // hold all-zero snapshot latches for its neighbours' reads.
+                soa_.zero_snapshot(idx);
+              }
+            });
       }
       st.active_count = live;
       st.idle = live == 0;
@@ -806,14 +797,11 @@ void Chip::cycle_compute(PartitionState& st) {
       if (compute_one(st, idx, tracing)) {
         st.active[keep++] = idx;
       } else {
-        ComputeCell& cell = cells_[idx];
-        cell.in_active_set = false;
+        soa_.clear_active(idx);
         // Leaving the set re-establishes the inactive-cell invariant: a
         // neighbour's room/occupancy read of this cell next cycle must see
         // the zeros a fresh latch of its (now empty) FIFOs would produce.
-        for (std::size_t d = 0; d < kMeshDirections; ++d) {
-          cell.in_size_snapshot[d] = 0;
-        }
+        soa_.zero_snapshot(idx);
       }
     }
     st.active.resize(keep);
@@ -825,8 +813,9 @@ void Chip::cycle_compute(PartitionState& st) {
   st.idle = true;
   st.cell_visits += st.rect.cells();
   for (std::uint32_t cy = st.rect.y0; cy < st.rect.y1; ++cy) {
-    for (std::uint32_t cx = st.rect.x0; cx < st.rect.x1; ++cx) {
-      if (compute_one(st, cy * cfg_.width + cx, tracing)) st.idle = false;
+    const auto span = st.rect.row_span(cy, cfg_.width);
+    for (std::uint32_t idx = span.begin; idx < span.end; ++idx) {
+      if (compute_one(st, idx, tracing)) st.idle = false;
     }
   }
 }
@@ -872,10 +861,10 @@ void Chip::update_hybrid_mode(PartitionState& st) {
     st.dense = false;
     st.active.reserve(st.active_count);
     for (std::uint32_t y = st.rect.y0; y < st.rect.y1; ++y) {
-      for (std::uint32_t x = st.rect.x0; x < st.rect.x1; ++x) {
-        const std::uint32_t idx = y * cfg_.width + x;
-        if (cells_[idx].in_active_set) st.active.push_back(idx);
-      }
+      const auto span = st.rect.row_span(y, cfg_.width);
+      soa_.for_each_active(span.begin, span.end, [&st](std::uint32_t idx) {
+        st.active.push_back(idx);
+      });
     }
     st.active_count = 0;
     st.low_occupancy_cycles = 0;
@@ -886,23 +875,23 @@ void Chip::update_hybrid_mode(PartitionState& st) {
 bool Chip::compute_one(PartitionState& st, std::uint32_t idx, bool tracing) {
   ComputeCell& cell = cells_[idx];
   bool did_op = false;
-  if (cell.busy > 0) {
+  if (cell.busy() > 0) {
     // Finishing the instruction cycles of the current action.
-    --cell.busy;
+    cell.dec_busy();
     did_op = true;
-  } else if (!cell.staged.empty()) {
+  } else if (cell.staged_count() != 0) {
     // Staging one created message into the network (one op).
-    if (cell.local_out.has_room()) {
-      cell.push_local_out(cell.staged.front());
-      cell.staged.pop_front();
+    if (cell.local_out().has_room()) {
+      cell.push_local_out(cell.front_staged());
+      cell.pop_staged();
       ++st.stats.messages_staged;
       did_op = true;
     } else {
       ++st.stats.stage_stalls;  // backpressure: network outport full
     }
-  } else if (!cell.task_queue.empty()) {
-    const rt::Action a = cell.task_queue.front();
-    cell.task_queue.pop_front();
+  } else if (cell.task_count() != 0) {
+    const rt::Action a = cell.front_task();
+    cell.pop_task();
     if (a.target.cc != cell.index() && !a.target.is_null()) {
       // A drained future closure whose patched target lives elsewhere —
       // the closure's body is a propagate (paper Listing 6 line 23-26),
@@ -911,14 +900,14 @@ bool Chip::compute_one(PartitionState& st, std::uint32_t idx, bool tracing) {
       m.action = a;
       m.src_cc = cell.index();
       m.birth_cycle = cycle_;
-      cell.staged.push_back(m);  // stays outstanding as a message
+      cell.push_staged(m);  // stays outstanding as a message
     } else {
       execute_action(st, cell, a);
     }
     did_op = true;
-  } else if (!cell.action_queue.empty()) {
-    const rt::Action a = cell.action_queue.front();
-    cell.action_queue.pop_front();
+  } else if (cell.action_count() != 0) {
+    const rt::Action a = cell.front_action();
+    cell.pop_action();
     execute_action(st, cell, a);
     did_op = true;
   }
@@ -984,12 +973,17 @@ void Chip::merge_partitions() {
 }
 
 void Chip::verify_cycle_invariants() const {
-  // 1. Per-cell: the cached counter equals real occupancy, and — under the
-  //    active engine — membership flags are exactly the activity predicate
-  //    (the invariant every phase loop trusts when it skips a cell).
-  for (const ComputeCell& c : cells_) {
-    CCA_CHECK(full, c.fifo_msgs == c.router_occupancy());
-    if (engine_active_) CCA_CHECK(full, c.in_active_set == c.has_work());
+  // 1. Per-cell: the cached counter equals real lane occupancy, the packed
+  //    hot word sums exactly the containers it caches, and — under the
+  //    active engine — the bitmap flags are exactly the activity predicate
+  //    (the invariant every phase sweep trusts when it skips a cell).
+  for (std::uint32_t i = 0; i < cells_.size(); ++i) {
+    const ComputeCell& c = cells_[i];
+    CCA_CHECK(full, c.fifo_msgs() == c.router_occupancy());
+    CCA_CHECK(full, soa_.work_items(i) ==
+                        c.fifo_msgs() + c.staged_count() + c.task_count() +
+                            c.action_count());
+    if (engine_active_) CCA_CHECK(full, soa_.is_active(i) == c.has_work());
   }
   for (const PartitionState& st : parts_) {
     // 2. Cross-partition plumbing drained: no outbox holds a push and no
@@ -1009,9 +1003,8 @@ void Chip::verify_cycle_invariants() const {
     std::size_t pos = 0;
     bool sparse_mirrors_flags = true;
     for (std::uint32_t y = st.rect.y0; y < st.rect.y1; ++y) {
-      for (std::uint32_t x = st.rect.x0; x < st.rect.x1; ++x) {
-        const std::uint32_t idx = y * cfg_.width + x;
-        if (!cells_[idx].in_active_set) continue;
+      const auto span = st.rect.row_span(y, cfg_.width);
+      soa_.for_each_active(span.begin, span.end, [&](std::uint32_t idx) {
         ++flagged;
         if (!st.dense) {
           if (pos >= st.active.size() || st.active[pos] != idx) {
@@ -1019,7 +1012,7 @@ void Chip::verify_cycle_invariants() const {
           }
           ++pos;
         }
-      }
+      });
     }
     if (st.dense) {
       CCA_CHECK(full, st.active.empty());
@@ -1076,7 +1069,7 @@ void Chip::execute_action(PartitionState& st, ComputeCell& cell,
     ++st.profile[action.handler].executions;
     st.profile[action.handler].instructions += cost;
   }
-  cell.busy = cost > 0 ? cost - 1 : 0;  // this cycle was the first
+  cell.set_busy(cost > 0 ? cost - 1 : 0);  // this cycle was the first
 }
 
 std::optional<rt::GlobalAddress> Chip::allocate_on(ChipStats& stats,
@@ -1125,14 +1118,14 @@ void Chip::handle_allocate(rt::Context& ctx, const rt::Action& action) {
 
 std::vector<std::uint8_t> Chip::activity_levels() const {
   std::vector<std::uint8_t> levels(cells_.size(), 0);
-  for (std::size_t i = 0; i < cells_.size(); ++i) {
-    const auto& c = cells_[i];
+  for (std::uint32_t i = 0; i < cells_.size(); ++i) {
+    const ComputeCell& c = cells_[i];
     // Heuristic brightness: executing > staging > routing > queued.
     std::uint32_t level = 0;
-    if (c.busy > 0) level += 96;
+    if (c.busy() > 0) level += 96;
     level += 24 * std::min<std::uint32_t>(4, c.router_occupancy());
-    level += 16 * std::min<std::size_t>(4, c.staged.size());
-    level += 8 * std::min<std::size_t>(4, c.action_queue.size() + c.task_queue.size());
+    level += 16 * std::min<std::size_t>(4, c.staged_count());
+    level += 8 * std::min<std::size_t>(4, c.action_count() + c.task_count());
     levels[i] = static_cast<std::uint8_t>(std::min<std::uint32_t>(255, level));
   }
   return levels;

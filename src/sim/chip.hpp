@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <new>
 #include <optional>
 #include <string_view>
 #include <unordered_map>
@@ -30,6 +31,7 @@
 #include "runtime/context.hpp"
 #include "runtime/geometry.hpp"
 #include "runtime/handler_registry.hpp"
+#include "sim/cell_soa.hpp"
 #include "sim/compute_cell.hpp"
 #include "sim/energy.hpp"
 #include "sim/io_channel.hpp"
@@ -185,6 +187,16 @@ class Chip {
 
   explicit Chip(ChipConfig cfg = {});
 
+  // A chip never relocates: the SoA block, the FIFO lane views, and the
+  // partition workers all hold raw pointers and cell indices into storage
+  // reserved exactly once, from the ChipConfig dimensions, in the
+  // constructor. Callers that need to hand a chip around hold it behind
+  // unique_ptr (as the bench/test experiment harness does).
+  Chip(const Chip&) = delete;
+  Chip& operator=(const Chip&) = delete;
+  Chip(Chip&&) = delete;
+  Chip& operator=(Chip&&) = delete;
+
   // --- Setup (host side, not simulated) -----------------------------------
 
   /// Handler table; register application actions here before running.
@@ -253,6 +265,11 @@ class Chip {
   [[nodiscard]] const ActivationTrace& activation() const noexcept { return trace_; }
   [[nodiscard]] ComputeCell& cell(std::uint32_t cc) { return cells_[cc]; }
   [[nodiscard]] const ComputeCell& cell(std::uint32_t cc) const { return cells_[cc]; }
+  /// The struct-of-arrays hot cell state (see sim/cell_soa.hpp). Read-only
+  /// introspection for tools; tests additionally use its corruption
+  /// backdoors to prove the full-level invariant sweeps have teeth.
+  [[nodiscard]] CellSoA& cell_state() noexcept { return soa_; }
+  [[nodiscard]] const CellSoA& cell_state() const noexcept { return soa_; }
   [[nodiscard]] IoSystem& io() noexcept { return io_; }
 
   /// Total energy of the run so far, in picojoules, under the configured
@@ -395,11 +412,54 @@ class Chip {
   }
 
   /// One deferred cross-partition router push (applied behind a barrier so
-  /// no FIFO is ever touched by two threads in the same phase).
+  /// no FIFO lane is ever touched by two threads in the same phase).
   struct PendingPush {
     std::uint32_t target_cc = 0;
-    std::uint8_t port = 0;  ///< Index into ComputeCell::router_in.
+    std::uint8_t port = 0;  ///< Router port (CellSoA lane index).
     Message msg;
+  };
+
+  /// In-place storage of the mesh's ComputeCells. Cells are neither
+  /// copyable nor movable (their identity is baked into the SoA block and
+  /// the partition structures), so the array is raw aligned storage built
+  /// exactly once — from the ChipConfig dimensions, in the Chip
+  /// constructor — with every cell constructed in place. There is no
+  /// growth, shrink, or relocation path by design.
+  class CellArray {
+   public:
+    CellArray() = default;
+    CellArray(const CellArray&) = delete;
+    CellArray& operator=(const CellArray&) = delete;
+    ~CellArray() {
+      for (std::uint32_t i = count_; i > 0; --i) cells_[i - 1].~ComputeCell();
+      ::operator delete[](static_cast<void*>(cells_),
+                          std::align_val_t{alignof(ComputeCell)});
+    }
+
+    /// Constructs `count` cells in place; `make(slot, i)` must
+    /// placement-new cell `i` into `slot`. Callable exactly once.
+    template <typename MakeFn>
+    void build(std::uint32_t count, MakeFn&& make) {
+      if (cells_ != nullptr) {
+        rt::fatal_misuse("CellArray::build called twice", __FILE__, __LINE__);
+      }
+      cells_ = static_cast<ComputeCell*>(::operator new[](
+          static_cast<std::size_t>(count) * sizeof(ComputeCell),
+          std::align_val_t{alignof(ComputeCell)}));
+      for (count_ = 0; count_ < count; ++count_) make(cells_ + count_, count_);
+    }
+
+    [[nodiscard]] ComputeCell& operator[](std::size_t i) noexcept {
+      return cells_[i];
+    }
+    [[nodiscard]] const ComputeCell& operator[](std::size_t i) const noexcept {
+      return cells_[i];
+    }
+    [[nodiscard]] std::uint32_t size() const noexcept { return count_; }
+
+   private:
+    ComputeCell* cells_ = nullptr;
+    std::uint32_t count_ = 0;
   };
 
   /// One mesh partition (an axis-aligned cell rectangle) plus every
@@ -432,9 +492,9 @@ class Chip {
     /// The partition's live cells, ascending cell index — the *sparse-mode*
     /// membership structure. Invariant between cycles while sparse: exactly
     /// the owned cells for which ComputeCell::has_work() holds (each
-    /// flagged via ComputeCell::in_active_set). All four phases iterate
+    /// flagged in the CellSoA activity bitmap). All four phases iterate
     /// this instead of the rectangle. Emptied (capacity released) while the
-    /// partition is in dense mode, where the per-cell flags alone carry
+    /// partition is in dense mode, where the bitmap alone carries
     /// membership.
     std::vector<std::uint32_t> active;
     /// Cells of this partition activated mid-cycle (router pushes, inbound
@@ -444,10 +504,11 @@ class Chip {
     /// mode: the compute-phase rectangle walk discovers newly flagged cells
     /// by itself (the counting merge).
     std::vector<std::uint32_t> incoming;
-    /// Dense (bitmap) mode of the hybrid: membership is the per-cell
-    /// in_active_set flags plus `active_count`, and every phase walks the
-    /// partition rectangle testing the flag — the counting merge that
-    /// replaces sparse mode's sort/inplace_merge when most cells are live.
+    /// Dense (bitmap) mode of the hybrid: membership is the CellSoA
+    /// activity bitmap plus `active_count`, and every phase sweeps the
+    /// rectangle's bitmap words (64 cells per load) — the counting merge
+    /// that replaces sparse mode's sort/inplace_merge when most cells are
+    /// live.
     /// Entered when live occupancy reaches Chip::dense_threshold_ percent
     /// of the rectangle, left (with hysteresis) below half that. Purely a
     /// host-cost mode: both modes visit exactly the cells whose visit is
@@ -550,9 +611,13 @@ class Chip {
   /// same-partition router pushes, inbound cross-partition applies, IO
   /// injection.
   void mark_active(PartitionState& st, std::uint32_t idx) {
-    ComputeCell& cell = cells_[idx];
-    if (!cell.in_active_set) {
-      cell.in_active_set = true;
+    // Only the owning partition's worker marks a cell (route pushes stay
+    // same-partition, inbound applies run on the destination, IO cells
+    // belong to their attached cell's owner), so the test-then-set pair
+    // cannot race on a bit; the atomics inside CellSoA only arbitrate
+    // *words* straddling a partition boundary.
+    if (!soa_.is_active(idx)) {
+      soa_.set_active(idx);
       if (st.dense) {
         ++st.active_count;
       } else {
@@ -585,7 +650,11 @@ class Chip {
 
   ChipConfig cfg_;
   rt::MeshGeometry mesh_;
-  std::vector<ComputeCell> cells_;
+  /// The struct-of-arrays hot cell state; initialized (and its slab
+  /// reserved) before the cells are built, since every cell holds a
+  /// pointer to it.
+  CellSoA soa_;
+  CellArray cells_;
   rt::HandlerRegistry registry_;
   std::unordered_map<rt::ObjectKind, ObjectFactory> factories_;
   std::unique_ptr<rt::AllocationPolicy> alloc_policy_;

@@ -5,20 +5,20 @@
 namespace ccastream::sim {
 
 bool ComputeCell::idle() const noexcept {
-  // The cached counter stands in for walking all six FIFOs. The sanctioned
-  // mutation helpers (push_router/push_io/push_local_out/pop_input) are
-  // the only writers and each cross-checks it at check level `cheap`;
-  // debug builds additionally cross-check at this read site — the one
-  // place every engine path funnels through.
-  assert(fifo_msgs == router_occupancy());
-  return busy == 0 && fifo_msgs == 0 && staged.empty() && task_queue.empty() &&
-         action_queue.empty();
+  // The packed hot word stands in for walking six FIFO lanes and three
+  // queues: the sanctioned mutation helpers are its only writers. Debug
+  // builds cross-check the cached FIFO counter against the lanes at this
+  // read site — the one place every engine path funnels through — and
+  // the work count against the containers it summarises.
+  assert(fifo_msgs() == router_occupancy());
+  assert(soa_->work_items(index_) ==
+         fifo_msgs() + staged_.size() + task_queue_.size() +
+             action_queue_.size());
+  return soa_->hot_word(index_) == 0;
 }
 
 std::uint32_t ComputeCell::router_occupancy() const noexcept {
-  auto n = static_cast<std::uint32_t>(io_in.size() + local_out.size());
-  for (const auto& f : router_in) n += static_cast<std::uint32_t>(f.size());
-  return n;
+  return soa_->lane_occupancy(index_);
 }
 
 }  // namespace ccastream::sim

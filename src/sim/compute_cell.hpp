@@ -4,16 +4,26 @@
 // Per simulation cycle a cell performs at most ONE operation (paper §4):
 // either one abstract instruction of the action it is executing, or the
 // staging of one outbound message created by `propagate`. The Chip owns the
-// per-cycle orchestration; this class is the cell's state.
+// per-cycle orchestration; this class is the cell's *cold* state.
+//
+// The hot state — busy cycles, FIFO occupancy, snapshot latches, the
+// arbitration pointer, the activity flag, and the six message FIFOs
+// themselves — lives in the chip's struct-of-arrays block (sim/cell_soa.hpp),
+// keyed by this cell's index. What remains here is what only the compute
+// phase of THIS cell ever touches: the scratchpad arena, the RNG, and the
+// unbounded action/task/staging queues. Every mutation of the hot state
+// still goes through this class's sanctioned helpers, which keep the SoA
+// words (the packed hot word and the exact fifo_msgs counter) in lockstep
+// with the containers.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 
 #include "runtime/action.hpp"
 #include "runtime/arena.hpp"
 #include "runtime/check.hpp"
 #include "runtime/rng.hpp"
+#include "sim/cell_soa.hpp"
 #include "sim/fifo.hpp"
 #include "sim/message.hpp"
 #include "sim/routing.hpp"
@@ -22,132 +32,159 @@ namespace ccastream::sim {
 
 class ComputeCell {
  public:
-  ComputeCell(std::uint32_t index, std::size_t memory_bytes, std::uint32_t fifo_depth,
+  ComputeCell(std::uint32_t index, std::size_t memory_bytes, CellSoA* soa,
               std::uint64_t rng_seed,
               rt::CheckLevel check_level = rt::CheckLevel::off)
-      : arena(memory_bytes), rng(rng_seed), index_(index),
-        check_level_(check_level) {
-    for (auto& f : router_in) f.set_capacity(fifo_depth);
-    io_in.set_capacity(fifo_depth);
-    local_out.set_capacity(fifo_depth);
-  }
+      : arena(memory_bytes), rng(rng_seed), soa_(soa), index_(index),
+        check_level_(check_level) {}
 
-  // Cells are move-only: copying a scratchpad full of owned objects is
-  // never meaningful, and deleting the copy operations also steers
-  // std::vector relocation to the move constructor.
+  // Cells are pinned: the SoA block and the partition workers hold the
+  // cell's index as an identity, and the chip builds the cell array in
+  // place exactly once (sized from ChipConfig), so relocation is never
+  // meaningful. Deleting all four operations enforces that statically.
   ComputeCell(const ComputeCell&) = delete;
   ComputeCell& operator=(const ComputeCell&) = delete;
-  ComputeCell(ComputeCell&&) = default;
-  ComputeCell& operator=(ComputeCell&&) = default;
+  ComputeCell(ComputeCell&&) = delete;
+  ComputeCell& operator=(ComputeCell&&) = delete;
 
   [[nodiscard]] std::uint32_t index() const noexcept { return index_; }
 
   /// True when the cell holds no work of any kind — the per-cell component
-  /// of global quiescence. O(1): queue emptiness plus the cached FIFO
-  /// occupancy counter (`fifo_msgs`), so the active-set engine can
-  /// re-evaluate it for every live cell every cycle.
+  /// of global quiescence. One load: the packed hot word (busy cycles and
+  /// the total queued-work count) is zero iff the cell is idle.
   [[nodiscard]] bool idle() const noexcept;
 
   /// The activity predicate of the event-driven engine: a cell belongs in
   /// its partition's active set iff it has work — it is busy, or any of
-  /// `action_queue`/`task_queue`/`staged`/`local_out`/`io_in`/`router_in`
-  /// is non-empty. Exactly `!idle()`, named for the call sites that reason
-  /// about set membership.
+  /// its queues or FIFO lanes is non-empty. Exactly `!idle()`, named for
+  /// the call sites that reason about set membership.
   [[nodiscard]] bool has_work() const noexcept { return !idle(); }
 
   /// Messages currently buffered in this cell's router (all six inputs:
   /// four neighbour ports, the IO port, and locally staged traffic).
   [[nodiscard]] std::uint32_t router_occupancy() const noexcept;
 
+  // --- Busy-cycle accessors (high half of the SoA hot word) ---------------
+
+  [[nodiscard]] std::uint32_t busy() const noexcept {
+    return soa_->busy(index_);
+  }
+  void set_busy(std::uint32_t cycles) noexcept {
+    soa_->set_busy(index_, cycles);
+  }
+  void dec_busy() noexcept { soa_->dec_busy(index_); }
+
+  // --- FIFO lane views ----------------------------------------------------
+  // Non-owning views over this cell's slab lanes; mutation only through
+  // the sanctioned helpers below.
+
+  [[nodiscard]] FifoView<Message> router_in(std::size_t port) const noexcept {
+    return soa_->lane(index_, port);
+  }
+  [[nodiscard]] FifoView<Message> io_in() const noexcept {
+    return soa_->lane(index_, CellSoA::kIoLane);
+  }
+  [[nodiscard]] FifoView<Message> local_out() const noexcept {
+    return soa_->lane(index_, CellSoA::kLocalOutLane);
+  }
+
   // --- Sanctioned FIFO mutation helpers -----------------------------------
   // The ONLY operations allowed to push/pop this cell's message FIFOs
   // (enforced statically by the `fifo-discipline` rule of
   // tools/lint/ccastream_lint.py): each keeps the cached `fifo_msgs`
-  // counter in lockstep with the containers and, at check level `cheap`
-  // and above, cross-checks the counter after every mutation — the
-  // runtime side of the same invariant.
+  // counter — and through it the packed hot word — in lockstep with the
+  // lanes and, at check level `cheap` and above, cross-checks the counter
+  // after every mutation — the runtime side of the same invariant.
 
   /// Pushes a message arriving from a neighbour into router port `port`.
   void push_router(std::size_t port, const Message& m) {
-    router_in[port].push(m);
-    ++fifo_msgs;
-    CCA_CHECK(cheap, fifo_msgs == router_occupancy());
+    router_in(port).push(m);
+    soa_->inc_fifo_msgs(index_);
+    CCA_CHECK(cheap, fifo_msgs() == router_occupancy());
   }
 
   /// Pushes a message injected by the attached IO cell.
   void push_io(const Message& m) {
-    io_in.push(m);
-    ++fifo_msgs;
-    CCA_CHECK(cheap, fifo_msgs == router_occupancy());
+    io_in().push(m);
+    soa_->inc_fifo_msgs(index_);
+    CCA_CHECK(cheap, fifo_msgs() == router_occupancy());
   }
 
   /// Stages one locally created message into the network outport.
   void push_local_out(const Message& m) {
-    local_out.push(m);
-    ++fifo_msgs;
-    CCA_CHECK(cheap, fifo_msgs == router_occupancy());
+    local_out().push(m);
+    soa_->inc_fifo_msgs(index_);
+    CCA_CHECK(cheap, fifo_msgs() == router_occupancy());
   }
 
   /// Pops the front of one of this cell's own input FIFOs (router port,
   /// IO port, or local outport — the router phase selects the source
-  /// dynamically, so the helper takes the FIFO itself).
-  void pop_input(Fifo<Message>& src) {
-    CCA_CHECK(cheap, owns_fifo(src));
+  /// dynamically, so the helper takes the lane view itself).
+  void pop_input(FifoView<Message> src) {
+    CCA_CHECK(cheap, soa_->owns_lane(index_, src));
     src.pop();
-    --fifo_msgs;
-    CCA_CHECK(cheap, fifo_msgs == router_occupancy());
+    soa_->dec_fifo_msgs(index_);
+    CCA_CHECK(cheap, fifo_msgs() == router_occupancy());
+  }
+
+  /// The cached FIFO occupancy counter (see CellSoA::fifo_msgs).
+  [[nodiscard]] std::uint32_t fifo_msgs() const noexcept {
+    return soa_->fifo_msgs(index_);
+  }
+
+  // --- Sanctioned queue mutation helpers ----------------------------------
+  // Same contract as the FIFO helpers, for the unbounded queues this class
+  // still owns: every push/pop maintains the work count in the hot word,
+  // so `idle()` stays a single load.
+
+  void push_action(const rt::Action& a) {
+    action_queue_.push_back(a);
+    soa_->add_work(index_);
+  }
+  [[nodiscard]] const rt::Action& front_action() const {
+    return action_queue_.front();
+  }
+  void pop_action() {
+    action_queue_.pop_front();
+    soa_->sub_work(index_);
+  }
+  [[nodiscard]] std::size_t action_count() const noexcept {
+    return action_queue_.size();
+  }
+
+  void push_task(const rt::Action& a) {
+    task_queue_.push_back(a);
+    soa_->add_work(index_);
+  }
+  [[nodiscard]] const rt::Action& front_task() const {
+    return task_queue_.front();
+  }
+  void pop_task() {
+    task_queue_.pop_front();
+    soa_->sub_work(index_);
+  }
+  [[nodiscard]] std::size_t task_count() const noexcept {
+    return task_queue_.size();
+  }
+
+  void push_staged(const Message& m) {
+    staged_.push_back(m);
+    soa_->add_work(index_);
+  }
+  [[nodiscard]] const Message& front_staged() const { return staged_.front(); }
+  void pop_staged() {
+    staged_.pop_front();
+    soa_->sub_work(index_);
+  }
+  [[nodiscard]] std::size_t staged_count() const noexcept {
+    return staged_.size();
   }
 
   // --- Scratchpad ---------------------------------------------------------
   rt::ObjectArena arena;
 
-  // --- Compute state ------------------------------------------------------
-  /// Remaining busy cycles of the action currently "executing".
-  std::uint32_t busy = 0;
-  /// Actions delivered to this cell, awaiting dispatch.
-  std::deque<rt::Action> action_queue;
-  /// Deferred local tasks (future LCO drains); dispatched before new actions.
-  std::deque<rt::Action> task_queue;
-  /// Messages created by handlers, not yet staged into the network.
-  std::deque<Message> staged;
-
-  // --- Router state -------------------------------------------------------
-  /// Input buffer per neighbour direction (indexed by the port side: the
-  /// kNorth buffer holds messages that arrived from the north neighbour).
-  Fifo<Message> router_in[kMeshDirections] = {Fifo<Message>{}, Fifo<Message>{},
-                                              Fifo<Message>{}, Fifo<Message>{}};
-  /// Messages injected by an attached IO cell (border cells only).
-  Fifo<Message> io_in;
-  /// Locally staged messages entering the network.
-  Fifo<Message> local_out;
-
-  /// Router input sizes latched at the start of each network phase. All
-  /// room/occupancy decisions made *about* this cell by its neighbours this
-  /// cycle read these latched values (never the live FIFOs), which is what
-  /// makes the network phase independent of cell visit order — and hence of
-  /// the mesh partitioning (stripes or tiles) of the parallel engine.
-  std::uint32_t in_size_snapshot[kMeshDirections] = {0, 0, 0, 0};
-
-  /// Cached occupancy: messages currently held across all six FIFOs
-  /// (`router_in[4]`, `io_in`, `local_out`). Maintained exclusively by the
-  /// sanctioned mutation helpers above, making `idle()` a constant-count
-  /// check instead of six container walks — the activity predicate runs
-  /// once per live cell per cycle under the active-set engine. Each helper
-  /// cross-checks it against `router_occupancy()` at check level `cheap`;
-  /// the full-level cycle sweep re-verifies every cell.
-  std::uint32_t fifo_msgs = 0;
-
   // --- Misc ---------------------------------------------------------------
   rt::Xoshiro256 rng;
-  /// Round-robin pointer for router input arbitration fairness.
-  std::uint8_t arb_next = 0;
-  /// Membership flag of the event-driven engine's per-partition active
-  /// set (see Chip::PartitionState::active). In the hybrid's sparse mode
-  /// it mirrors membership of the sorted vector; in dense mode these
-  /// per-cell flags ARE the membership structure (the bitmap the
-  /// rectangle walks test). Written only by the owning partition's
-  /// worker; meaningless (always false) under the scan engine.
-  bool in_active_set = false;
 
  private:
   /// Current check level for the CCA_CHECK macro (see runtime/check.hpp);
@@ -156,16 +193,14 @@ class ComputeCell {
     return check_level_;
   }
 
-  /// True iff `f` is one of this cell's six message FIFOs — the
-  /// cheap-level guard that pop_input is not handed a neighbour's FIFO
-  /// (which would silently desynchronise two fifo_msgs counters).
-  [[nodiscard]] bool owns_fifo(const Fifo<Message>& f) const noexcept {
-    for (const auto& r : router_in) {
-      if (&f == &r) return true;
-    }
-    return &f == &io_in || &f == &local_out;
-  }
+  /// Actions delivered to this cell, awaiting dispatch.
+  RingQueue<rt::Action> action_queue_;
+  /// Deferred local tasks (future LCO drains); dispatched before new actions.
+  RingQueue<rt::Action> task_queue_;
+  /// Messages created by handlers, not yet staged into the network.
+  RingQueue<Message> staged_;
 
+  CellSoA* soa_;
   std::uint32_t index_;
   rt::CheckLevel check_level_;
 };

@@ -81,6 +81,20 @@ struct PartRect {
     return x >= x0 && x < x1 && y >= y0 && y < y1;
   }
 
+  /// One row of the rectangle as a half-open cell-index span on a
+  /// `width`-column mesh: [y*width + x0, y*width + x1). A rectangle is
+  /// contiguous in cell-index space row by row, which is the unit the
+  /// engine's dense-mode bitmap sweeps consume (see
+  /// CellSoA::for_each_active) — iterating rows in order yields every
+  /// owned cell in ascending cell index, the order every phase relies on.
+  struct CellSpan {
+    std::uint32_t begin = 0, end = 0;
+  };
+  [[nodiscard]] CellSpan row_span(std::uint32_t y,
+                                  std::uint32_t width) const noexcept {
+    return {y * width + x0, y * width + x1};
+  }
+
   friend bool operator==(const PartRect&, const PartRect&) = default;
 };
 

@@ -8,7 +8,8 @@
 //     cycle-for-cycle and counter-for-counter identical to an unchecked
 //     run, on both engines (the checks observe, never steer);
 //   * teeth — corrupting the invariants the sweeps guard (the fifo_msgs
-//     cached counter, the in_active_set membership flag) turns the next
+//     cached counter, the activity-bitmap membership flag — both in the
+//     chip's SoA block, reached via Chip::cell_state()) turns the next
 //     cycle into a diagnosed abort instead of silent divergence.
 #include <gtest/gtest.h>
 
@@ -171,7 +172,7 @@ using CheckDeathTest = ::testing::Test;
 TEST(CheckDeathTest, CorruptedFifoCounterDiesAtBarrier) {
   sim::Chip chip(checked_serial_config(CheckLevel::full));
   chip.step();
-  chip.cell(5).fifo_msgs += 1;
+  chip.cell_state().fifo_msgs_ref(5) += 1;
   EXPECT_DEATH(chip.step(), "CCA_CHECK failed: c.fifo_msgs");
 }
 
@@ -180,20 +181,20 @@ TEST(CheckDeathTest, CorruptedFifoCounterDiesAtBarrier) {
 TEST(CheckDeathTest, CorruptedFifoCounterDiesInMutationHelper) {
   sim::Chip chip(checked_serial_config(CheckLevel::cheap));
   const auto spin = install_spin(chip);
-  chip.cell(5).fifo_msgs += 1;
+  chip.cell_state().fifo_msgs_ref(5) += 1;
   seed_spinner(chip, spin, 5, 1);
   EXPECT_DEATH(chip.run_until_quiescent(), "CCA_CHECK failed");
 }
 
-// Membership corruption: a flag claiming an idle cell is live breaks
-// in_active_set == has_work(), the invariant every phase loop of the
+// Membership corruption: a bitmap flag claiming an idle cell is live
+// breaks is_active == has_work(), the invariant every phase sweep of the
 // active engine trusts when it skips cells.
 TEST(CheckDeathTest, CorruptedActiveFlagDiesAtBarrier) {
   auto cfg = checked_serial_config(CheckLevel::full);
   cfg.engine = sim::EngineKind::kActive;
   sim::Chip chip(cfg);
   chip.step();
-  chip.cell(7).in_active_set = true;
+  chip.cell_state().corrupt_active_flag(7, true);
   EXPECT_DEATH(chip.step(), "CCA_CHECK failed");
 }
 
@@ -206,9 +207,9 @@ TEST(CheckDeathTest, LevelOffIgnoresCorruption) {
 #endif
   sim::Chip chip(checked_serial_config(CheckLevel::off));
   chip.step();
-  chip.cell(5).fifo_msgs += 1;
+  chip.cell_state().fifo_msgs_ref(5) += 1;
   chip.step();
-  chip.cell(5).fifo_msgs -= 1;
+  chip.cell_state().fifo_msgs_ref(5) -= 1;
   SUCCEED();
 }
 

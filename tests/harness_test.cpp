@@ -330,6 +330,36 @@ TEST(JsonReporter, StampsHostCoresOnEveryRecord) {
   std::remove(path.c_str());
 }
 
+TEST(JsonRecord, RssKbRoundTripsAndIsOmittedWhenUnmeasured) {
+  bench::BenchRecord r{"b", "256x256", 100, 2.5, "paper"};
+  r.rss_kb = 214'780;
+  const std::string line = bench::format_record(r);
+  EXPECT_NE(line.find("\"rss_kb\":214780"), std::string::npos);
+  const auto parsed = bench::parse_record(line);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, r);
+
+  // 0 means unmeasured (no procfs): the field is omitted on write and
+  // legacy lines without it parse back to the same 0 default.
+  const bench::BenchRecord bare{"b", "d", 1, 1.0, "tiny"};
+  EXPECT_EQ(bench::format_record(bare).find("rss_kb"), std::string::npos);
+  const auto legacy = bench::parse_record(
+      "{\"bench\":\"b\",\"dataset\":\"d\",\"cycles\":5,"
+      "\"energy_uj\":1.0,\"scale\":\"tiny\"}");
+  ASSERT_TRUE(legacy.has_value());
+  EXPECT_EQ(legacy->rss_kb, 0u);
+}
+
+TEST(PeakRss, ReportsANonDecreasingHighWaterOnLinux) {
+  const std::uint64_t before = bench::peak_rss_kb();
+  if (before == 0) GTEST_SKIP() << "procfs unavailable on this host";
+  // Touch a few MiB so the high-water mark has definitely been pushed past
+  // zero; the mark never decreases within a process lifetime.
+  std::vector<char> ballast(8u << 20, 1);
+  EXPECT_GE(bench::peak_rss_kb(), before);
+  EXPECT_GT(ballast[4u << 20], 0);
+}
+
 TEST(JsonRecord, EngineAndCellVisitsRoundTrip) {
   bench::BenchRecord r{"b", "64x64", 100, 2.5, "tiny", /*threads=*/4};
   r.engine = "active";

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <tuple>
@@ -78,6 +79,95 @@ TEST_P(StressScale, StreamingBfsSettlesAndMatchesOracle) {
   }
   EXPECT_EQ(mismatches, 0u);
   EXPECT_GT(chip.stats().io_injections, 0u);
+}
+
+// Million-cell smoke: a 1024x1024 chip (2^20 cells) must be constructible
+// and usable at a bounded footprint. Two distinct memory properties are
+// pinned (see sim/cell_soa.hpp and docs/ARCHITECTURE.md "Memory layout"):
+//
+//   1. Construction is zero-page cheap: the ~1.8 GiB lane slab is reserved
+//      from calloc zero pages, so a freshly built million-cell chip is a
+//      few hundred MiB resident (the cold ComputeCell array dominates),
+//      not the slab's worst case.
+//   2. Even after a workload whose cross-mesh routing first-touches lanes
+//      all over the chip (YX paths average ~2/3 of the mesh diameter, so
+//      in-flight messages page in intermediate cells' lane blocks), the
+//      total footprint stays near ~2 KiB/cell — well under the pre-SoA
+//      layout's ~5.5 KiB/cell (BENCH_scale.json baseline), which per-cell
+//      heap FIFOs paid at construction time for every cell.
+std::uint64_t vm_hwm_kb() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::uint64_t kb = 0;
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::sscanf(line, "VmHWM: %llu kB",
+                    reinterpret_cast<unsigned long long*>(&kb)) == 1) {
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+}
+
+TEST(StressMillionCell, SparseBfsOnMillionCellMeshStaysLean) {
+  if (!stress_enabled()) {
+    GTEST_SKIP() << "set CCASTREAM_STRESS=1 to run the stress/scale sweep";
+  }
+  sim::ChipConfig cfg;
+  cfg.width = 1024;
+  cfg.height = 1024;
+  cfg.seed = 0x57AE55ull + 1024;
+  sim::Chip chip(cfg);
+  ASSERT_EQ(chip.cell_state().cell_count(), 1u << 20);
+  const std::uint64_t rss_after_ctor = vm_hwm_kb();
+  if (rss_after_ctor != 0) {
+    // Property 1: the lane slab's reservation alone is ~1.8 GiB; a fresh
+    // chip must not have paged it in.
+    EXPECT_LT(rss_after_ctor, 600'000u)
+        << "million-cell chip construction paged in " << rss_after_ctor
+        << " KiB — zero-page lane slab regressed?";
+  }
+
+  // A deliberately small graph: the point is the mesh scale, not the load.
+  graph::GraphProtocol proto(chip);
+  apps::StreamingBfs bfs(proto);
+  bfs.install();
+  const std::uint64_t n = 2048;
+  graph::GraphConfig gc;
+  gc.num_vertices = n;
+  gc.root_init = apps::StreamingBfs::initial_state();
+  graph::StreamingGraph g(proto, gc);
+  bfs.set_source(g, 0);
+
+  const auto sched = wl::make_graphchallenge_like(n, 6 * n,
+                                                  wl::SamplingKind::kEdge,
+                                                  /*increments=*/1, cfg.seed);
+  g.stream_increment(sched.increments[0], /*max_cycles=*/200'000'000);
+  ASSERT_TRUE(chip.quiescent());
+
+  base::RefGraph ref(n);
+  ref.add_edges(sched.increments[0]);
+  const auto want = base::bfs_levels(ref, 0);
+  std::uint64_t mismatches = 0;
+  for (std::uint64_t v = 0; v < n; ++v) {
+    const rt::Word w = want[v] == base::kUnreached
+                           ? apps::StreamingBfs::kUnreached
+                           : want[v];
+    if (bfs.level_of(g, v) != w) ++mismatches;
+  }
+  EXPECT_EQ(mismatches, 0u);
+
+  // Property 2: ~2 KiB/cell after traffic, vs the pre-SoA ~5.5 KiB/cell.
+  // Generous bound — this is a smoke test, not a perf gate; the calibrated
+  // gates live in bench_mesh_scale.
+  const std::uint64_t rss = vm_hwm_kb();
+  if (rss != 0) {
+    EXPECT_LT(rss, 3'500'000u)
+        << "million-cell run reached " << rss
+        << " KiB resident — over ~3.4 KiB/cell, approaching the pre-SoA "
+           "per-cell-container footprint";
+  }
 }
 
 std::string case_name(const ::testing::TestParamInfo<Case>& info) {

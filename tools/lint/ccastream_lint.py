@@ -268,6 +268,16 @@ SELF_TEST_SEEDS: dict[str, tuple[str, str, str]] = {
         "int f() { return std::rand(); }\n",
         "nondeterminism",
     ),
+    "soa-atomics": (
+        "src/sim/bad_atomic.cpp",
+        "void f(std::uint64_t& w) { std::atomic_ref<std::uint64_t>(w).store(1); }\n",
+        "atomic_ref outside the CellSoA activity bitmap",
+    ),
+    "soa-backdoor": (
+        "src/sim/bad_backdoor.cpp",
+        "void f(CellSoA& s) { s.fifo_msgs_ref(3) += 1; }\n",
+        "corruption backdoor",
+    ),
     "thread-primitives": (
         "src/runtime/bad_thread.hpp",
         "static std::mutex guard;\n",
