@@ -5,7 +5,8 @@
 //   apps::*            — streaming BFS/SSSP/components, PageRank, triangles
 //   wl::*              — SBM/R-MAT generators, Edge/Snowball sampling
 //   base::*            — sequential reference oracles and baselines
-//   io::*              — edge lists, CSV experiment outputs
+//   io::*              — edge lists, CSV experiment outputs, increment logs
+//   svc::*             — long-lived streaming service (ingest + queries)
 #pragma once
 
 #include "runtime/action.hpp"
@@ -55,3 +56,6 @@
 
 #include "io/csv.hpp"
 #include "io/edgelist.hpp"
+#include "io/increment_codec.hpp"
+
+#include "svc/stream_service.hpp"

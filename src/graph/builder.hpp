@@ -69,6 +69,34 @@ struct IncrementReport {
   sim::ChipStats stats_delta;  ///< Full counter delta for deep analysis.
 };
 
+/// Host-readable digest of a saved snapshot: the logical graph (per-vertex
+/// out-arcs as vertex ids) plus each vertex's primary-root application
+/// words, recovered from the save_snapshot text format WITHOUT restoring
+/// onto a chip. This is what the streaming service layer's query
+/// front-end latches between increments (svc/stream_service.hpp): queries
+/// read the digest while the chip executes the next increment.
+struct SnapshotDigest {
+  struct Arc {
+    std::uint64_t dst = 0;
+    std::uint32_t weight = 0;
+    friend bool operator==(const Arc&, const Arc&) = default;
+  };
+  std::uint64_t num_vertices = 0;
+  std::uint32_t rhizomes = 1;
+  std::uint64_t num_edges = 0;  ///< Stored records summed over all chains.
+  /// vid-major adjacency, merged across every fragment of the chain in
+  /// chain order (root first, then ghosts in snapshot order).
+  std::vector<std::vector<Arc>> adjacency;
+  /// Primary-root app words per vertex (where monotone apps keep results).
+  std::vector<AppState> app_words;
+};
+
+/// Parses a save_snapshot stream (v2 or legacy v1) into a SnapshotDigest.
+/// Throws std::runtime_error on malformed input, exactly like
+/// load_snapshot — the two readers share the format definitions in
+/// graph/snapshot.cpp.
+[[nodiscard]] SnapshotDigest parse_snapshot_digest(std::istream& in);
+
 class StreamingGraph {
  public:
   /// Places all root fragments host-side (graph construction in the paper

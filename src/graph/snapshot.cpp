@@ -257,4 +257,131 @@ std::unique_ptr<StreamingGraph> StreamingGraph::load_snapshot(
   return g;
 }
 
+SnapshotDigest parse_snapshot_digest(std::istream& in) {
+  expect_tag(in, kMagic);
+  std::string version;
+  if (!(in >> version) || (version != kVersion && version != kVersionLegacy)) {
+    fail("unsupported snapshot version '" + version + "'");
+  }
+  const bool legacy_v1 = version == kVersionLegacy;
+  expect_tag(in, "chip");
+  std::uint32_t width = 0, height = 0;
+  in >> width >> height;
+  expect_tag(in, "rpvo");
+  std::uint32_t edge_capacity = 0, ghost_fanout = 0;
+  in >> edge_capacity >> ghost_fanout;
+  expect_tag(in, "graph");
+  SnapshotDigest d;
+  std::uint64_t src_rr = 0, dst_rr = 0;
+  in >> d.num_vertices >> d.rhizomes >> src_rr >> dst_rr;
+  if (!in) fail("truncated header");
+  if (d.rhizomes == 0) fail("zero rhizome count");
+
+  expect_tag(in, "roots");
+  std::size_t nroots = 0;
+  in >> nroots;
+  if (nroots != d.num_vertices * d.rhizomes) fail("roots table size mismatch");
+  std::vector<rt::GlobalAddress> roots;
+  roots.reserve(nroots);
+  std::unordered_map<rt::GlobalAddress, std::uint64_t> root_to_vid;
+  for (std::size_t i = 0; i < nroots; ++i) {
+    rt::Word w = 0;
+    in >> w;
+    roots.push_back(rt::GlobalAddress::unpack(w));
+    root_to_vid.emplace(roots.back(), i / d.rhizomes);
+  }
+  if (!in) fail("truncated roots table");
+
+  // Pass 1: every fragment block, keyed by its chip address so the chain
+  // walk below can follow ghost links without a chip to dereference.
+  struct DigestFrag {
+    std::vector<SnapshotDigest::Arc> arcs;
+    std::vector<rt::GlobalAddress> ghost_links;
+    AppState app{};
+    std::uint64_t vid = 0;
+    bool is_root = false;
+  };
+  std::unordered_map<rt::GlobalAddress, DigestFrag> frags;
+  std::string tag;
+  while (in >> tag) {
+    if (tag != "frag") fail("expected 'frag', got '" + tag + "'");
+    std::uint32_t cc = 0, slot = 0;
+    int is_root = 0;
+    rt::Word root_w = 0, rhz_w = 0;
+    std::uint64_t inserts_seen = 0, deletes_seen = 0;
+    DigestFrag f;
+    in >> cc >> slot >> f.vid >> is_root >> root_w >> rhz_w >> inserts_seen;
+    if (!legacy_v1) in >> deletes_seen;
+    f.is_root = is_root != 0;
+
+    expect_tag(in, "app");
+    for (auto& w : f.app) in >> w;
+
+    expect_tag(in, "edges");
+    std::size_t nedges = 0;
+    in >> nedges;
+    if (nedges > edge_capacity) fail("fragment overflows edge capacity");
+    for (std::size_t i = 0; i < nedges; ++i) {
+      rt::Word dst_w = 0;
+      std::uint32_t weight = 0;
+      in >> dst_w >> weight;
+      const auto it = root_to_vid.find(rt::GlobalAddress::unpack(dst_w));
+      if (it == root_to_vid.end()) fail("edge record targets a non-root");
+      f.arcs.push_back({it->second, weight});
+    }
+
+    expect_tag(in, "ghosts");
+    std::size_t nghosts = 0;
+    in >> nghosts;
+    if (nghosts != ghost_fanout) fail("ghost fan-out mismatch");
+    for (std::size_t i = 0; i < nghosts; ++i) {
+      std::string state;
+      in >> state;
+      if (state == "R") {
+        rt::Word addr_w = 0;
+        in >> addr_w;
+        const auto link = rt::GlobalAddress::unpack(addr_w);
+        if (!link.is_null()) f.ghost_links.push_back(link);
+      } else if (state != "E") {
+        fail("bad ghost state '" + state + "'");
+      }
+    }
+    expect_tag(in, "end");
+    if (!in) fail("truncated fragment record");
+    frags.emplace(rt::GlobalAddress{cc, slot}, std::move(f));
+  }
+
+  // Pass 2: per vertex, the same breadth-first rhizome/ghost chain walk as
+  // StreamingGraph::fragments_of, so digest adjacency order matches
+  // neighbors() exactly.
+  d.adjacency.resize(d.num_vertices);
+  d.app_words.resize(d.num_vertices);
+  for (std::uint64_t vid = 0; vid < d.num_vertices; ++vid) {
+    std::vector<rt::GlobalAddress> frontier(
+        roots.begin() + static_cast<std::ptrdiff_t>(vid * d.rhizomes),
+        roots.begin() + static_cast<std::ptrdiff_t>((vid + 1) * d.rhizomes));
+    bool first = true;
+    while (!frontier.empty()) {
+      std::vector<rt::GlobalAddress> next;
+      for (const auto addr : frontier) {
+        const auto it = frags.find(addr);
+        if (it == frags.end()) fail("chain link points at a missing fragment");
+        const DigestFrag& f = it->second;
+        if (f.vid != vid) fail("chain link crosses vertices");
+        if (first) {
+          if (!f.is_root) fail("roots table points at a non-root");
+          d.app_words[vid] = f.app;  // primary root carries the result words
+          first = false;
+        }
+        d.adjacency[vid].insert(d.adjacency[vid].end(), f.arcs.begin(),
+                                f.arcs.end());
+        d.num_edges += f.arcs.size();
+        next.insert(next.end(), f.ghost_links.begin(), f.ghost_links.end());
+      }
+      frontier = std::move(next);
+    }
+  }
+  return d;
+}
+
 }  // namespace ccastream::graph

@@ -1,0 +1,132 @@
+// Compact binary increment log — the wire/replay format of the streaming
+// service layer (svc/stream_service.hpp and the CLI's `serve` subcommand).
+//
+// A log is a fixed-width packed byte stream shared between pipes and
+// on-disk replay logs (the sctrltp ARQFrame packed-packet idiom): one
+// self-describing header, then one frame per streaming increment. All
+// integers are little-endian regardless of host byte order, so a log is
+// byte-portable and the format-v1 golden bytes pinned by
+// tests/increment_codec_test.cpp never move.
+//
+//   header (24 bytes)   "CCIL" | u16 version (=1) | u16 record_bytes (=24)
+//                       | u64 num_vertices | u64 reserved (=0)
+//   frame  (8 bytes)    "INCR" | u32 op_count
+//   record (24 bytes)   u64 src | u64 dst | u32 weight | u8 op | u8 pad[3]
+//
+// op mirrors graph/stream_edge.hpp's EdgeOp (0 insert, 1 delete); pad
+// bytes must be zero. A log ends cleanly only at a frame boundary.
+//
+// Malformed input never invokes undefined behaviour: every field is
+// decoded from bounds-checked byte buffers and validated before use, and
+// every violation — bad magic, truncated header/frame/record, a future
+// version, an unknown op kind, nonzero padding — surfaces as a structured
+// IncrementCodecError naming what was wrong. The whole suite runs under
+// the ubsan preset.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "graph/stream_edge.hpp"
+
+namespace ccastream::io {
+
+/// Structured decode/encode failure (a std::runtime_error so generic
+/// handlers keep working). The message names the violated field and, for
+/// versioned rejections, what this build supports.
+class IncrementCodecError : public std::runtime_error {
+ public:
+  explicit IncrementCodecError(const std::string& what)
+      : std::runtime_error("increment codec: " + what) {}
+};
+
+/// Format constants, public so tests can construct adversarial inputs.
+inline constexpr std::uint16_t kIncrementLogVersion = 1;
+inline constexpr std::size_t kIncrementLogHeaderBytes = 24;
+inline constexpr std::size_t kIncrementFrameHeaderBytes = 8;
+inline constexpr std::size_t kIncrementRecordBytes = 24;
+inline constexpr char kIncrementLogMagic[4] = {'C', 'C', 'I', 'L'};
+inline constexpr char kIncrementFrameMagic[4] = {'I', 'N', 'C', 'R'};
+
+/// Decoded log header.
+struct IncrementLogHeader {
+  std::uint16_t version = kIncrementLogVersion;
+  std::uint64_t num_vertices = 0;
+
+  friend bool operator==(const IncrementLogHeader&,
+                         const IncrementLogHeader&) = default;
+};
+
+/// Appends framed increments to a stream. The header is written by the
+/// constructor; each write_increment() emits one frame. Throws
+/// IncrementCodecError if the underlying stream fails mid-write.
+class IncrementLogWriter {
+ public:
+  IncrementLogWriter(std::ostream& out, std::uint64_t num_vertices);
+
+  /// One streaming increment -> one frame (op order preserved verbatim;
+  /// an empty increment is a legal zero-record frame).
+  void write_increment(std::span<const StreamEdge> ops);
+
+  [[nodiscard]] std::uint64_t increments_written() const noexcept {
+    return increments_;
+  }
+
+ private:
+  std::ostream& out_;
+  std::uint64_t increments_ = 0;
+};
+
+/// Pull-reader over a framed log: validates the header up front, then
+/// yields one increment per next() call. Suitable for pipes — it reads
+/// exactly one frame ahead, never the whole log.
+class IncrementLogReader {
+ public:
+  /// Reads and validates the header. Throws IncrementCodecError on bad
+  /// magic, truncation, a future version, or a record stride this build
+  /// does not understand.
+  explicit IncrementLogReader(std::istream& in);
+
+  [[nodiscard]] const IncrementLogHeader& header() const noexcept {
+    return header_;
+  }
+
+  /// Next framed increment, or std::nullopt at a clean end-of-log.
+  /// Throws IncrementCodecError on a garbage frame tag, truncation inside
+  /// a frame, an unknown op kind, or nonzero record padding.
+  [[nodiscard]] std::optional<std::vector<StreamEdge>> next();
+
+  [[nodiscard]] std::uint64_t increments_read() const noexcept {
+    return increments_;
+  }
+
+ private:
+  std::istream& in_;
+  IncrementLogHeader header_;
+  std::uint64_t increments_ = 0;
+};
+
+// --- Whole-log conveniences (the replay-log path) ---------------------------
+
+/// Encodes a full schedule-shaped op sequence (one inner vector per
+/// increment) — the binary counterpart of replaying wl::StreamSchedule
+/// increments.
+void write_increment_log(
+    std::ostream& out, std::uint64_t num_vertices,
+    std::span<const std::vector<StreamEdge>> increments);
+
+struct DecodedIncrementLog {
+  IncrementLogHeader header;
+  std::vector<std::vector<StreamEdge>> increments;
+};
+
+/// Decodes a whole log. Same validation (and errors) as the pull reader.
+[[nodiscard]] DecodedIncrementLog read_increment_log(std::istream& in);
+
+}  // namespace ccastream::io

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
@@ -253,7 +254,7 @@ TEST(Determinism, SlidingWindowDeletionsAreCycleIdenticalToSerial) {
     return r;
   };
 
-  for (const auto [app, name] :
+  for (const auto& [app, name] :
        {std::pair{WindowedApp::kBfs, "bfs"}, {WindowedApp::kSssp, "sssp"},
         {WindowedApp::kComponents, "components"}}) {
     SCOPED_TRACE(std::string("app = ") + name);
@@ -347,6 +348,102 @@ TEST(Determinism, HeavyCongestionIsCycleIdenticalAcrossThreadCounts) {
     SCOPED_TRACE("engine = active, threads = 4, dense_pct = " +
                  std::to_string(dense_pct));
     EXPECT_EQ(run(4, sim::EngineKind::kActive, dense_pct), serial);
+  }
+}
+
+// Service-mode replay: the same recorded increment log driven through
+// svc::StreamService (codec round-trip included) must be cycle-identical
+// to the one-shot batch oracle — at every thread count and under both
+// cycle engines. The service adds an ingest queue, an engine thread, and
+// per-batch snapshot latching around stream_increment; none of that may
+// move a single counter, because latching only reads the quiescent chip.
+TEST(Determinism, ServiceReplayIsCycleIdenticalToBatchRun) {
+  constexpr std::uint64_t n = 260;
+  auto sched = wl::make_graphchallenge_like(n, 4'200, wl::SamplingKind::kEdge,
+                                            /*increments=*/4, /*seed=*/606);
+  sched = wl::apply_sliding_window(sched, /*window=*/2, /*drain=*/false);
+
+  // Record and re-read through the binary codec, so the replayed stream is
+  // exactly what a serve-mode run would consume.
+  std::stringstream log;
+  io::write_increment_log(log, n, sched.increments);
+  const io::DecodedIncrementLog decoded = io::read_increment_log(log);
+  ASSERT_EQ(decoded.increments, sched.increments);
+
+  auto make_rig = [&](std::uint32_t threads, sim::EngineKind engine) {
+    sim::ChipConfig cfg;
+    cfg.width = 8;
+    cfg.height = 8;
+    cfg.threads = threads;
+    cfg.engine = engine;
+    cfg.seed = 606;
+    return cfg;
+  };
+  auto collect = [&](sim::Chip& chip, apps::StreamingBfs& bfs,
+                     graph::StreamingGraph& g) {
+    MatrixResult r;
+    r.stats = chip.stats();
+    r.energy_pj = chip.energy_pj();
+    for (std::uint64_t v = 0; v < n; ++v) r.levels.push_back(bfs.level_of(g, v));
+    return r;
+  };
+
+  // Batch oracle: serial scan engine, one-shot stream_increment loop.
+  MatrixResult batch;
+  {
+    sim::Chip chip(make_rig(1, sim::EngineKind::kScan));
+    graph::GraphProtocol proto(chip);
+    apps::StreamingBfs bfs(proto);
+    bfs.install();
+    graph::GraphConfig gc;
+    gc.num_vertices = n;
+    gc.root_init = apps::StreamingBfs::initial_state();
+    graph::StreamingGraph g(proto, gc);
+    bfs.set_source(g, 0);
+    for (const auto& inc : decoded.increments) g.stream_increment(inc);
+    batch = collect(chip, bfs, g);
+  }
+  ASSERT_GT(batch.stats.cycles, 0u);
+
+  for (const sim::EngineKind engine :
+       {sim::EngineKind::kScan, sim::EngineKind::kActive}) {
+    for (const std::uint32_t threads : {1u, 4u}) {
+      SCOPED_TRACE(std::string("engine = ") +
+                   std::string(sim::to_string(engine)) +
+                   ", threads = " + std::to_string(threads));
+      sim::Chip chip(make_rig(threads, engine));
+      graph::GraphProtocol proto(chip);
+      apps::StreamingBfs bfs(proto);
+      bfs.install();
+      graph::GraphConfig gc;
+      gc.num_vertices = n;
+      gc.root_init = apps::StreamingBfs::initial_state();
+      graph::StreamingGraph g(proto, gc);
+      bfs.set_source(g, 0);
+
+      svc::StreamService service(g);
+      for (const auto& inc : decoded.increments) {
+        ASSERT_TRUE(service.submit(inc));
+      }
+      service.flush();
+
+      // The service's latched view agrees with the chip fixed point...
+      svc::QueryRequest req;
+      req.kind = svc::QueryKind::kAppWord;
+      req.app_word = apps::StreamingBfs::kLevelWord;
+      const svc::QueryResult res = service.query(req);
+      EXPECT_EQ(res.seq, decoded.increments.size());
+      service.stop();
+
+      // ...and the whole run is cycle-identical to the batch oracle:
+      // counters, energy, per-vertex results, per-batch cycle totals.
+      const MatrixResult served = collect(chip, bfs, g);
+      EXPECT_EQ(served, batch);
+      EXPECT_EQ(res.values, batch.levels);
+      std::uint64_t cycles = 0;
+      for (const auto& r : service.batch_reports()) cycles += r.cycles;
+      EXPECT_EQ(cycles, batch.stats.cycles);
+    }
   }
 }
 

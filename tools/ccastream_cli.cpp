@@ -8,10 +8,20 @@
 //   ccastream_cli --edges-file graph.el --app components --verify
 //   ccastream_cli --vertices 2000 --edges 40000 --rhizomes 4
 //                 --routing odd-even --alloc random --csv run.csv
+//
+// Service mode: `serve` replays a recorded binary increment log through the
+// long-lived streaming service (svc::StreamService) — continuous ingest with
+// backpressure, queries answered from latched snapshots — and emits the same
+// JSON lines a batch run with --json-results produces, cycle for cycle:
+//   ccastream_cli --vertices 500 --edges 4000 --record-log inc.bin
+//                 --json-results batch.jsonl
+//   ccastream_cli serve --increment-log inc.bin > serve.jsonl
+//   diff batch.jsonl serve.jsonl
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <optional>
 #include <string>
 
@@ -49,11 +59,34 @@ struct Options {
   std::string csv_path;
   std::string activation_path;
   std::string snapshot_path;
+  bool serve = false;
+  std::string increment_log;                    // serve: log to replay
+  std::string record_log;                       // batch: log to record
+  std::string json_results;                     // JSON lines ('-' = stdout)
+  std::optional<svc::QueueSpec> svc_queue;      // unset = env, else block:8
 };
 
 void usage() {
   std::puts(
-      "ccastream_cli [options]\n"
+      "ccastream_cli [serve] [options]\n"
+      "  serve                         service mode: replay --increment-log\n"
+      "                                through the streaming service (bounded\n"
+      "                                ingest queue + engine loop + snapshot\n"
+      "                                queries) and emit JSON lines — output\n"
+      "                                is identical to a batch run of the\n"
+      "                                same log with --json-results\n"
+      "  --increment-log PATH          serve: binary increment log to replay\n"
+      "                                ('-' = stdin; vertex count comes from\n"
+      "                                the log header)\n"
+      "  --record-log PATH             batch: also record the streamed\n"
+      "                                increments as a binary increment log\n"
+      "                                (replayable with serve)\n"
+      "  --json-results PATH           emit per-increment and final-result\n"
+      "                                JSON lines ('-' = stdout; serve mode\n"
+      "                                defaults to stdout)\n"
+      "  --svc-queue SPEC              serve ingest queue, block|drop|flush\n"
+      "                                [:capacity 1..65536] (default:\n"
+      "                                CCASTREAM_SVC_QUEUE or block:8)\n"
       "  --vertices N --edges M        synthetic SBM workload size\n"
       "  --edges-file PATH             stream an edge-list file instead\n"
       "  --sampling edge|snowball      streaming order (default edge)\n"
@@ -118,7 +151,22 @@ bool parse(int argc, char** argv, Options& o) {
       usage();
       std::exit(0);
     }
-    if (a == "--vertices") o.vertices = std::strtoull(need(i), nullptr, 10);
+    if (a == "serve") o.serve = true;
+    else if (a == "--increment-log") o.increment_log = need(i);
+    else if (a == "--record-log") o.record_log = need(i);
+    else if (a == "--json-results") o.json_results = need(i);
+    else if (a == "--svc-queue") {
+      const char* v = need(i);
+      o.svc_queue = svc::parse_queue_spec(v);
+      if (!o.svc_queue) {
+        std::fprintf(stderr,
+                     "invalid --svc-queue '%s' (want block|drop|flush"
+                     "[:1..65536])\n",
+                     v);
+        return false;
+      }
+    }
+    else if (a == "--vertices") o.vertices = std::strtoull(need(i), nullptr, 10);
     else if (a == "--edges") o.edges = std::strtoull(need(i), nullptr, 10);
     else if (a == "--edges-file") o.edges_file = need(i);
     else if (a == "--sampling") {
@@ -222,6 +270,27 @@ bool parse(int argc, char** argv, Options& o) {
   return true;
 }
 
+// JSON-lines emission shared by batch (--json-results) and serve mode, so
+// the two outputs are byte-diffable (the CI serve smoke relies on this).
+void print_increment_json(std::FILE* f, std::uint64_t seq, std::uint64_t edges,
+                          std::uint64_t deletes, std::uint64_t cycles,
+                          double energy_uj) {
+  std::fprintf(f,
+               "{\"type\":\"increment\",\"seq\":%lu,\"edges\":%lu,"
+               "\"deletes\":%lu,\"cycles\":%lu,\"energy_uj\":%.6f}\n",
+               seq, edges, deletes, cycles, energy_uj);
+}
+
+void print_result_json(std::FILE* f, const std::string& app, std::uint64_t seq,
+                       std::span<const rt::Word> values) {
+  std::fprintf(f, "{\"type\":\"result\",\"app\":\"%s\",\"seq\":%lu,\"values\":[",
+               app.c_str(), seq);
+  for (std::size_t v = 0; v < values.size(); ++v) {
+    std::fprintf(f, "%s%lu", v == 0 ? "" : ",", values[v]);
+  }
+  std::fprintf(f, "]}\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -230,10 +299,41 @@ int main(int argc, char** argv) {
     usage();
     return 2;
   }
+  if (o.serve && o.increment_log.empty()) {
+    std::fprintf(stderr, "serve requires --increment-log PATH\n");
+    return 2;
+  }
+  if (o.serve && o.json_results.empty()) o.json_results = "-";
+
+  // Serve mode replays a recorded log; the log header carries the vertex
+  // count, so the reader must open before graph construction.
+  std::ifstream log_file;
+  std::optional<io::IncrementLogReader> log_reader;
+  if (o.serve) {
+    std::istream* in = &std::cin;
+    if (o.increment_log != "-") {
+      log_file.open(o.increment_log, std::ios::binary);
+      if (!log_file) {
+        std::fprintf(stderr, "cannot open increment log '%s'\n",
+                     o.increment_log.c_str());
+        return 2;
+      }
+      in = &log_file;
+    }
+    try {
+      log_reader.emplace(*in);
+    } catch (const io::IncrementCodecError& e) {
+      std::fprintf(stderr, "ccastream_cli: %s\n", e.what());
+      return 2;
+    }
+    o.vertices = log_reader->header().num_vertices;
+  }
 
   // --- Workload --------------------------------------------------------------
   wl::StreamSchedule sched;
-  if (!o.edges_file.empty()) {
+  if (o.serve) {
+    // No synthetic schedule: increments come framed from the log.
+  } else if (!o.edges_file.empty()) {
     auto edges = io::read_edgelist_file(o.edges_file);
     std::uint64_t max_vid = 0;
     for (const auto& e : edges) max_vid = std::max({max_vid, e.src, e.dst});
@@ -245,7 +345,7 @@ int main(int argc, char** argv) {
     sched = wl::make_graphchallenge_like(o.vertices, o.edges, o.sampling,
                                          o.increments, o.seed);
   }
-  if (!o.source_set) {
+  if (!o.source_set && !o.serve) {
     o.source = o.sampling == wl::SamplingKind::kSnowball ? sched.seed_vertex : 0;
   }
 
@@ -254,9 +354,13 @@ int main(int argc, char** argv) {
   // framework for bfs/sssp/components and applied structure-only for
   // "none". The rhizomes > 1 conflict is reported by the streaming layer as
   // graph::DeletionRhizomeError — caught around the increment loop below.
-  o.window = wl::resolve_window(o.window);
-  if (o.window != 0) {
-    sched = wl::apply_sliding_window(sched, o.window, o.window_drain);
+  // A replayed log already contains its delete ops verbatim, so serve mode
+  // never rewrites.
+  if (!o.serve) {
+    o.window = wl::resolve_window(o.window);
+    if (o.window != 0) {
+      sched = wl::apply_sliding_window(sched, o.window, o.window_drain);
+    }
   }
 
   // --- Chip + graph + app ------------------------------------------------------
@@ -302,6 +406,70 @@ int main(int argc, char** argv) {
   if (o.app == "sssp") sssp.set_source(g, o.source);
   if (o.app == "components") comps.seed_labels(g);
 
+  std::FILE* jf = nullptr;
+  if (!o.json_results.empty()) {
+    jf = o.json_results == "-" ? stdout : std::fopen(o.json_results.c_str(), "w");
+    if (!jf) {
+      std::fprintf(stderr, "cannot open json results '%s'\n",
+                   o.json_results.c_str());
+      return 2;
+    }
+  }
+
+  // --- Serve: replay the log through the streaming service ---------------------
+  if (o.serve) {
+    // Human chatter goes to stderr so stdout stays pure JSON lines for the
+    // batch-vs-serve diff.
+    const svc::QueueSpec queue = svc::resolve_queue_spec(o.svc_queue);
+    std::fprintf(stderr,
+                 "serve: chip %ux%u  app %s  queue %s  %lu vertices, "
+                 "engine %s, threads %u\n",
+                 o.width, o.height, o.app.c_str(), queue.to_string().c_str(),
+                 o.vertices, std::string(sim::to_string(chip.engine())).c_str(),
+                 chip.threads());
+    svc::StreamService service(g, {queue});
+    try {
+      while (auto inc = log_reader->next()) {
+        service.submit(std::move(*inc));
+      }
+      service.flush();
+    } catch (const io::IncrementCodecError& e) {
+      std::fprintf(stderr, "ccastream_cli: %s\n", e.what());
+      return 2;
+    } catch (const graph::DeletionRhizomeError& e) {
+      std::fprintf(stderr, "ccastream_cli: %s\n", e.what());
+      return 2;
+    }
+    for (const auto& r : service.batch_reports()) {
+      print_increment_json(jf, r.seq, r.edges, r.deletes, r.cycles, r.energy_uj);
+    }
+    if (o.app != "none") {
+      svc::QueryRequest req;
+      req.kind = svc::QueryKind::kAppWord;
+      req.app_word = 0;
+      const svc::QueryResult res = service.query(req);
+      print_result_json(jf, o.app, res.seq, res.values);
+    }
+    service.stop();
+    std::fprintf(stderr, "serve: %lu increments, %lu cycles, %lu queries\n",
+                 service.stats().batches_executed, chip.stats().cycles,
+                 service.stats().queries_answered);
+    if (jf != stdout) std::fclose(jf);
+    return 0;
+  }
+
+  // --- Record the schedule as a replayable increment log -----------------------
+  if (!o.record_log.empty()) {
+    std::ofstream f(o.record_log, std::ios::binary);
+    if (!f) {
+      std::fprintf(stderr, "cannot open record log '%s'\n", o.record_log.c_str());
+      return 2;
+    }
+    io::write_increment_log(f, o.vertices, sched.increments);
+    std::printf("wrote increment log (%zu increments) to %s\n",
+                sched.increments.size(), o.record_log.c_str());
+  }
+
   // --- Stream ------------------------------------------------------------------
   std::printf(
       "chip %ux%u  routing %s  alloc %s  rhizomes %u  app %s  threads %u  "
@@ -341,6 +509,9 @@ int main(int argc, char** argv) {
     }
     std::printf("%-10zu %10lu %12lu %12.2f %12lu\n", i + 1, r.edges, r.cycles,
                 r.energy_uj, r.stats_delta.actions_created);
+    if (jf) {
+      print_increment_json(jf, i + 1, r.edges, r.deletes, r.cycles, r.energy_uj);
+    }
     if (csv) {
       csv->row_numeric({static_cast<double>(i + 1), static_cast<double>(r.edges),
                         static_cast<double>(r.cycles), r.energy_uj,
@@ -350,6 +521,20 @@ int main(int argc, char** argv) {
   std::printf("total: %lu cycles (%.1f µs @1GHz), %.1f µJ, %lu hops\n",
               chip.stats().cycles, sim::cycles_to_us(chip.stats().cycles),
               sim::pj_to_uj(chip.energy_pj()), chip.stats().hops);
+
+  if (jf) {
+    if (o.app != "none") {
+      // Same final-result line serve mode emits: the app's word-0 fixed
+      // point per vertex, read from the chip.
+      std::vector<rt::Word> values;
+      values.reserve(o.vertices);
+      for (std::uint64_t v = 0; v < o.vertices; ++v) {
+        values.push_back(g.app_word(v, 0));
+      }
+      print_result_json(jf, o.app, sched.increments.size(), values);
+    }
+    if (jf != stdout) std::fclose(jf);
+  }
 
   // --- Optional outputs ----------------------------------------------------------
   if (!o.activation_path.empty()) {
